@@ -1,0 +1,38 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure of the paper; expensive
+shared artifacts (the ANDURIL runs over all 22 cases) are computed once
+per session and reused.
+"""
+
+import pytest
+
+from repro.bench import run_anduril
+from repro.failures import all_cases
+
+
+@pytest.fixture(scope="session")
+def cases():
+    return all_cases()
+
+
+_ANDURIL_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def anduril_outcomes(cases):
+    """ANDURIL (full feedback) outcome per case, computed once."""
+    if not _ANDURIL_CACHE:
+        for case in cases:
+            _ANDURIL_CACHE[case.case_id] = run_anduril(case)
+    return dict(_ANDURIL_CACHE)
+
+
+def emit(name: str, content: str) -> None:
+    """Print a rendered table and persist it under benchmarks/out/."""
+    from repro.bench import write_table
+
+    print()
+    print(content)
+    path = write_table(name, content)
+    print(f"[saved to {path}]")

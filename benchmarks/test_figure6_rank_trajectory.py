@@ -1,0 +1,46 @@
+"""Figure 6: rank of the root-cause fault site across trials (HB-25905).
+
+The feedback loop should improve (lower) the root site's rank as
+unsuccessful injections deprioritize observables that keep appearing
+without reproducing the failure.
+"""
+
+from conftest import emit
+
+from repro.bench import format_table
+from repro.failures import get_case
+
+
+def compute_figure6(anduril_outcomes):
+    outcome = anduril_outcomes["f17"]
+    return outcome
+
+
+def render_series(trajectory) -> str:
+    peak = max(rank for _round, rank in trajectory)
+    lines = []
+    for round_number, rank in trajectory:
+        bar = "#" * rank
+        lines.append(f"round {round_number:3d} | rank {rank:3d} | {bar}")
+    return "\n".join(lines) + f"\n(peak rank {peak})"
+
+
+def test_figure6(benchmark, anduril_outcomes):
+    outcome = benchmark.pedantic(
+        compute_figure6, args=(anduril_outcomes,), rounds=1, iterations=1
+    )
+    trajectory = outcome.rank_trajectory
+    assert outcome.success
+    assert trajectory, "rank trajectory must be recorded"
+    table = format_table(
+        ["round", "root-site rank"],
+        trajectory,
+        title="Figure 6: rank of the root-cause fault site (HBase-25905 analog)",
+    )
+    emit("figure6_rank_trajectory", table + "\n\n" + render_series(trajectory))
+
+    ranks = [rank for _round, rank in trajectory]
+    # The search ends with the root site at (or near) the top...
+    assert ranks[-1] <= ranks[0] + 1
+    # ...and the final rank is among the best seen (feedback converged).
+    assert ranks[-1] <= min(ranks) + 1

@@ -1,0 +1,55 @@
+"""Compare ANDURIL against ablation variants and coverage-first tools.
+
+Runs the full strategy zoo on one failure case and prints a Table-2-style
+comparison row: the feedback-driven search versus static-priority
+variants and bug-finding tools under the same budget.
+
+Run:  python examples/compare_strategies.py [case_id]   (default: f17)
+"""
+
+import sys
+
+from repro.baselines import ALL_STRATEGIES, StrategyRunner
+from repro.bench import format_table, run_anduril
+from repro.failures import get_case
+
+
+def main() -> None:
+    case_id = sys.argv[1] if len(sys.argv) > 1 else "f17"
+    case = get_case(case_id)
+    print(f"Failure: {case.case_id} ({case.issue}) — {case.title}")
+    print(f"Oracle:  {case.oracle.description}")
+    print()
+
+    rows = []
+    anduril = run_anduril(case, max_rounds=800, max_seconds=120.0)
+    rows.append(
+        (
+            "ANDURIL (full feedback)",
+            "yes" if anduril.success else "no",
+            anduril.rounds,
+            f"{anduril.seconds:.1f}s",
+        )
+    )
+    runner = StrategyRunner(max_rounds=400, max_seconds=60.0)
+    for name, factory in ALL_STRATEGIES.items():
+        outcome = runner.run(factory(), case, case_id=case.case_id)
+        rows.append(
+            (
+                name,
+                "yes" if outcome.success else "no",
+                outcome.rounds,
+                f"{outcome.elapsed_seconds:.1f}s",
+            )
+        )
+    print(
+        format_table(
+            ["Strategy", "Reproduced", "Rounds", "Time"],
+            rows,
+            title=f"Strategy comparison on {case.case_id}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Apply the reproduction tool to your own system.
+
+This example builds a small key-value store from scratch — a primary
+with a write-ahead journal and a backup kept in sync over the network —
+seeds it with a realistic fault-handling bug, and then uses the Explorer
+to find the root-cause fault from nothing but a failure log and an
+oracle.
+
+The seeded bug: the primary counts a record as shipped *before* the
+send (an optimistic off-by-one), so when a ship fails, the scheduled
+catch-up resumes one record too late and the failed update is skipped on
+the backup forever (silent divergence).
+
+Run:  python examples/custom_system.py
+"""
+
+from repro.analysis.ast_facts import extract_module_facts
+from repro.analysis.system_model import SystemModel
+from repro.core.explorer import Explorer
+from repro.core.oracle import LogMessageOracle, StatePredicateOracle
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.logs.parser import LogParser
+from repro.sim.cluster import execute_workload
+from repro.sim.errors import IOException, SocketException
+from repro.systems.base import Component
+
+BACKUP = "kv-backup"
+
+
+class Primary(Component):
+    """Primary replica: journals writes and ships them to the backup."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name="kv-primary")
+        self.data: dict[str, str] = {}
+        self.journal_path = "/kv/journal"
+        self.shipped = 0
+        self.checkpoint = 0
+
+    def put(self, key: str, value: str) -> None:
+        """Apply one write: journal, apply, ship to the backup."""
+        record = f"{key}={value}\n".encode()
+        self.env.disk_append(self.journal_path, record)
+        self.data[key] = value
+        self.cluster.state.setdefault("primary_data", {})[key] = value
+        # BUG: counted as shipped before the send actually succeeds.
+        self.shipped += 1
+        try:
+            self.env.sock_send(self.name, BACKUP, "replicate", (key, value))
+        except SocketException as error:
+            self.log.warn(
+                "Failed shipping %s to backup, scheduling catch-up: %s",
+                key,
+                error,
+            )
+            self.cluster.spawn("kv-catchup", self.catch_up())
+
+    def catch_up(self):
+        yield self.sleep(0.2)
+        try:
+            raw = self.env.disk_read(self.journal_path)
+        except IOException as error:
+            self.log.error("Catch-up failed reading journal: %s", error)
+            return
+        records = raw.decode().splitlines()
+        # Resumes after the optimistic counter: one record too late.
+        for record in records[self.shipped:]:
+            key, _, value = record.partition("=")
+            self.shipped += 1
+            try:
+                self.env.sock_send(self.name, BACKUP, "replicate", (key, value))
+            except SocketException as error:
+                self.log.warn("Catch-up shipping failed for %s: %s", key, error)
+        self.log.info("Catch-up finished at record %d", self.shipped)
+
+    def writer(self, writes):
+        for index, (key, value) in enumerate(writes):
+            self.put(key, value)
+            yield self.jitter(0.15)
+        self.cluster.state["writes_done"] = True
+        self.log.info("Primary applied %d writes", len(writes))
+
+
+class Backup(Component):
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name=BACKUP)
+        self.inbox = cluster.net.register(BACKUP)
+        self.data: dict[str, str] = {}
+
+    def run(self):
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Backup dropped bad packet: %s", error)
+                continue
+            key, value = message.payload
+            self.data[key] = value
+            self.cluster.state.setdefault("backup_data", {})[key] = value
+
+
+def workload(cluster) -> None:
+    primary = Primary(cluster)
+    backup = Backup(cluster)
+    cluster.spawn(BACKUP, backup.run())
+    writes = [(f"user{i}", f"profile-{i}") for i in range(10)]
+    cluster.spawn("kv-writer", primary.writer(writes))
+
+
+def diverged(state) -> bool:
+    primary = state.get("primary_data", {})
+    backup = state.get("backup_data", {})
+    return state.get("writes_done") is True and any(
+        backup.get(key) != value for key, value in primary.items()
+    )
+
+
+def main() -> None:
+    # 1. Analyze THIS module's source: the example is the target system.
+    with open(__file__, encoding="utf-8") as handle:
+        source = handle.read()
+    model = SystemModel([extract_module_facts(__name__, __file__, source)])
+    print(f"Analyzed custom system: {len(model.env_calls)} fault sites, "
+          f"{len(model.logs)} log statements")
+
+    # 2. Manufacture the "production" failure log: inject the true root
+    #    cause (a replication send fault after the checkpoint).
+    root_site = next(
+        call for call in model.env_calls
+        if call.function_name == "put" and call.op == "sock_send"
+    )
+    truth = FaultInstance(root_site.site_id, "SocketException", occurrence=9)
+    failure_run = execute_workload(
+        workload, horizon=8.0, seed=11, plan=InjectionPlan.single(truth)
+    )
+    oracle = LogMessageOracle("scheduling catch-up") & StatePredicateOracle(
+        diverged, "backup silently diverged from primary"
+    )
+    assert oracle.satisfied(failure_run), "ground truth must reproduce"
+    failure_log = LogParser().parse_text(failure_run.log.to_text())
+    print(f"Production failure log: {len(failure_log)} lines")
+
+    # 3. Point the Explorer at the failure.
+    explorer = Explorer(
+        workload=workload,
+        horizon=8.0,
+        failure_log=failure_log,
+        oracle=oracle,
+        model=model,
+        seed=0,
+        case_id="custom-kv",
+        system="custom",
+    )
+    result = explorer.explore()
+    assert result.success, result.message
+    print(f"Reproduced in {result.rounds} rounds; root cause: {result.injected}")
+    print(result.script.to_json())
+
+
+if __name__ == "__main__":
+    main()

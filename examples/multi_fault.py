@@ -1,0 +1,118 @@
+"""Reproducing a failure that needs TWO causally independent faults.
+
+ANDURIL injects one fault per round, so a failure requiring multiple
+root-cause faults cannot fall out of a single search (§3, §6 of the
+paper). The prescribed workflow is iterative: when the search fails, fix
+the most promising near-miss fault into the workload and search again.
+`IterativeExplorer` automates that loop.
+
+The target here is a two-replica store: a write is only lost when the
+same key's write fails on replica A *and* replica B. Either fault alone
+is tolerated with a warning.
+
+Run:  python examples/multi_fault.py
+"""
+
+from repro.analysis.ast_facts import extract_module_facts
+from repro.analysis.system_model import SystemModel
+from repro.core.iterative import IterativeExplorer
+from repro.core.oracle import LogMessageOracle, StatePredicateOracle
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.logs.parser import LogParser
+from repro.sim.cluster import execute_workload
+from repro.sim.errors import IOException
+from repro.systems.base import Component
+
+
+class MirroredStore(Component):
+    """Writes go to two replicas; losing both copies loses the write."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name="mirrored-store")
+
+    def store_primary(self, key: int) -> None:
+        self.env.disk_write(f"/primary/k{key}", b"value")
+
+    def store_mirror(self, key: int) -> None:
+        self.env.disk_write(f"/mirror/k{key}", b"value")
+
+    def put(self, key: int) -> None:
+        copies = 0
+        try:
+            self.store_primary(key)
+            copies += 1
+        except IOException as error:
+            self.log.warn("Primary write failed for k%d: %s", key, error)
+        try:
+            self.store_mirror(key)
+            copies += 1
+        except IOException as error:
+            self.log.warn("Mirror write failed for k%d: %s", key, error)
+        if copies == 0:
+            self.log.error("Write of k%d lost on both replicas", key)
+            self.cluster.state["lost"] = True
+        else:
+            self.log.info("Stored k%d (%d copies)", key, copies)
+
+    def writer(self):
+        for key in range(6):
+            self.put(key)
+            yield self.jitter(0.2)
+        self.log.info("Writer done")
+
+
+def workload(cluster) -> None:
+    store = MirroredStore(cluster)
+    cluster.spawn("writer", store.writer())
+
+
+def main() -> None:
+    with open(__file__, encoding="utf-8") as handle:
+        source = handle.read()
+    model = SystemModel([extract_module_facts(__name__, __file__, source)])
+
+    def site(function):
+        return next(
+            call.site_id
+            for call in model.env_calls
+            if call.function_name == function
+        )
+
+    # The production incident: key k3's write failed on BOTH replicas.
+    truth_plan = InjectionPlan.of(
+        [FaultInstance(site("store_mirror"), "IOException", 4)],
+        always=[FaultInstance(site("store_primary"), "IOException", 4)],
+    )
+    oracle = LogMessageOracle("lost on both replicas") & StatePredicateOracle(
+        lambda state: state.get("lost") is True, "a write was lost"
+    )
+    failure_run = execute_workload(workload, horizon=4.0, seed=0, plan=truth_plan)
+    assert oracle.satisfied(failure_run)
+    failure_log = LogParser().parse_text(failure_run.log.to_text())
+    print(f"Production failure log: {len(failure_log)} lines")
+
+    iterative = IterativeExplorer(
+        max_faults=2,
+        workload=workload,
+        horizon=4.0,
+        failure_log=failure_log,
+        oracle=oracle,
+        model=model,
+        max_rounds=100,
+        case_id="mirrored-store",
+        system="example",
+    )
+    result = iterative.explore()
+    assert result.success, result.message
+    print(f"Reproduced in {result.stages} stages with faults:")
+    for fault in result.faults:
+        print(f"  {fault}")
+    print()
+    print(result.script.to_json())
+    replay = result.script.replay(workload)
+    print(f"Replay satisfies oracle: {oracle.satisfied(replay)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show the 22-case failure dataset.
+* ``reproduce <case_id>`` — run the feedback-driven search on one case
+  and print the reproduction script.
+* ``replay <case_id> <script.json>`` — replay a saved reproduction script.
+* ``compare <case_id>`` — run every strategy on a case (Table-2 row).
+* ``inspect <case_id>`` — show the prepared search state (observables,
+  causal graph, top candidates) without searching.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import ALL_STRATEGIES, StrategyRunner
+from .bench import format_table, run_anduril
+from .core.report import ReproductionScript
+from .failures import all_cases, get_case
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        (case.case_id, case.issue, case.system, case.title)
+        for case in all_cases()
+    ]
+    print(format_table(["id", "issue", "system", "title"], rows))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    case = get_case(args.case_id)
+    print(f"{case.issue}: {case.title}")
+    print(f"oracle: {case.oracle.description}")
+    explorer = case.explorer(max_rounds=args.max_rounds)
+    result = explorer.explore()
+    if not result.success:
+        print(f"NOT reproduced: {result.message} ({result.rounds} rounds)")
+        return 1
+    print(
+        f"reproduced in {result.rounds} rounds "
+        f"({result.elapsed_seconds:.1f}s): {result.injected}"
+    )
+    script_json = result.script.to_json()
+    print(script_json)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(script_json + "\n")
+        print(f"script written to {args.output}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    case = get_case(args.case_id)
+    with open(args.script, encoding="utf-8") as handle:
+        script = ReproductionScript.from_json(handle.read())
+    result = script.replay(case.workload)
+    satisfied = case.oracle.satisfied(result)
+    print(f"injected: {result.injected}  oracle satisfied: {satisfied}")
+    return 0 if satisfied else 1
+
+
+def cmd_compare(args) -> int:
+    case = get_case(args.case_id)
+    rows = []
+    anduril = run_anduril(case, max_rounds=args.max_rounds)
+    rows.append(("anduril", anduril.cell))
+    runner = StrategyRunner(max_rounds=args.max_rounds, max_seconds=60.0)
+    for name, factory in ALL_STRATEGIES.items():
+        outcome = runner.run(factory(), case, case_id=case.case_id)
+        rows.append((name, outcome.cell))
+    print(format_table(["strategy", "rounds/time"], rows,
+                       title=f"{case.case_id} ({case.issue})"))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    case = get_case(args.case_id)
+    prepared = case.explorer().prepare()
+    print(f"{case.issue}: {case.title}")
+    print(f"failure log lines: {len(case.failure_log())}")
+    print(f"relevant observables: {sorted(prepared.observables.keys())}")
+    print(
+        f"causal graph: {prepared.graph.node_count} nodes / "
+        f"{prepared.graph.edge_count} edges"
+    )
+    print(f"candidates: {prepared.pool.candidate_count} "
+          f"({prepared.pool.remaining_instances()} instances)")
+    for entry in prepared.pool.window(args.top):
+        print(f"  F={entry.site_priority:<4} T={entry.temporal:<8.1f} "
+              f"{entry.instance}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="feedback-driven failure reproduction"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the failure dataset")
+
+    reproduce = commands.add_parser("reproduce", help="search for the root cause")
+    reproduce.add_argument("case_id")
+    reproduce.add_argument("--max-rounds", type=int, default=800)
+    reproduce.add_argument("--output", "-o", help="write the script to a file")
+
+    replay = commands.add_parser("replay", help="replay a reproduction script")
+    replay.add_argument("case_id")
+    replay.add_argument("script")
+
+    compare = commands.add_parser("compare", help="compare all strategies")
+    compare.add_argument("case_id")
+    compare.add_argument("--max-rounds", type=int, default=400)
+
+    inspect = commands.add_parser("inspect", help="show the prepared search")
+    inspect.add_argument("case_id")
+    inspect.add_argument("--top", type=int, default=10)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "reproduce": cmd_reproduce,
+        "replay": cmd_replay,
+        "compare": cmd_compare,
+        "inspect": cmd_inspect,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

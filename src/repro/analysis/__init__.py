@@ -1,0 +1,60 @@
+"""Static analysis: the Instrumenter's causal-reasoning side (§4).
+
+Pipeline: ``analyze_package`` extracts AST facts into a ``SystemModel``;
+``ExceptionAnalysis`` computes interprocedural exception flow;
+``CausalGraphBuilder`` runs Algorithm 1 from a set of observables; and
+``DistanceIndex`` precomputes the spatial distances the Explorer queries
+each round.
+"""
+
+from .ast_facts import (
+    AssignFact,
+    CallFact,
+    ConditionFact,
+    EnvCallFact,
+    FunctionFact,
+    HandlerFact,
+    LogFact,
+    ModuleFacts,
+    RaiseFact,
+    TryFact,
+    extract_module_facts,
+)
+from .causal import AnalysisTimings, CausalGraphBuilder, DistanceIndex
+from .exceptions import ExceptionAnalysis, ThrowPoint
+from .model import (
+    CausalGraph,
+    Node,
+    NodeKind,
+    SOURCE_KINDS,
+    SourceInfo,
+    graph_fault_candidates,
+)
+from .system_model import SystemModel, analyze_package
+
+__all__ = [
+    "AnalysisTimings",
+    "AssignFact",
+    "CallFact",
+    "CausalGraph",
+    "CausalGraphBuilder",
+    "ConditionFact",
+    "DistanceIndex",
+    "EnvCallFact",
+    "ExceptionAnalysis",
+    "FunctionFact",
+    "HandlerFact",
+    "LogFact",
+    "ModuleFacts",
+    "Node",
+    "NodeKind",
+    "RaiseFact",
+    "SOURCE_KINDS",
+    "SourceInfo",
+    "SystemModel",
+    "ThrowPoint",
+    "TryFact",
+    "analyze_package",
+    "extract_module_facts",
+    "graph_fault_candidates",
+]

@@ -1,0 +1,496 @@
+"""AST fact extraction from mini-system source.
+
+The Instrumenter's static side begins by scanning each system module for
+the facts every later analysis consumes: function spans, logging
+statements (the observables), env-boundary calls (the external fault
+sites), ``raise`` statements, try/except structure, call sites (including
+executor submissions and task spawns), conditions, and assignments.
+
+The extraction is deliberately name-based and conservative — the paper's
+analysis accepts imprecision (false dependencies) and relies on the
+dynamic feedback loop to recover (§4.1).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterable, Optional
+
+from ..injection.sites import SiteRef, normalize_path
+from ..sim.env import ENV_OPS
+
+LOG_METHODS = {"debug", "info", "warn", "error", "fatal", "exception"}
+
+#: Methods that mutate the object they are called on; a call
+#: ``self.pending.append(x)`` counts as a write to ``pending`` for slicing.
+MUTATING_METHODS = {
+    "append",
+    "add",
+    "remove",
+    "discard",
+    "clear",
+    "pop",
+    "popleft",
+    "extend",
+    "update",
+    "put_nowait",
+    "insert",
+    "appendleft",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionFact:
+    qualname: str       # "module:Class.method" or "module:function"
+    name: str           # bare name (matches frame.f_code.co_name at runtime)
+    file: str
+    line: int
+    end_line: int
+    class_name: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class LogFact:
+    file: str
+    line: int
+    function: str       # enclosing function qualname
+    level: str
+    template: str
+
+    @property
+    def template_id(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclasses.dataclass(frozen=True)
+class EnvCallFact:
+    file: str
+    line: int
+    function: str        # qualname
+    function_name: str   # bare name (used in the runtime site id)
+    op: str
+
+    @property
+    def site(self) -> SiteRef:
+        return SiteRef(self.file, self.line, self.function_name, self.op)
+
+    @property
+    def site_id(self) -> str:
+        return self.site.site_id
+
+    @property
+    def exception_types(self) -> tuple[str, ...]:
+        return ENV_OPS[self.op]
+
+
+@dataclasses.dataclass(frozen=True)
+class RaiseFact:
+    file: str
+    line: int
+    function: str
+    exception: str            # "" for a bare re-raise
+    handler_line: int = 0     # enclosing except-clause line, 0 if none
+
+
+@dataclasses.dataclass(frozen=True)
+class CallFact:
+    file: str
+    line: int
+    caller: str          # qualname
+    callee: str          # bare callee name
+    is_submit: bool = False
+    is_spawn: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class HandlerFact:
+    file: str
+    line: int            # line of the except clause
+    function: str
+    exceptions: tuple[str, ...]   # caught type names; ("Exception",) for bare
+    body_start: int
+    body_end: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TryFact:
+    file: str
+    function: str
+    body_start: int
+    body_end: int
+    handlers: tuple[HandlerFact, ...]
+
+    def covers(self, line: int) -> bool:
+        return self.body_start <= line <= self.body_end
+
+
+@dataclasses.dataclass(frozen=True)
+class ConditionFact:
+    file: str
+    line: int            # line of the if/while test
+    function: str
+    variables: tuple[str, ...]
+    scope_start: int     # full statement span including else branches
+    scope_end: int
+    is_loop: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class AssignFact:
+    file: str
+    line: int
+    function: str
+    targets: tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassFact:
+    name: str
+    bases: tuple[str, ...]
+
+
+@dataclasses.dataclass
+class ModuleFacts:
+    module: str
+    file: str
+    functions: list[FunctionFact] = dataclasses.field(default_factory=list)
+    logs: list[LogFact] = dataclasses.field(default_factory=list)
+    env_calls: list[EnvCallFact] = dataclasses.field(default_factory=list)
+    raises: list[RaiseFact] = dataclasses.field(default_factory=list)
+    calls: list[CallFact] = dataclasses.field(default_factory=list)
+    trys: list[TryFact] = dataclasses.field(default_factory=list)
+    conditions: list[ConditionFact] = dataclasses.field(default_factory=list)
+    assigns: list[AssignFact] = dataclasses.field(default_factory=list)
+    classes: list[ClassFact] = dataclasses.field(default_factory=list)
+
+
+def _attr_chain_tail(node: ast.expr) -> str:
+    """The final identifier of an expression like ``self.env`` -> ``env``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _callee_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _callable_ref_name(node: ast.expr) -> str:
+    """Name of a function referenced as a value (submit/spawn targets)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _callee_name(node.func)
+    return ""
+
+
+class _FactVisitor(ast.NodeVisitor):
+    def __init__(self, module: str, file: str, facts: ModuleFacts) -> None:
+        self.module = module
+        self.file = file
+        self.facts = facts
+        self._class_stack: list[str] = []
+        self._func_stack: list[FunctionFact] = []
+        self._handler_stack: list[HandlerFact] = []
+
+    # ----------------------------------------------------------- scope tracking
+
+    @property
+    def _function(self) -> str:
+        return self._func_stack[-1].qualname if self._func_stack else self.module
+
+    @property
+    def _function_name(self) -> str:
+        return self._func_stack[-1].name if self._func_stack else "<module>"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = tuple(
+            base_name
+            for base in node.bases
+            if (base_name := _attr_chain_tail(base))
+        )
+        self.facts.classes.append(ClassFact(node.name, bases))
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        class_name = self._class_stack[-1] if self._class_stack else ""
+        qual = f"{class_name}.{node.name}" if class_name else node.name
+        fact = FunctionFact(
+            qualname=f"{self.module}:{qual}",
+            name=node.name,
+            file=self.file,
+            line=node.lineno,
+            end_line=node.end_lineno or node.lineno,
+            class_name=class_name,
+        )
+        self.facts.functions.append(fact)
+        self._func_stack.append(fact)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # ------------------------------------------------------------------- calls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = _callee_name(func)
+
+        if isinstance(func, ast.Attribute):
+            base_tail = _attr_chain_tail(func.value)
+            if name in LOG_METHODS and base_tail in ("log", "logger"):
+                self._record_log(node, name)
+                self.generic_visit(node)
+                return
+            if name in ENV_OPS and base_tail == "env":
+                self.facts.env_calls.append(
+                    EnvCallFact(
+                        file=self.file,
+                        line=node.lineno,
+                        function=self._function,
+                        function_name=self._function_name,
+                        op=name,
+                    )
+                )
+                self.generic_visit(node)
+                return
+            if name == "submit" and node.args:
+                target = _callable_ref_name(node.args[0])
+                if target:
+                    self.facts.calls.append(
+                        CallFact(
+                            self.file,
+                            node.lineno,
+                            self._function,
+                            target,
+                            is_submit=True,
+                        )
+                    )
+                # Skip the callable reference itself so it is not also
+                # recorded as a synchronous call.
+                for arg in node.args[1:]:
+                    self.visit(arg)
+                return
+            if name == "spawn" and len(node.args) >= 2:
+                target = _callable_ref_name(node.args[1])
+                if target:
+                    self.facts.calls.append(
+                        CallFact(
+                            self.file,
+                            node.lineno,
+                            self._function,
+                            target,
+                            is_spawn=True,
+                        )
+                    )
+                self.visit(node.args[0])
+                for arg in node.args[2:]:
+                    self.visit(arg)
+                return
+
+        if name:
+            self.facts.calls.append(
+                CallFact(self.file, node.lineno, self._function, name)
+            )
+        self.generic_visit(node)
+
+    def _record_log(self, node: ast.Call, method: str) -> None:
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return
+        level = {"exception": "ERROR", "warn": "WARN"}.get(method, method.upper())
+        self.facts.logs.append(
+            LogFact(
+                file=self.file,
+                line=node.lineno,
+                function=self._function,
+                level=level,
+                template=first.value,
+            )
+        )
+
+    # ------------------------------------------------------------------ raises
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exception = ""
+        if node.exc is not None:
+            if isinstance(node.exc, ast.Call):
+                exception = _callee_name(node.exc.func)
+            else:
+                exception = _attr_chain_tail(node.exc)
+        handler_line = self._handler_stack[-1].line if self._handler_stack else 0
+        self.facts.raises.append(
+            RaiseFact(
+                file=self.file,
+                line=node.lineno,
+                function=self._function,
+                exception=exception,
+                handler_line=handler_line,
+            )
+        )
+        self.generic_visit(node)
+
+    # --------------------------------------------------------------- structure
+
+    def visit_Try(self, node: ast.Try) -> None:
+        body_start = node.body[0].lineno
+        body_end = max(
+            (stmt.end_lineno or stmt.lineno) for stmt in node.body
+        )
+        handlers: list[HandlerFact] = []
+        for handler in node.handlers:
+            types: tuple[str, ...]
+            if handler.type is None:
+                types = ("Exception",)
+            elif isinstance(handler.type, ast.Tuple):
+                types = tuple(
+                    name
+                    for element in handler.type.elts
+                    if (name := _attr_chain_tail(element))
+                )
+            else:
+                types = (_attr_chain_tail(handler.type),)
+            h_start = handler.body[0].lineno if handler.body else handler.lineno
+            h_end = max(
+                (stmt.end_lineno or stmt.lineno) for stmt in handler.body
+            ) if handler.body else handler.lineno
+            handlers.append(
+                HandlerFact(
+                    file=self.file,
+                    line=handler.lineno,
+                    function=self._function,
+                    exceptions=types,
+                    body_start=h_start,
+                    body_end=h_end,
+                )
+            )
+        self.facts.trys.append(
+            TryFact(
+                file=self.file,
+                function=self._function,
+                body_start=body_start,
+                body_end=body_end,
+                handlers=tuple(handlers),
+            )
+        )
+        # Visit body/else/finally outside any handler scope; visit each
+        # handler body with that handler on the stack so raises inside it
+        # know their enclosing catch.
+        for stmt in node.body + node.orelse + node.finalbody:
+            self.visit(stmt)
+        for handler, fact in zip(node.handlers, handlers):
+            self._handler_stack.append(fact)
+            for stmt in handler.body:
+                self.visit(stmt)
+            self._handler_stack.pop()
+
+    def _visit_branch(self, node: ast.If | ast.While) -> None:
+        variables = _test_variables(node.test)
+        scope_end = node.end_lineno or node.lineno
+        self.facts.conditions.append(
+            ConditionFact(
+                file=self.file,
+                line=node.lineno,
+                function=self._function,
+                variables=variables,
+                scope_start=node.lineno,
+                scope_end=scope_end,
+                is_loop=isinstance(node, ast.While),
+            )
+        )
+        self.generic_visit(node)
+
+    visit_If = _visit_branch
+    visit_While = _visit_branch
+
+    # ----------------------------------------------------------------- assigns
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        targets = tuple(
+            name for target in node.targets for name in _target_names(target)
+        )
+        if targets:
+            self.facts.assigns.append(
+                AssignFact(self.file, node.lineno, self._function, targets)
+            )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        targets = tuple(_target_names(node.target))
+        if targets:
+            self.facts.assigns.append(
+                AssignFact(self.file, node.lineno, self._function, targets)
+            )
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # Mutating method calls count as writes for the slicing analysis.
+        value = node.value
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            if value.func.attr in MUTATING_METHODS:
+                owner = _attr_chain_tail(value.func.value)
+                if owner and owner != "self":
+                    self.facts.assigns.append(
+                        AssignFact(
+                            self.file, node.lineno, self._function, (owner,)
+                        )
+                    )
+        self.generic_visit(node)
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Attribute):
+        return [target.attr]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Subscript):
+        return _target_names(target.value)
+    return []
+
+
+def _test_variables(test: ast.expr) -> tuple[str, ...]:
+    """Variable names read by a boolean test (Names plus attribute tails)."""
+    names: list[str] = []
+    call_funcs: set[int] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call):
+            call_funcs.add(id(node.func))
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id not in ("self",):
+            if id(node) not in call_funcs:
+                names.append(node.id)
+        elif isinstance(node, ast.Attribute) and id(node) not in call_funcs:
+            names.append(node.attr)
+    # Deduplicate, preserving order.
+    seen: dict[str, None] = {}
+    for name in names:
+        seen.setdefault(name, None)
+    return tuple(seen)
+
+
+def extract_module_facts(module: str, file_path: str, source: str) -> ModuleFacts:
+    """Parse one module's source and extract all facts."""
+    tree = ast.parse(source, filename=file_path)
+    facts = ModuleFacts(module=module, file=normalize_path(file_path))
+    visitor = _FactVisitor(module, facts.file, facts)
+    visitor.visit(tree)
+    return facts

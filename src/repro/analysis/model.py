@@ -1,0 +1,224 @@
+"""Causal-graph node taxonomy and graph container (§4.1).
+
+Node kinds mirror the paper exactly:
+
+* ``location`` — a program point being executed.
+* ``condition`` — a program point guarded by a boolean expression.
+* ``invocation`` — execution reaching a method invocation.
+* ``handler`` — reaching the entry of an exception handler (catch block).
+* ``internal-exception`` — an invocation that *propagates* an exception
+  originating deeper in the system.
+* ``new-exception`` — a ``throw new`` inside system code.
+* ``external-exception`` — an exception thrown by a library call (our env
+  boundary); with new-exception nodes, these are the fault-site sources.
+
+Edges run *prior → node* ("cause → effect"); sinks are the location nodes
+of the relevant observables' logging statements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterable, Optional
+
+
+class NodeKind(enum.Enum):
+    LOCATION = "location"
+    CONDITION = "condition"
+    INVOCATION = "invocation"
+    HANDLER = "handler"
+    INTERNAL_EXCEPTION = "internal-exception"
+    NEW_EXCEPTION = "new-exception"
+    EXTERNAL_EXCEPTION = "external-exception"
+
+
+#: Kinds at which the recursive causally-prior analysis stops (Algorithm 1
+#: line 5): these are the sources of the graph.
+SOURCE_KINDS = frozenset({NodeKind.NEW_EXCEPTION, NodeKind.EXTERNAL_EXCEPTION})
+
+
+@dataclasses.dataclass(frozen=True)
+class Node:
+    """A causal-graph node with a stable string identity."""
+
+    kind: NodeKind
+    node_id: str
+    file: str = ""
+    line: int = 0
+    function: str = ""       # enclosing function qualname ("" for invocation)
+    exception: str = ""      # exception type for exception-flavored nodes
+    detail: str = ""         # op name / callee / observable template id
+
+    def __str__(self) -> str:
+        return self.node_id
+
+
+def location_node(file: str, line: int, function: str, detail: str = "") -> Node:
+    return Node(
+        NodeKind.LOCATION, f"loc:{file}:{line}", file, line, function, detail=detail
+    )
+
+
+def condition_node(file: str, line: int, function: str) -> Node:
+    return Node(NodeKind.CONDITION, f"cond:{file}:{line}", file, line, function)
+
+
+def invocation_node(qualname: str) -> Node:
+    return Node(NodeKind.INVOCATION, f"inv:{qualname}", detail=qualname)
+
+
+def handler_node(file: str, line: int, function: str, exception: str = "") -> Node:
+    return Node(
+        NodeKind.HANDLER, f"handler:{file}:{line}", file, line, function, exception
+    )
+
+
+def internal_exception_node(
+    file: str, line: int, function: str, exception: str
+) -> Node:
+    return Node(
+        NodeKind.INTERNAL_EXCEPTION,
+        f"intexc:{file}:{line}:{exception}",
+        file,
+        line,
+        function,
+        exception,
+    )
+
+
+def new_exception_node(file: str, line: int, function: str, exception: str) -> Node:
+    return Node(
+        NodeKind.NEW_EXCEPTION,
+        f"newexc:{file}:{line}:{exception}",
+        file,
+        line,
+        function,
+        exception,
+    )
+
+
+def external_exception_node(site_id: str, exception: str) -> Node:
+    file, line, function, op = _split_site(site_id)
+    return Node(
+        NodeKind.EXTERNAL_EXCEPTION,
+        f"extexc:{site_id}:{exception}",
+        file,
+        line,
+        function,
+        exception,
+        detail=op,
+    )
+
+
+def _split_site(site_id: str) -> tuple[str, int, str, str]:
+    parts = site_id.rsplit(":", 3)
+    return parts[0], int(parts[1]), parts[2], parts[3]
+
+
+class CausalGraph:
+    """A DAG-ish graph from fault sites to observable log statements.
+
+    (The underlying relation may contain cycles through recursive calls;
+    algorithms on it use BFS and never assume acyclicity.)
+    """
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, Node] = {}
+        #: prior -> effects (cause points to what it can cause)
+        self.edges: dict[str, set[str]] = {}
+        #: effect -> priors (reverse adjacency, kept in sync)
+        self.redges: dict[str, set[str]] = {}
+        #: observable template id -> sink node id
+        self.sinks: dict[str, str] = {}
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.nodes
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+    def add_node(self, node: Node) -> Node:
+        existing = self.nodes.get(node.node_id)
+        if existing is not None:
+            return existing
+        self.nodes[node.node_id] = node
+        self.edges.setdefault(node.node_id, set())
+        self.redges.setdefault(node.node_id, set())
+        return node
+
+    def add_edge(self, prior: Node, effect: Node) -> None:
+        self.add_node(prior)
+        self.add_node(effect)
+        self.edges[prior.node_id].add(effect.node_id)
+        self.redges[effect.node_id].add(prior.node_id)
+
+    def mark_sink(self, template_id: str, node: Node) -> None:
+        self.add_node(node)
+        self.sinks[template_id] = node.node_id
+
+    def sources(self) -> list[Node]:
+        """All fault-site nodes present in the graph."""
+        return [
+            node for node in self.nodes.values() if node.kind in SOURCE_KINDS
+        ]
+
+    def external_sources(self) -> list[Node]:
+        """The injectable fault sites (external-exception nodes)."""
+        return [
+            node
+            for node in self.nodes.values()
+            if node.kind is NodeKind.EXTERNAL_EXCEPTION
+        ]
+
+    def priors(self, node_id: str) -> set[str]:
+        return self.redges.get(node_id, set())
+
+    def effects(self, node_id: str) -> set[str]:
+        return self.edges.get(node_id, set())
+
+    def distances_to_sink(self, sink_node_id: str) -> dict[str, int]:
+        """BFS hop distance from every node *to* the given sink.
+
+        Walks the reverse adjacency starting at the sink; the result maps
+        node id -> hops along causal edges to reach the sink.  This is the
+        precomputation the paper describes in §7 (distances are queried
+        each round instead of recomputed).
+        """
+        distances = {sink_node_id: 0}
+        frontier = [sink_node_id]
+        while frontier:
+            next_frontier: list[str] = []
+            for node_id in frontier:
+                for prior in self.redges.get(node_id, ()):
+                    if prior not in distances:
+                        distances[prior] = distances[node_id] + 1
+                        next_frontier.append(prior)
+            frontier = next_frontier
+        return distances
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceInfo:
+    """An injectable fault candidate extracted from the graph."""
+
+    node_id: str
+    site_id: str
+    exception: str
+
+
+def graph_fault_candidates(graph: CausalGraph) -> list[SourceInfo]:
+    """Enumerate injectable (site, exception) candidates from the graph."""
+    out: list[SourceInfo] = []
+    for node in graph.external_sources():
+        # node_id = "extexc:<site_id>:<Exception>"
+        body = node.node_id[len("extexc:"):]
+        site_id = body.rsplit(":", 1)[0]
+        out.append(SourceInfo(node.node_id, site_id, node.exception))
+    out.sort(key=lambda info: (info.site_id, info.exception))
+    return out

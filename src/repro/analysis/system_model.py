@@ -1,0 +1,259 @@
+"""Aggregated static model of one mini system.
+
+A :class:`SystemModel` merges the per-module facts of a system package and
+provides the lookups every downstream analysis needs: name-based call
+resolution, innermost enclosing condition / try / handler, slicing-style
+"who writes this variable", and an exception subtype relation extended
+with the system's own exception classes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from typing import Iterable, Optional
+
+from ..logs.sanitize import LogTemplate, TemplateMatcher
+from ..sim import errors as sim_errors
+from .ast_facts import (
+    AssignFact,
+    CallFact,
+    ConditionFact,
+    EnvCallFact,
+    FunctionFact,
+    HandlerFact,
+    LogFact,
+    ModuleFacts,
+    RaiseFact,
+    TryFact,
+    extract_module_facts,
+)
+
+
+class SystemModel:
+    def __init__(self, modules: Iterable[ModuleFacts]) -> None:
+        self.modules = list(modules)
+        self.functions: list[FunctionFact] = []
+        self.logs: list[LogFact] = []
+        self.env_calls: list[EnvCallFact] = []
+        self.raises: list[RaiseFact] = []
+        self.calls: list[CallFact] = []
+        self.trys: list[TryFact] = []
+        self.conditions: list[ConditionFact] = []
+        self.assigns: list[AssignFact] = []
+        self._class_bases: dict[str, tuple[str, ...]] = {}
+        for facts in self.modules:
+            self.functions.extend(facts.functions)
+            self.logs.extend(facts.logs)
+            self.env_calls.extend(facts.env_calls)
+            self.raises.extend(facts.raises)
+            self.calls.extend(facts.calls)
+            self.trys.extend(facts.trys)
+            self.conditions.extend(facts.conditions)
+            self.assigns.extend(facts.assigns)
+            for cls in facts.classes:
+                self._class_bases[cls.name] = cls.bases
+
+        self._functions_by_name: dict[str, list[FunctionFact]] = {}
+        for fn in self.functions:
+            self._functions_by_name.setdefault(fn.name, []).append(fn)
+        self._functions_by_qualname = {fn.qualname: fn for fn in self.functions}
+        self._calls_by_callee: dict[str, list[CallFact]] = {}
+        for call in self.calls:
+            self._calls_by_callee.setdefault(call.callee, []).append(call)
+        self._assigns_by_target: dict[str, list[AssignFact]] = {}
+        for assign in self.assigns:
+            for target in assign.targets:
+                self._assigns_by_target.setdefault(target, []).append(assign)
+        self._env_by_function: dict[str, list[EnvCallFact]] = {}
+        for env_call in self.env_calls:
+            self._env_by_function.setdefault(env_call.function, []).append(env_call)
+        self._raises_by_function: dict[str, list[RaiseFact]] = {}
+        for raise_fact in self.raises:
+            self._raises_by_function.setdefault(raise_fact.function, []).append(
+                raise_fact
+            )
+        self._calls_by_caller: dict[str, list[CallFact]] = {}
+        for call in self.calls:
+            self._calls_by_caller.setdefault(call.caller, []).append(call)
+        self._trys_by_function: dict[str, list[TryFact]] = {}
+        for try_fact in self.trys:
+            self._trys_by_function.setdefault(try_fact.function, []).append(try_fact)
+
+    # ------------------------------------------------------------------ lookups
+
+    def functions_named(self, name: str) -> list[FunctionFact]:
+        return self._functions_by_name.get(name, [])
+
+    def function(self, qualname: str) -> Optional[FunctionFact]:
+        return self._functions_by_qualname.get(qualname)
+
+    def calls_to(self, name: str) -> list[CallFact]:
+        return self._calls_by_callee.get(name, [])
+
+    def calls_in(self, qualname: str) -> list[CallFact]:
+        return self._calls_by_caller.get(qualname, [])
+
+    def env_calls_in(self, qualname: str) -> list[EnvCallFact]:
+        return self._env_by_function.get(qualname, [])
+
+    def raises_in(self, qualname: str) -> list[RaiseFact]:
+        return self._raises_by_function.get(qualname, [])
+
+    def trys_in(self, qualname: str) -> list[TryFact]:
+        return self._trys_by_function.get(qualname, [])
+
+    def assigns_to(self, variable: str) -> list[AssignFact]:
+        return self._assigns_by_target.get(variable, [])
+
+    def enclosing_condition(
+        self, file: str, line: int
+    ) -> Optional[ConditionFact]:
+        """Innermost if/while whose span contains ``line`` (not at its test)."""
+        best: Optional[ConditionFact] = None
+        for cond in self.conditions:
+            if cond.file != file or cond.line == line:
+                continue
+            if cond.scope_start < line <= cond.scope_end:
+                if best is None or (
+                    cond.scope_end - cond.scope_start
+                    < best.scope_end - best.scope_start
+                ):
+                    best = cond
+        return best
+
+    def prior_conditions(
+        self, file: str, line: int, function: str
+    ) -> list[ConditionFact]:
+        """All branch dominators of a location.
+
+        The innermost enclosing if/while, plus every *loop* in the same
+        function that completes before the location: a statement after a
+        ``while`` only executes once the loop condition turns false, so
+        the loop condition dominates it (the Figure 1 ``waitForSafePoint``
+        shape — the log after the wait loop depends on the loop's exit).
+        """
+        priors: list[ConditionFact] = []
+        enclosing = self.enclosing_condition(file, line)
+        if enclosing is not None:
+            priors.append(enclosing)
+        for cond in self.conditions:
+            if (
+                cond.is_loop
+                and cond.file == file
+                and cond.function == function
+                and cond.scope_end < line
+            ):
+                priors.append(cond)
+        return priors
+
+    def enclosing_trys(self, qualname: str, line: int) -> list[TryFact]:
+        """Trys of the function whose body covers ``line``, innermost first."""
+        covering = [
+            try_fact
+            for try_fact in self._trys_by_function.get(qualname, [])
+            if try_fact.covers(line)
+        ]
+        covering.sort(key=lambda t: t.body_end - t.body_start)
+        return covering
+
+    def handler_at(self, file: str, line: int) -> Optional[HandlerFact]:
+        """Innermost except-handler whose body contains ``line``."""
+        best: Optional[HandlerFact] = None
+        for try_fact in self.trys:
+            if try_fact.file != file:
+                continue
+            for handler in try_fact.handlers:
+                if handler.body_start <= line <= handler.body_end:
+                    if best is None or (
+                        handler.body_end - handler.body_start
+                        < best.body_end - best.body_start
+                    ):
+                        best = handler
+        return best
+
+    def handler_by_line(self, file: str, line: int) -> Optional[HandlerFact]:
+        for try_fact in self.trys:
+            if try_fact.file != file:
+                continue
+            for handler in try_fact.handlers:
+                if handler.line == line:
+                    return handler
+        return None
+
+    # ---------------------------------------------------------------- exceptions
+
+    def is_subtype(self, thrown: str, caught: str) -> bool:
+        """Whether an exception named ``thrown`` is caught by type ``caught``.
+
+        Resolves through both the simulator's exception hierarchy and the
+        system's own exception class definitions.
+        """
+        if thrown == caught or caught in ("Exception", "BaseException"):
+            return True
+        if thrown in sim_errors.EXCEPTION_TYPES and caught in sim_errors.EXCEPTION_TYPES:
+            return sim_errors.is_subtype(thrown, caught)
+        # Walk the system-defined class hierarchy upward from ``thrown``.
+        seen: set[str] = set()
+        frontier = [thrown]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == caught:
+                return True
+            if name in sim_errors.EXCEPTION_TYPES and caught in sim_errors.EXCEPTION_TYPES:
+                if sim_errors.is_subtype(name, caught):
+                    return True
+            frontier.extend(self._class_bases.get(name, ()))
+        return False
+
+    def handler_catches(self, handler: HandlerFact, thrown: str) -> bool:
+        return any(self.is_subtype(thrown, caught) for caught in handler.exceptions)
+
+    # ---------------------------------------------------------------- templates
+
+    def log_templates(self) -> list[LogTemplate]:
+        return [
+            LogTemplate(
+                template_id=log.template_id,
+                template=log.template,
+                level=log.level,
+                file=log.file,
+                line=log.line,
+                function=log.function,
+            )
+            for log in self.logs
+        ]
+
+    def template_matcher(self) -> TemplateMatcher:
+        return TemplateMatcher(self.log_templates())
+
+    def total_fault_candidates(self) -> int:
+        """All static (site, exception) pairs in the system — Table 1 'Total'."""
+        return sum(len(env_call.exception_types) for env_call in self.env_calls)
+
+
+def analyze_package(package_name: str) -> SystemModel:
+    """Analyze every module of an importable package into a SystemModel."""
+    package = importlib.import_module(package_name)
+    module_facts: list[ModuleFacts] = []
+    paths = getattr(package, "__path__", None)
+    if paths is None:
+        module_facts.append(_facts_for_module(package_name))
+    else:
+        for info in pkgutil.walk_packages(paths, prefix=package_name + "."):
+            if not info.ispkg:
+                module_facts.append(_facts_for_module(info.name))
+    return SystemModel(module_facts)
+
+
+def _facts_for_module(module_name: str) -> ModuleFacts:
+    module = importlib.import_module(module_name)
+    file_path = module.__file__
+    if file_path is None:
+        raise ValueError(f"module {module_name} has no source file")
+    with open(file_path, encoding="utf-8") as handle:
+        source = handle.read()
+    return extract_module_facts(module_name, file_path, source)

@@ -1,0 +1,192 @@
+"""Shared machinery for baseline and ablation injection strategies.
+
+A strategy produces, per round, a window of fault instances to arm (the
+first one that occurs is injected, mirroring the FIR semantics); the
+:class:`StrategyRunner` executes rounds against a failure case until the
+oracle is satisfied or the budget runs out, measuring the same metrics as
+the Explorer (rounds, wall time).
+
+Strategies receive a :class:`SearchContext` with everything ANDURIL's
+Explorer also builds in its prepare step, so ablations can reuse exactly
+the pieces they keep and drop the ones they ablate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional, Protocol
+
+from ..analysis.causal import CausalGraphBuilder, DistanceIndex
+from ..analysis.model import SourceInfo, graph_fault_candidates
+from ..analysis.system_model import SystemModel
+from ..core.alignment import TimelineMap
+from ..core.observables import ObservableSet
+from ..core.oracle import Oracle
+from ..injection.fir import InjectionPlan, TraceEvent
+from ..injection.sites import FaultInstance
+from ..logs.diff import LogComparator
+from ..logs.record import LogFile
+from ..sim.cluster import RunResult, WorkloadFn, execute_workload
+
+
+class CaseLike(Protocol):
+    """The slice of a failure case a strategy needs."""
+
+    workload: WorkloadFn
+    horizon: float
+    oracle: Oracle
+    seed: int
+
+    def model(self) -> SystemModel: ...
+    def failure_log(self) -> LogFile: ...
+
+
+@dataclasses.dataclass
+class SearchContext:
+    """Artifacts shared by all strategies for one case."""
+
+    case: CaseLike
+    model: SystemModel
+    observables: ObservableSet
+    candidates: list[SourceInfo]
+    index: DistanceIndex
+    timeline: TimelineMap
+    normal_run: RunResult
+    instances_by_site: dict[str, list[TraceEvent]]
+
+    def instances_of(self, site_id: str) -> list[TraceEvent]:
+        return self.instances_by_site.get(site_id, [])
+
+
+def build_context(case: CaseLike) -> SearchContext:
+    """Run the probe and build the static artifacts (Explorer steps 1–2)."""
+    model = case.model()
+    matcher = model.template_matcher()
+    comparator = LogComparator(matcher)
+    failure_log = case.failure_log()
+    normal_run = execute_workload(case.workload, horizon=case.horizon, seed=case.seed)
+
+    observables = ObservableSet(
+        comparator,
+        failure_log,
+        known_template_ids={t.template_id for t in matcher.templates},
+    )
+    initial = observables.initialize(normal_run.log)
+
+    graph = CausalGraphBuilder(model).build(observables.mapped_keys())
+    index = DistanceIndex(graph)
+    candidates = graph_fault_candidates(graph)
+    timeline = TimelineMap(initial.matched, len(normal_run.log), len(failure_log))
+
+    instances_by_site: dict[str, list[TraceEvent]] = {}
+    for event in normal_run.trace:
+        instances_by_site.setdefault(event.site_id, []).append(event)
+
+    return SearchContext(
+        case=case,
+        model=model,
+        observables=observables,
+        candidates=candidates,
+        index=index,
+        timeline=timeline,
+        normal_run=normal_run,
+        instances_by_site=instances_by_site,
+    )
+
+
+class Strategy:
+    """Base class: subclasses implement window selection and feedback."""
+
+    name = "base"
+
+    def prepare(self, context: SearchContext) -> None:
+        self.context = context
+
+    def next_window(self) -> list[FaultInstance]:
+        """The instances to arm this round; empty means exhausted."""
+        raise NotImplementedError
+
+    def observe(
+        self,
+        result: RunResult,
+        injected: Optional[FaultInstance],
+        satisfied: bool,
+    ) -> None:
+        """Feedback hook after each round (default: none)."""
+
+
+@dataclasses.dataclass
+class StrategyResult:
+    strategy: str
+    case_id: str
+    success: bool
+    rounds: int
+    elapsed_seconds: float
+    injected: Optional[FaultInstance]
+    message: str = ""
+
+
+class StrategyRunner:
+    def __init__(
+        self,
+        max_rounds: int = 400,
+        max_seconds: Optional[float] = 60.0,
+    ) -> None:
+        self.max_rounds = max_rounds
+        self.max_seconds = max_seconds
+
+    def run(self, strategy: Strategy, case: CaseLike, case_id: str = "") -> StrategyResult:
+        started = time.perf_counter()
+        context = build_context(case)
+        strategy.prepare(context)
+        tried: set[tuple[str, str, int]] = set()
+        rounds = 0
+        while rounds < self.max_rounds:
+            if (
+                self.max_seconds is not None
+                and time.perf_counter() - started > self.max_seconds
+            ):
+                return StrategyResult(
+                    strategy.name, case_id, False, rounds,
+                    time.perf_counter() - started, None, "time budget exhausted",
+                )
+            window = [
+                instance
+                for instance in strategy.next_window()
+                if (instance.site_id, instance.exception, instance.occurrence)
+                not in tried
+            ]
+            if not window:
+                return StrategyResult(
+                    strategy.name, case_id, False, rounds,
+                    time.perf_counter() - started, None, "fault space exhausted",
+                )
+            rounds += 1
+            plan = InjectionPlan.of(window)
+            result = execute_workload(
+                case.workload, horizon=case.horizon, seed=case.seed, plan=plan
+            )
+            injected = result.injected_instance
+            satisfied = False
+            if injected is not None:
+                tried.add(
+                    (injected.site_id, injected.exception, injected.occurrence)
+                )
+                satisfied = case.oracle.satisfied(result)
+            else:
+                # None of the armed instances occurred; with a fixed seed
+                # they never will, so retire the whole window.
+                tried.update(
+                    (i.site_id, i.exception, i.occurrence) for i in window
+                )
+            strategy.observe(result, injected, satisfied)
+            if satisfied:
+                return StrategyResult(
+                    strategy.name, case_id, True, rounds,
+                    time.perf_counter() - started, injected, "reproduced",
+                )
+        return StrategyResult(
+            strategy.name, case_id, False, rounds,
+            time.perf_counter() - started, None, "round budget exhausted",
+        )

@@ -1,0 +1,19 @@
+"""Experiment harness: run strategies over the failure dataset and format
+paper-style tables."""
+
+from .harness import (
+    AndurilOutcome,
+    StrategyOutcome,
+    run_anduril,
+    run_baseline,
+)
+from .tables import format_table, write_table
+
+__all__ = [
+    "AndurilOutcome",
+    "StrategyOutcome",
+    "format_table",
+    "run_anduril",
+    "run_baseline",
+    "write_table",
+]

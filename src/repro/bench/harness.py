@@ -1,0 +1,98 @@
+"""Run ANDURIL or a baseline strategy on a failure case with budgets.
+
+The budgets play the role of the paper's 24-hour cap: a strategy that
+cannot reproduce within them gets a "-" in the tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Optional
+
+from ..baselines import ALL_STRATEGIES, StrategyRunner
+from ..failures.case import FailureCase
+
+
+@dataclasses.dataclass
+class AndurilOutcome:
+    case_id: str
+    success: bool
+    rounds: int
+    seconds: float
+    prepare_seconds: float
+    rank_trajectory: list[tuple[int, int]]
+    median_requests: int
+    mean_decision_us: float
+    median_init_ms: float
+    median_workload_ms: float
+
+    @property
+    def cell(self) -> str:
+        return f"{self.rounds}/{self.seconds:.1f}s" if self.success else "-"
+
+
+@dataclasses.dataclass
+class StrategyOutcome:
+    strategy: str
+    case_id: str
+    success: bool
+    rounds: int
+    seconds: float
+
+    @property
+    def cell(self) -> str:
+        return f"{self.rounds}/{self.seconds:.1f}s" if self.success else "-"
+
+
+def run_anduril(
+    case: FailureCase,
+    max_rounds: int = 600,
+    max_seconds: Optional[float] = 60.0,
+    **overrides,
+) -> AndurilOutcome:
+    explorer = case.explorer(
+        max_rounds=max_rounds, max_seconds=max_seconds, **overrides
+    )
+    prepared = explorer.prepare()
+    result = explorer.explore()
+    records = result.round_records
+    requests = [r.injection_requests for r in records] or [0]
+    decisions = [
+        r.decision_seconds / r.injection_requests
+        for r in records
+        if r.injection_requests
+    ] or [0.0]
+    inits = [r.init_seconds for r in records] or [0.0]
+    workloads = [r.workload_seconds for r in records] or [0.0]
+    return AndurilOutcome(
+        case_id=case.case_id,
+        success=result.success,
+        rounds=result.rounds,
+        seconds=result.elapsed_seconds,
+        prepare_seconds=prepared.prepare_seconds,
+        rank_trajectory=result.rank_trajectory,
+        median_requests=int(statistics.median(requests)),
+        mean_decision_us=statistics.mean(decisions) * 1e6,
+        median_init_ms=statistics.median(inits) * 1e3,
+        median_workload_ms=statistics.median(workloads) * 1e3,
+    )
+
+
+def run_baseline(
+    name: str,
+    case: FailureCase,
+    max_rounds: int = 300,
+    max_seconds: Optional[float] = 8.0,
+    **strategy_kwargs,
+) -> StrategyOutcome:
+    strategy = ALL_STRATEGIES[name](**strategy_kwargs)
+    runner = StrategyRunner(max_rounds=max_rounds, max_seconds=max_seconds)
+    result = runner.run(strategy, case, case_id=case.case_id)
+    return StrategyOutcome(
+        strategy=name,
+        case_id=case.case_id,
+        success=result.success,
+        rounds=result.rounds,
+        seconds=result.elapsed_seconds,
+    )

@@ -1,0 +1,35 @@
+"""Plain-text table formatting for experiment outputs."""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "out")
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(table):
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def write_table(name: str, content: str) -> str:
+    """Persist a rendered table under benchmarks/out/ and return its path."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content + "\n")
+    return path

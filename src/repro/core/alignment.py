@@ -1,0 +1,70 @@
+"""Timeline alignment of fault instances (§5.2.3).
+
+Temporal distance ``T_{i,j,k}`` counts log messages between fault instance
+``f_{i,j}`` and observable ``o_k`` *in the failure log's timeline*.  Fault
+instances are only observed in our own (normal) runs, so we map their
+positions onto the failure timeline using the matched log entries from the
+per-thread diff as anchors: paired anchors delimit intervals, and the
+instance distribution inside a normal-log interval is scaled linearly into
+the corresponding failure-log interval.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class TimelineMap:
+    """Piecewise-linear map from normal-log indices to failure-log indices."""
+
+    def __init__(
+        self,
+        anchors: Sequence[tuple[int, int]],
+        normal_len: int,
+        failure_len: int,
+    ) -> None:
+        # Deduplicate and enforce strict monotonicity in both coordinates;
+        # the LCS guarantees non-decreasing pairs, but repeated indices
+        # would produce zero-width intervals.
+        cleaned: list[tuple[int, int]] = []
+        for normal_index, failure_index in sorted(anchors):
+            if cleaned and (
+                normal_index <= cleaned[-1][0] or failure_index <= cleaned[-1][1]
+            ):
+                continue
+            cleaned.append((normal_index, failure_index))
+        # Virtual anchors at both ends so every position is in an interval.
+        self._anchors = (
+            [(-1, -1)] + cleaned + [(max(normal_len, 1), max(failure_len, 1))]
+        )
+
+    def to_failure(self, normal_index: float) -> float:
+        """Map a (possibly fractional) normal-log index to failure-log axis."""
+        anchors = self._anchors
+        for left, right in zip(anchors, anchors[1:]):
+            if left[0] <= normal_index <= right[0]:
+                span_n = right[0] - left[0]
+                span_f = right[1] - left[1]
+                if span_n == 0:
+                    return float(left[1])
+                fraction = (normal_index - left[0]) / span_n
+                return left[1] + fraction * span_f
+        # Beyond the last anchor: extrapolate by offset.
+        last = anchors[-1]
+        return last[1] + (normal_index - last[0])
+
+
+def temporal_distance(
+    mapped_instance_position: float, observable_positions: Sequence[int]
+) -> float:
+    """T_{i,j,k}: messages between the mapped instance and the observable.
+
+    When the observable occurs several times in the failure log, the
+    nearest occurrence is used.
+    """
+    if not observable_positions:
+        return float("inf")
+    return min(
+        abs(mapped_instance_position - position)
+        for position in observable_positions
+    )

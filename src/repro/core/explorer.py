@@ -1,0 +1,328 @@
+"""The Explorer: feedback-driven fault-injection search (§3, §5).
+
+Workflow (numbers match §3):
+
+1. run the workload fault-free to obtain the normal log and the fault
+   instance trace;
+2. derive relevant observables (per-thread diff vs. the failure log),
+   build the static causal graph over them, precompute distances, and
+   align instance positions onto the failure timeline;
+3. each round, take the flexible window of highest-priority fault
+   instances and run the workload with that injection plan;
+4. check the oracle — on success emit a deterministic reproduction
+   script (4.a); otherwise apply the Algorithm 2 feedback and re-rank
+   (4.b);
+5. stop when every instance was tried or the round budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Optional
+
+from ..analysis.causal import CausalGraphBuilder, DistanceIndex
+from ..analysis.model import CausalGraph, graph_fault_candidates
+from ..analysis.system_model import SystemModel, analyze_package
+from ..injection.fir import InjectionPlan
+from ..injection.sites import FaultInstance
+from ..logs.diff import LogComparator
+from ..logs.record import LogFile
+from ..sim.cluster import RunResult, WorkloadFn, execute_workload
+from .alignment import TimelineMap
+from .observables import ObservableSet
+from .oracle import Oracle
+from .priority import FaultPriorityPool, WindowEntry
+from .report import ReproductionScript
+
+
+@dataclasses.dataclass
+class RoundRecord:
+    round_number: int
+    window_size: int
+    injected: Optional[FaultInstance]
+    satisfied: bool
+    root_site_rank: Optional[int]
+    init_seconds: float
+    workload_seconds: float
+    injection_requests: int
+    decision_seconds: float
+    present_observables: int = 0
+
+
+@dataclasses.dataclass
+class ExplorationResult:
+    success: bool
+    rounds: int
+    elapsed_seconds: float
+    script: Optional[ReproductionScript]
+    injected: Optional[FaultInstance]
+    round_records: list[RoundRecord]
+    message: str = ""
+    final_run: Optional[RunResult] = None
+
+    @property
+    def rank_trajectory(self) -> list[tuple[int, int]]:
+        """(round, root-cause site rank) pairs — the Figure 6 series."""
+        return [
+            (record.round_number, record.root_site_rank)
+            for record in self.round_records
+            if record.root_site_rank is not None
+        ]
+
+
+@dataclasses.dataclass
+class PreparedSearch:
+    """Everything assembled before the first injection round."""
+
+    model: SystemModel
+    graph: CausalGraph
+    index: DistanceIndex
+    observables: ObservableSet
+    pool: FaultPriorityPool
+    normal_log: LogFile
+    normal_run: RunResult
+    prepare_seconds: float
+
+
+class Explorer:
+    """Searches the fault space to reproduce one failure."""
+
+    def __init__(
+        self,
+        *,
+        workload: WorkloadFn,
+        horizon: float,
+        failure_log: LogFile,
+        oracle: Oracle,
+        package: Optional[str] = None,
+        model: Optional[SystemModel] = None,
+        seed: int = 0,
+        initial_window: int = 10,
+        adjustment: int = 1,
+        max_rounds: int = 2000,
+        max_seconds: Optional[float] = None,
+        ground_truth_site: Optional[str] = None,
+        case_id: str = "",
+        system: str = "",
+        vary_seed: bool = False,
+        max_instances_per_site: Optional[int] = None,
+        base_faults: tuple = (),
+        aggregate: str = "min",
+        temporal_mode: str = "messages",
+        runs_per_round: int = 1,
+    ) -> None:
+        if runs_per_round < 1:
+            raise ValueError("runs_per_round must be at least 1")
+        if model is None:
+            if package is None:
+                raise ValueError("either package or model is required")
+            model = analyze_package(package)
+        self.model = model
+        self.workload = workload
+        self.horizon = horizon
+        self.failure_log = failure_log
+        self.oracle = oracle
+        self.seed = seed
+        self.initial_window = initial_window
+        self.adjustment = adjustment
+        self.max_rounds = max_rounds
+        self.max_seconds = max_seconds
+        self.ground_truth_site = ground_truth_site
+        self.case_id = case_id
+        self.system = system
+        self.vary_seed = vary_seed
+        self.max_instances_per_site = max_instances_per_site
+        self.aggregate = aggregate
+        self.temporal_mode = temporal_mode
+        #: §6: against nondeterministic systems, a round may re-run the
+        #: workload under perturbed seeds until some armed instance occurs,
+        #: improving the chance that crucial log messages materialize.
+        self.runs_per_round = runs_per_round
+        #: Faults injected unconditionally in every round — the iterative
+        #: multi-fault workflow fixes already-found faults here.
+        self.base_faults = tuple(base_faults)
+        self._prepared: Optional[PreparedSearch] = None
+
+    # ----------------------------------------------------------------- prepare
+
+    def prepare(self) -> PreparedSearch:
+        """Steps 1–2: probe run, observables, causal graph, priorities."""
+        if self._prepared is not None:
+            return self._prepared
+        started = time.perf_counter()
+        matcher = self.model.template_matcher()
+        comparator = LogComparator(matcher)
+
+        # The probe includes any fixed base faults: in the iterative
+        # multi-fault workflow they are part of the workload now, so their
+        # log footprint must not be re-chased as "missing" observables.
+        probe_plan = (
+            InjectionPlan.of([], always=self.base_faults)
+            if self.base_faults
+            else None
+        )
+        normal_run = execute_workload(
+            self.workload, horizon=self.horizon, seed=self.seed, plan=probe_plan
+        )
+        normal_log = normal_run.log
+
+        observables = ObservableSet(
+            comparator,
+            self.failure_log,
+            adjustment=self.adjustment,
+            known_template_ids={t.template_id for t in matcher.templates},
+        )
+        initial_compare = observables.initialize(normal_log)
+
+        builder = CausalGraphBuilder(self.model)
+        graph = builder.build(observables.mapped_keys())
+        index = DistanceIndex(graph)
+        candidates = graph_fault_candidates(graph)
+
+        timeline = TimelineMap(
+            initial_compare.matched, len(normal_log), len(self.failure_log)
+        )
+        pool = FaultPriorityPool(
+            candidates,
+            index,
+            observables,
+            normal_run.trace,
+            timeline,
+            max_instances_per_site=self.max_instances_per_site,
+            aggregate=self.aggregate,
+            temporal_mode=self.temporal_mode,
+        )
+        self._prepared = PreparedSearch(
+            model=self.model,
+            graph=graph,
+            index=index,
+            observables=observables,
+            pool=pool,
+            normal_log=normal_log,
+            normal_run=normal_run,
+            prepare_seconds=time.perf_counter() - started,
+        )
+        return self._prepared
+
+    # ----------------------------------------------------------------- explore
+
+    def explore(self) -> ExplorationResult:
+        started = time.perf_counter()
+        prepared = self.prepare()
+        pool = prepared.pool
+        observables = prepared.observables
+        records: list[RoundRecord] = []
+        window_size = self.initial_window
+
+        for round_number in range(1, self.max_rounds + 1):
+            if (
+                self.max_seconds is not None
+                and time.perf_counter() - started > self.max_seconds
+            ):
+                return self._finish(
+                    False, records, started, message="time budget exhausted"
+                )
+            init_started = time.perf_counter()
+            window = pool.window(window_size)
+            rank = (
+                pool.rank_of_site(self.ground_truth_site)
+                if self.ground_truth_site
+                else None
+            )
+            init_seconds = time.perf_counter() - init_started
+            if not window:
+                return self._finish(
+                    False, records, started, message="fault space exhausted"
+                )
+
+            run_seed = self.seed + round_number if self.vary_seed else self.seed
+            plan = InjectionPlan.of(
+                [entry.instance for entry in window], always=self.base_faults
+            )
+            workload_started = time.perf_counter()
+            result = execute_workload(
+                self.workload, horizon=self.horizon, seed=run_seed, plan=plan
+            )
+            # §6: retry the round under perturbed seeds when nothing in the
+            # window occurred (only useful in nondeterministic setups).
+            sub_run = 0
+            while (
+                result.injected_instance is None
+                and sub_run + 1 < self.runs_per_round
+            ):
+                sub_run += 1
+                run_seed = self.seed + round_number * 1009 + sub_run
+                result = execute_workload(
+                    self.workload, horizon=self.horizon, seed=run_seed, plan=plan
+                )
+            workload_seconds = time.perf_counter() - workload_started
+
+            satisfied = False
+            present_count = 0
+            injected = result.injected_instance
+            if injected is not None:
+                pool.mark_tried(injected)
+                satisfied = self.oracle.satisfied(result)
+                if not satisfied:
+                    present_count = len(observables.apply_feedback(result.log))
+            else:
+                window_size = min(window_size * 2, max(pool.candidate_count, 1))
+
+            records.append(
+                RoundRecord(
+                    round_number=round_number,
+                    window_size=len(window),
+                    injected=injected,
+                    satisfied=satisfied,
+                    root_site_rank=rank,
+                    init_seconds=init_seconds,
+                    workload_seconds=workload_seconds,
+                    injection_requests=result.injection_requests,
+                    decision_seconds=result.decision_seconds,
+                    present_observables=present_count,
+                )
+            )
+
+            if satisfied:
+                script = ReproductionScript(
+                    case_id=self.case_id,
+                    system=self.system,
+                    instance=injected,
+                    seed=run_seed,
+                    horizon=self.horizon,
+                    oracle_description=self.oracle.description,
+                    extra_instances=self.base_faults,
+                )
+                return self._finish(
+                    True,
+                    records,
+                    started,
+                    script=script,
+                    injected=injected,
+                    final_run=result,
+                    message="reproduced",
+                )
+
+        return self._finish(False, records, started, message="round budget exhausted")
+
+    def _finish(
+        self,
+        success: bool,
+        records: list[RoundRecord],
+        started: float,
+        script: Optional[ReproductionScript] = None,
+        injected: Optional[FaultInstance] = None,
+        final_run: Optional[RunResult] = None,
+        message: str = "",
+    ) -> ExplorationResult:
+        return ExplorationResult(
+            success=success,
+            rounds=len(records),
+            elapsed_seconds=time.perf_counter() - started,
+            script=script,
+            injected=injected,
+            round_records=records,
+            message=message,
+            final_run=final_run,
+        )

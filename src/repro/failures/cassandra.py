@@ -1,0 +1,107 @@
+"""MiniCassandra failure cases: f21 (C*-17663) and f22 (C*-6415)."""
+
+from __future__ import annotations
+
+from ..core.oracle import (
+    CrashedTaskOracle,
+    LogMessageOracle,
+    StuckTaskOracle,
+)
+from ..sim.cluster import Cluster
+from ..systems.minicass.repair import RepairCoordinator, WriteDriver
+from ..systems.minicass.replica import Replica
+from ..systems.minicass.streaming import StreamingService
+from .case import FailureCase, GroundTruth, register
+
+PACKAGE = "repro.systems.minicass"
+
+REPLICAS = ("cass1", "cass2", "cass3")
+
+
+def repair_workload(cluster: Cluster) -> None:
+    replicas = [Replica(cluster, name) for name in REPLICAS]
+    for replica in replicas:
+        replica.start()
+    RepairCoordinator(cluster, REPLICAS).start()
+    WriteDriver(cluster, REPLICAS).start()
+
+
+def streaming_workload(cluster: Cluster) -> None:
+    replicas = [Replica(cluster, name) for name in REPLICAS]
+    for replica in replicas:
+        replica.start()
+    files = [(f"/cass/stream/file{i}", 16 * (i + 1)) for i in range(4)]
+    StreamingService(cluster, files).start()
+    WriteDriver(cluster, REPLICAS, count=8).start()
+
+
+register(
+    FailureCase(
+        case_id="f21",
+        issue="CASSANDRA-17663",
+        title="Interrupted FileStreamTask compromises the shared channel proxy",
+        system="cassandra",
+        package=PACKAGE,
+        description=(
+            "A stream task that fails mid-transfer never releases the "
+            "shared channel proxy; the next task finds the channel busy "
+            "and dies of an IllegalStateException."
+        ),
+        workload=streaming_workload,
+        horizon=12.0,
+        oracle=(
+            LogMessageOracle("failed mid-transfer")
+            & CrashedTaskOracle(
+                task_prefix="stream-task", error_type="IllegalStateException"
+            )
+        ),
+        ground_truth=GroundTruth(
+            function="stream_file",
+            op="net_transfer",
+            exception="IOException",
+            occurrence=2,
+            module_suffix="minicass/streaming.py",
+        ),
+    )
+)
+
+
+register(
+    FailureCase(
+        case_id="f22",
+        issue="CASSANDRA-6415",
+        title="Snapshot repair blocks forever without a makeSnapshot response",
+        system="cassandra",
+        package=PACKAGE,
+        description=(
+            "The repair coordinator waits for a snapshot ack from every "
+            "replica with no timeout; a lost request (or a replica whose "
+            "column family was never created) blocks the session forever."
+        ),
+        workload=repair_workload,
+        horizon=12.0,
+        oracle=(
+            LogMessageOracle("Still waiting for snapshot responses")
+            & StuckTaskOracle("await_snapshots", task_prefix="repair-coordinator")
+        ),
+        ground_truth=GroundTruth(
+            function="snapshot_phase",
+            op="sock_send",
+            exception="SocketException",
+            occurrence=2,
+            module_suffix="minicass/repair.py",
+        ),
+        alternates=[
+            # CA-18748-style deeper root cause: the replica's column
+            # family was never created because of a disk fault, so the
+            # snapshot can never be taken — same observed symptom.
+            GroundTruth(
+                function="create_column_family",
+                op="disk_write",
+                exception="IOException",
+                occurrence=2,
+                module_suffix="minicass/replica.py",
+            ),
+        ],
+    )
+)

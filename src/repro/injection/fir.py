@@ -1,0 +1,170 @@
+"""The fault-injection runtime (the paper's ``FIR``, Figure 3).
+
+Every environment-boundary call in system code funnels through
+:meth:`FIR.on_site`, which plays both instrumented roles from the paper:
+
+* ``traceSite`` — record (site, occurrence, virtual time, logical log
+  index) so the feedback algorithm can compute temporal distances
+  (§5.2.3); and
+* ``throwIfEnabled`` — consult the active injection plan and raise the
+  planned exception when this site's current occurrence matches.
+
+A plan holds a *window* of fault instances (§5.2.5): the first instance
+that actually occurs in the run is injected, and at most one injection
+fires per run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Iterable, Optional
+
+from .sites import FaultInstance, SiteRef
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One dynamic execution of a fault site."""
+
+    site_id: str
+    occurrence: int
+    time: float       # virtual seconds
+    log_index: int    # number of log records emitted before this event
+
+
+@dataclasses.dataclass
+class InjectionPlan:
+    """A window of fault instances to try in one run.
+
+    ``instances`` is the single-shot window: the first one to occur is
+    injected and the rest are disarmed.  ``always`` holds *base* faults
+    that fire unconditionally whenever their (site, occurrence) executes —
+    the mechanism behind the iterative multi-fault workflow (§3: fix one
+    fault into the workload, search for the next).
+    """
+
+    instances: list[FaultInstance]
+    always: list[FaultInstance] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_key: dict[tuple[str, int], FaultInstance] = {
+            (inst.site_id, inst.occurrence): inst for inst in self.instances
+        }
+        self._always_by_key: dict[tuple[str, int], FaultInstance] = {
+            (inst.site_id, inst.occurrence): inst for inst in self.always
+        }
+
+    def match(self, site_id: str, occurrence: int) -> Optional[FaultInstance]:
+        return self._by_key.get((site_id, occurrence))
+
+    def match_always(self, site_id: str, occurrence: int) -> Optional[FaultInstance]:
+        return self._always_by_key.get((site_id, occurrence))
+
+    @classmethod
+    def single(cls, instance: FaultInstance) -> "InjectionPlan":
+        return cls([instance])
+
+    @classmethod
+    def of(
+        cls,
+        instances: Iterable[FaultInstance],
+        always: Iterable[FaultInstance] = (),
+    ) -> "InjectionPlan":
+        return cls(list(instances), list(always))
+
+
+def is_injected(exc: BaseException) -> bool:
+    """Whether ``exc`` was raised by the FIR rather than organically.
+
+    The mini systems never call this; it exists so tests can tell an
+    injected fault apart from an organic one.
+    """
+    return getattr(exc, "injected_by_fir", False)
+
+
+class FIR:
+    """Per-run fault-injection runtime state."""
+
+    def __init__(self) -> None:
+        self.tracing = True
+        self.plan: Optional[InjectionPlan] = None
+        self.counts: dict[str, int] = {}
+        self.trace: list[TraceEvent] = []
+        self.fired: Optional[FaultInstance] = None
+        self.always_fired: list[FaultInstance] = []
+        self.request_count = 0
+        self.decision_seconds = 0.0
+        self._log_index_fn: Callable[[], int] = lambda: 0
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind(
+        self,
+        log_index_fn: Callable[[], int],
+        clock: Callable[[], float],
+    ) -> None:
+        """Attach the run's log counter and virtual clock."""
+        self._log_index_fn = log_index_fn
+        self._clock = clock
+
+    def set_plan(self, plan: Optional[InjectionPlan]) -> None:
+        self.plan = plan
+        self.fired = None
+        self.always_fired = []
+
+    def on_site(self, site: SiteRef) -> None:
+        """Trace this execution of ``site`` and inject if the plan says so."""
+        started = time.perf_counter()
+        site_id = site.site_id
+        occurrence = self.counts.get(site_id, 0) + 1
+        self.counts[site_id] = occurrence
+        self.request_count += 1
+        if self.tracing:
+            self.trace.append(
+                TraceEvent(
+                    site_id=site_id,
+                    occurrence=occurrence,
+                    time=self._clock(),
+                    log_index=self._log_index_fn(),
+                )
+            )
+        instance = None
+        is_base_fault = False
+        if self.plan is not None:
+            instance = self.plan.match_always(site_id, occurrence)
+            if instance is not None:
+                is_base_fault = True
+            elif self.fired is None:
+                instance = self.plan.match(site_id, occurrence)
+        self.decision_seconds += time.perf_counter() - started
+        if instance is not None:
+            # Imported lazily: repro.sim imports this module at package
+            # init time, so a top-level import would be circular.
+            from ..sim.errors import exception_from_name
+
+            if is_base_fault:
+                self.always_fired.append(instance)
+            else:
+                self.fired = instance
+            exc = exception_from_name(
+                instance.exception,
+                f"injected {instance.exception} at {site_id} (occurrence "
+                f"{instance.occurrence})",
+            )
+            exc.injected_by_fir = True
+            raise exc
+
+    # -------------------------------------------------------------- reporting
+
+    @property
+    def mean_decision_latency(self) -> float:
+        if self.request_count == 0:
+            return 0.0
+        return self.decision_seconds / self.request_count
+
+    def occurrences_of(self, site_id: str) -> int:
+        return self.counts.get(site_id, 0)
+
+    def dynamic_instance_count(self) -> int:
+        """Total dynamic fault-site executions observed this run."""
+        return sum(self.counts.values())

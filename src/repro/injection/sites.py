@@ -1,0 +1,75 @@
+"""Fault-site identity.
+
+A *static fault site* is a program point that can throw an exception
+(§2.1): here, a call into the environment boundary (:mod:`repro.sim.env`)
+identified by (normalized file, line, enclosing function, env operation).
+The same identity is computed two ways — statically by the AST analyzer
+and dynamically from the caller's frame — and the two must agree, which is
+what ties the causal graph to the runtime trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def normalize_path(filename: str) -> str:
+    """Normalize an absolute source path to a repo-relative module path.
+
+    Both the static analyzer (which walks files on disk) and the FIR
+    (which sees ``frame.f_code.co_filename``) funnel through this function,
+    so site identities line up regardless of install location.
+    """
+    marker = "/repro/"
+    index = filename.rfind(marker)
+    if index >= 0:
+        return filename[index + 1:]
+    return filename.rsplit("/", 1)[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class SiteRef:
+    """A static fault site."""
+
+    file: str
+    line: int
+    function: str
+    op: str
+
+    @property
+    def site_id(self) -> str:
+        return f"{self.file}:{self.line}:{self.function}:{self.op}"
+
+    def __str__(self) -> str:
+        return self.site_id
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultCandidate:
+    """A static fault candidate: a site plus a concrete exception type."""
+
+    site_id: str
+    exception: str
+
+    def __str__(self) -> str:
+        return f"{self.site_id}!{self.exception}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInstance:
+    """A dynamic fault candidate: the j-th occurrence of a fault site.
+
+    ``occurrence`` is 1-based: occurrence 1 is the first time the site
+    executes in a run.
+    """
+
+    site_id: str
+    exception: str
+    occurrence: int
+
+    @property
+    def candidate(self) -> FaultCandidate:
+        return FaultCandidate(self.site_id, self.exception)
+
+    def __str__(self) -> str:
+        return f"{self.site_id}!{self.exception}@{self.occurrence}"

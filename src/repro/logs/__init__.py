@@ -1,0 +1,36 @@
+"""Log substrate: records, parsing, sanitization, and per-thread diffing.
+
+This package implements the observable layer of the reproduction: ANDURIL
+treats log messages as the observables of an execution (§3) and compares
+logs per thread with the Myers algorithm after sanitization (§5.1.1).
+"""
+
+from .diff import CompareResult, LogComparator, Occurrence, sanitize_thread_name
+from .myers import Edit, Op, diff, lcs_pairs
+from .parser import KAFKA_FORMAT, LOG4J_FORMAT, LogFormat, LogParser
+from .record import Level, LogFile, LogRecord, SourceRef, format_timestamp
+from .sanitize import LogTemplate, TemplateMatcher, canonicalize, template_to_regex
+
+__all__ = [
+    "CompareResult",
+    "Edit",
+    "KAFKA_FORMAT",
+    "LOG4J_FORMAT",
+    "Level",
+    "LogComparator",
+    "LogFile",
+    "LogFormat",
+    "LogParser",
+    "LogRecord",
+    "LogTemplate",
+    "Occurrence",
+    "Op",
+    "SourceRef",
+    "TemplateMatcher",
+    "canonicalize",
+    "diff",
+    "format_timestamp",
+    "lcs_pairs",
+    "sanitize_thread_name",
+    "template_to_regex",
+]

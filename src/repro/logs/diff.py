@@ -1,0 +1,132 @@
+"""Per-thread log comparison (§5.1.1).
+
+A standard diff fails on distributed system logs: timestamps make every
+line unique, and concurrency interleaves messages differently across runs.
+ANDURIL therefore (1) groups messages by thread, (2) sanitizes entries,
+and (3) runs the Myers algorithm per thread.  Threads present only in the
+failure log contribute *all* of their messages as relevant observables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional
+
+from . import myers
+from .record import LogFile, LogRecord
+from .sanitize import TemplateMatcher, canonicalize
+
+_THREAD_ID = re.compile(r"\d+")
+
+
+def sanitize_thread_name(name: str) -> str:
+    """Strip per-run numeric ids from a thread name.
+
+    ``"RS-Worker-3"`` and ``"RS-Worker-7"`` denote the same logical thread
+    role; developers name threads by role plus an instance counter, and the
+    counter can differ across runs.  Instance counters are preserved only
+    when small (< 100), because small counters are usually stable role
+    indices (e.g. ``"follower-1"``), while large ones are per-run ids.
+    """
+
+    def replace(match: re.Match[str]) -> str:
+        return match.group(0) if int(match.group(0)) < 100 else "<id>"
+
+    return _THREAD_ID.sub(replace, name)
+
+
+@dataclasses.dataclass(frozen=True)
+class Occurrence:
+    """One failure-log record identified as a relevant observable."""
+
+    key: str            # template id or canonical message
+    thread: str         # sanitized thread name
+    failure_index: int  # global index in the failure log
+    record: LogRecord
+
+
+@dataclasses.dataclass
+class CompareResult:
+    """Result of comparing a (normal) run log against the failure log."""
+
+    #: Observable keys present in the failure log but absent from the run
+    #: log (per-thread); this is ``COMPARE(log, f_log)`` in Algorithm 2.
+    failure_only: list[Occurrence]
+    #: Matched entries as (run-log global index, failure-log global index);
+    #: the anchor points used by timeline alignment (§5.2.3).
+    matched: list[tuple[int, int]]
+
+    def failure_only_keys(self) -> set[str]:
+        return {occ.key for occ in self.failure_only}
+
+
+class LogComparator:
+    """Per-thread Myers comparison between a run log and the failure log."""
+
+    def __init__(self, matcher: Optional[TemplateMatcher] = None) -> None:
+        self._matcher = matcher or TemplateMatcher()
+
+    def key_for(self, record: LogRecord) -> str:
+        return self._matcher.key_for(record.message)
+
+    def compare(self, run_log: LogFile, failure_log: LogFile) -> CompareResult:
+        """Find failure-log-only messages and matched anchors.
+
+        Both directions of Algorithm 2 are served by this one call: the
+        initial relevant observables come from comparing the fault-free
+        normal log against the failure log, and each round's feedback comes
+        from comparing that round's log against the same failure log.
+        """
+        run_groups = self._group(run_log)
+        failure_groups = self._group(failure_log)
+
+        failure_only: list[Occurrence] = []
+        matched: list[tuple[int, int]] = []
+
+        for thread, failure_entries in failure_groups.items():
+            run_entries = run_groups.get(thread, [])
+            failure_keys = [key for key, _index, _rec in failure_entries]
+            if not run_entries:
+                # Thread absent from the run log: every message is relevant.
+                for key, index, record in failure_entries:
+                    failure_only.append(Occurrence(key, thread, index, record))
+                continue
+            run_keys = [key for key, _index, _rec in run_entries]
+            for edit in myers.diff(run_keys, failure_keys):
+                if edit.op is myers.Op.INSERT:
+                    key, index, record = failure_entries[edit.right_index]
+                    failure_only.append(Occurrence(key, thread, index, record))
+                elif edit.op is myers.Op.KEEP:
+                    matched.append(
+                        (
+                            run_entries[edit.left_index][1],
+                            failure_entries[edit.right_index][1],
+                        )
+                    )
+
+        failure_only.sort(key=lambda occ: occ.failure_index)
+        matched.sort(key=lambda pair: pair[1])
+        return CompareResult(failure_only=failure_only, matched=matched)
+
+    def _group(
+        self, log: LogFile
+    ) -> dict[str, list[tuple[str, int, LogRecord]]]:
+        """Group (key, global index, record) triples by sanitized thread."""
+        groups: dict[str, list[tuple[str, int, LogRecord]]] = {}
+        for index, record in enumerate(log):
+            thread = sanitize_thread_name(record.thread)
+            key = self.key_for(record)
+            groups.setdefault(thread, []).append((key, index, record))
+        return groups
+
+
+def quick_canonical_diff(run_log: LogFile, failure_log: LogFile) -> set[str]:
+    """Convenience: failure-only canonical messages without templates.
+
+    Used by tests and by baselines that do not build a causal graph (and
+    therefore have no template set).
+    """
+    comparator = LogComparator(TemplateMatcher())
+    result = comparator.compare(run_log, failure_log)
+    return {canonicalize(occ.record.message) for occ in result.failure_only}

@@ -1,0 +1,132 @@
+"""Myers O(ND) difference algorithm (Myers 1986).
+
+The paper applies the Myers algorithm to per-thread, sanitized log message
+sequences (§5.1.1).  This module implements the greedy forward variant that
+returns an edit script of keep/insert/delete operations.  The implementation
+works on arbitrary hashable items so it can diff template-id sequences as
+well as raw strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Hashable, Sequence, TypeVar
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+class Op(enum.Enum):
+    """Edit operation kinds."""
+
+    KEEP = "keep"      # item present in both sequences
+    DELETE = "delete"  # item present only in the left sequence
+    INSERT = "insert"  # item present only in the right sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Edit:
+    """One step of an edit script.
+
+    ``left_index``/``right_index`` are the positions of the item in the
+    respective sequence, or ``None`` when the operation does not touch that
+    sequence.
+    """
+
+    op: Op
+    item: Hashable
+    left_index: int | None
+    right_index: int | None
+
+
+def diff(left: Sequence[Item], right: Sequence[Item]) -> list[Edit]:
+    """Compute a shortest edit script turning ``left`` into ``right``.
+
+    Returns edits in order; KEEP edits reference both indices.  The script
+    is minimal in the number of INSERT + DELETE operations.
+    """
+    n, m = len(left), len(right)
+    if n == 0:
+        return [Edit(Op.INSERT, item, None, j) for j, item in enumerate(right)]
+    if m == 0:
+        return [Edit(Op.DELETE, item, i, None) for i, item in enumerate(left)]
+
+    max_d = n + m
+    # v[k] = furthest x on diagonal k; stored with offset max_d.
+    v = [0] * (2 * max_d + 1)
+    trace: list[list[int]] = []
+    found = False
+    for d in range(max_d + 1):
+        trace.append(v.copy())
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[k - 1 + max_d] < v[k + 1 + max_d]):
+                x = v[k + 1 + max_d]          # move down (insert)
+            else:
+                x = v[k - 1 + max_d] + 1      # move right (delete)
+            y = x - k
+            while x < n and y < m and left[x] == right[y]:
+                x += 1
+                y += 1
+            v[k + max_d] = x
+            if x >= n and y >= m:
+                found = True
+                break
+        if found:
+            break
+    assert found, "Myers diff failed to terminate (internal error)"
+
+    # Backtrack through the stored traces to recover the edit script.
+    edits: list[Edit] = []
+    x, y = n, m
+    for d in range(len(trace) - 1, 0, -1):
+        # trace[d] was snapshotted before processing depth d, i.e. it holds
+        # the furthest-x values after depth d-1 — exactly what the
+        # predecessor lookup needs.
+        prev_v = trace[d]
+        k = x - y
+        if k == -d or (k != d and prev_v[k - 1 + max_d] < prev_v[k + 1 + max_d]):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = prev_v[prev_k + max_d]
+        prev_y = prev_x - prev_k
+        while x > prev_x and y > prev_y:
+            x -= 1
+            y -= 1
+            edits.append(Edit(Op.KEEP, left[x], x, y))
+        if x == prev_x:
+            y -= 1
+            edits.append(Edit(Op.INSERT, right[y], None, y))
+        else:
+            x -= 1
+            edits.append(Edit(Op.DELETE, left[x], x, None))
+        x, y = prev_x, prev_y
+    # d == 0 prefix: remaining moves are all diagonal KEEPs.
+    while x > 0 and y > 0:
+        x -= 1
+        y -= 1
+        edits.append(Edit(Op.KEEP, left[x], x, y))
+    edits.reverse()
+    return edits
+
+
+def lcs_pairs(left: Sequence[Item], right: Sequence[Item]) -> list[tuple[int, int]]:
+    """Matched (left_index, right_index) pairs of a longest common subsequence.
+
+    Used by the Explorer's timeline alignment (§5.2.3): matched log entries
+    define intervals into which fault-instance distributions are scaled.
+    """
+    return [
+        (edit.left_index, edit.right_index)
+        for edit in diff(left, right)
+        if edit.op is Op.KEEP
+    ]
+
+
+def only_in_right(left: Sequence[Item], right: Sequence[Item]) -> list[int]:
+    """Indices of items that appear in ``right`` but not matched in ``left``."""
+    return [
+        edit.right_index
+        for edit in diff(left, right)
+        if edit.op is Op.INSERT
+    ]

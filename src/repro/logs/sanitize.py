@@ -1,0 +1,141 @@
+"""Message sanitization and log-template matching.
+
+Two runs of the same system produce log lines that differ in timestamps,
+identifiers, ports, and counters.  The per-thread diff (§5.1.1) must treat
+such lines as equal.  We provide two mechanisms:
+
+* :func:`canonicalize` — a format-agnostic fallback that replaces variable
+  fragments (numbers, hex ids, quoted strings, paths) with ``<*>``.
+* :class:`TemplateMatcher` — matches rendered messages back to the static
+  log templates extracted from system source by the analyzer, which is how
+  ANDURIL maps observables in a log file to program points in the causal
+  graph (§4.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterable, Optional
+
+# Order matters: longer, more specific patterns first.
+_CANON_PATTERNS: list[tuple[re.Pattern[str], str]] = [
+    # ISO-ish timestamps embedded in messages.
+    (re.compile(r"\d{4}-\d{2}-\d{2}[ T]\d{2}:\d{2}:\d{2}([.,]\d+)?"), "<*>"),
+    # host:port endpoints.
+    (re.compile(r"\b\d{1,3}(\.\d{1,3}){3}:\d+\b"), "<*>"),
+    # dotted IPs.
+    (re.compile(r"\b\d{1,3}(\.\d{1,3}){3}\b"), "<*>"),
+    # hex identifiers (block ids, txids...).
+    (re.compile(r"\b0x[0-9a-fA-F]+\b"), "<*>"),
+    # long hex-ish tokens.
+    (re.compile(r"\b[0-9a-fA-F]{8,}\b"), "<*>"),
+    # file-system paths.
+    (re.compile(r"(?<![\w])/[\w./-]+"), "<*>"),
+    # quoted payloads.
+    (re.compile(r"'[^']*'"), "<*>"),
+    (re.compile(r'"[^"]*"'), "<*>"),
+    # plain integers and decimals.
+    (re.compile(r"\b\d+(\.\d+)?\b"), "<*>"),
+]
+
+
+def canonicalize(message: str) -> str:
+    """Replace variable fragments of a log message with ``<*>``.
+
+    The result is stable across runs for messages produced by the same
+    logging statement, as long as the statement's fixed text contains no
+    digits-only words (true for our systems and typical of real ones).
+    """
+    text = message
+    for pattern, replacement in _CANON_PATTERNS:
+        text = pattern.sub(replacement, text)
+    # Collapse runs of placeholders introduced by adjacent substitutions.
+    text = re.sub(r"(<\*>\s*)+", "<*> ", text).strip()
+    return text
+
+
+@dataclasses.dataclass(frozen=True)
+class LogTemplate:
+    """A static logging statement: fixed text with ``%s``-style holes.
+
+    ``template_id`` is stable across analysis runs (derived from source
+    location).  ``template`` is the raw format string as written in code,
+    e.g. ``"Accepted connection from %s"``.
+    """
+
+    template_id: str
+    template: str
+    level: str
+    file: str
+    line: int
+    function: str
+
+    def literal_length(self) -> int:
+        """Length of the fixed (non-placeholder) text; used for specificity."""
+        return len(re.sub(r"%[sdfx]", "", self.template))
+
+
+_PLACEHOLDER = re.compile(r"%[sdfx]")
+
+
+def template_to_regex(template: str) -> re.Pattern[str]:
+    """Compile a ``%s``-style template into a full-match regex.
+
+    Placeholders match lazily so that adjacent literal text anchors the
+    match; the final placeholder may match greedily to the end.
+    """
+    parts = _PLACEHOLDER.split(template)
+    regex = "(.*?)".join(re.escape(part) for part in parts)
+    return re.compile(regex + r"\Z", re.DOTALL)
+
+
+class TemplateMatcher:
+    """Maps rendered log messages to static template ids.
+
+    Matching tries templates in order of decreasing literal length, so the
+    most specific template wins.  Messages matching no template fall back
+    to their canonical form, which keeps the diff meaningful for log lines
+    the static analysis did not model (e.g. third-party output).
+    """
+
+    def __init__(self, templates: Iterable[LogTemplate] = ()) -> None:
+        self._templates = sorted(
+            templates, key=lambda t: t.literal_length(), reverse=True
+        )
+        self._compiled = [
+            (template, template_to_regex(template.template))
+            for template in self._templates
+        ]
+        self._cache: dict[str, str] = {}
+
+    @property
+    def templates(self) -> list[LogTemplate]:
+        return list(self._templates)
+
+    def match(self, message: str) -> Optional[LogTemplate]:
+        """The most specific template matching ``message``, or ``None``.
+
+        Only the first line is matched: loggers append exception stack
+        traces as continuation lines, and those must not defeat template
+        identification (the template itself is always single-line).
+        """
+        first_line = message.split("\n", 1)[0]
+        for template, regex in self._compiled:
+            if regex.match(first_line):
+                return template
+        return None
+
+    def key_for(self, message: str) -> str:
+        """A stable identity for ``message``: template id or canonical text.
+
+        This is the unit of comparison for the per-thread diff and for
+        observable bookkeeping.
+        """
+        cached = self._cache.get(message)
+        if cached is not None:
+            return cached
+        template = self.match(message)
+        key = template.template_id if template else canonicalize(message)
+        self._cache[message] = key
+        return key

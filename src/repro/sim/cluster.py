@@ -1,0 +1,180 @@
+"""Cluster harness: wires simulator, network, disk, logger, and FIR.
+
+One :class:`Cluster` is one *run*: a fresh simulator, a fresh FIR trace,
+and a fresh log.  Workloads build their system inside the cluster, drive
+it, and the harness summarizes the outcome as a :class:`RunResult` that
+failure oracles inspect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Generator, Optional
+
+from ..injection.fir import FIR, InjectionPlan, TraceEvent
+from ..logs.record import LogFile
+from .env import Env
+from .network import Network
+from .scheduler import Simulator, Task, TaskState
+from .slog import LogCollector, SimLogger
+from .storage import Disk
+from .sync import Condition, Executor, Future, Lock, Queue, SerialExecutor
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSummary:
+    """Terminal state of one task, as seen by oracles."""
+
+    name: str
+    state: str
+    stack: tuple[str, ...]          # function names, outermost first
+    error_type: str = ""
+    error_message: str = ""
+
+    def blocked_in(self, function: str) -> bool:
+        return self.state == TaskState.BLOCKED.value and function in self.stack
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Everything one run produced."""
+
+    log: LogFile
+    trace: list[TraceEvent]
+    injected: bool
+    injected_instance: Optional[Any]
+    stuck: list[TaskSummary]
+    crashed: list[TaskSummary]
+    state: dict[str, Any]
+    end_time: float
+    site_counts: dict[str, int]
+    injection_requests: int = 0
+    decision_seconds: float = 0.0
+    base_faults_fired: list = dataclasses.field(default_factory=list)
+
+    def stuck_in(self, function: str, task_prefix: str = "") -> bool:
+        """Whether some (matching) task ended the run blocked in ``function``."""
+        return any(
+            summary.blocked_in(function)
+            for summary in self.stuck
+            if summary.name.startswith(task_prefix)
+        )
+
+    def log_contains(self, fragment: str) -> bool:
+        return any(fragment in record.message for record in self.log)
+
+
+class Cluster:
+    """One simulated deployment plus its observation and injection plumbing."""
+
+    def __init__(self, seed: int = 0, fir: Optional[FIR] = None) -> None:
+        self.sim = Simulator(seed)
+        self.collector = LogCollector()
+        self.net = Network(self.sim)
+        self.disk = Disk()
+        self.fir = fir if fir is not None else FIR()
+        self.fir.bind(
+            log_index_fn=lambda: len(self.collector),
+            clock=lambda: self.sim.now,
+        )
+        self.env = Env(self)
+        #: Free-form state registry the systems publish into for oracles.
+        self.state: dict[str, Any] = {}
+        self.sim.on_task_crash(self._log_crash)
+        self._crash_log = SimLogger(self.sim, self.collector)
+
+    # ------------------------------------------------------------- conveniences
+
+    def logger(self) -> SimLogger:
+        return SimLogger(self.sim, self.collector)
+
+    def spawn(self, name: str, gen: Generator[Any, Any, Any]) -> Task:
+        return self.sim.spawn(name, gen)
+
+    def condition(self, name: str = "cond") -> Condition:
+        return Condition(self.sim, name)
+
+    def lock(self, name: str = "lock") -> Lock:
+        return Lock(self.sim, name)
+
+    def queue(self, name: str = "queue", capacity: Optional[int] = None) -> Queue:
+        return Queue(self.sim, name, capacity)
+
+    def future(self, name: str = "future") -> Future:
+        return Future(self.sim, name)
+
+    def executor(self, name: str) -> Executor:
+        return Executor(self.sim, name)
+
+    def serial_executor(self, name: str) -> SerialExecutor:
+        return SerialExecutor(self.sim, name)
+
+    def sleep(self, delay: float):
+        from .scheduler import Sleep
+
+        return Sleep(delay)
+
+    # -------------------------------------------------------------------- runs
+
+    def run(self, horizon: float) -> RunResult:
+        """Run to the horizon and summarize."""
+        self.sim.run(until=horizon)
+        stuck = [
+            self._summarize(task)
+            for task in self.sim.tasks
+            if task.state is TaskState.BLOCKED
+        ]
+        crashed = [
+            self._summarize(task)
+            for task in self.sim.tasks
+            if task.state is TaskState.FAILED
+        ]
+        return RunResult(
+            log=self.collector.log,
+            trace=list(self.fir.trace),
+            injected=self.fir.fired is not None,
+            injected_instance=self.fir.fired,
+            stuck=stuck,
+            crashed=crashed,
+            state=dict(self.state),
+            end_time=self.sim.now,
+            site_counts=dict(self.fir.counts),
+            injection_requests=self.fir.request_count,
+            decision_seconds=self.fir.decision_seconds,
+            base_faults_fired=list(self.fir.always_fired),
+        )
+
+    def _summarize(self, task: Task) -> TaskSummary:
+        return TaskSummary(
+            name=task.name,
+            state=task.state.value,
+            stack=tuple(task.stack_functions()),
+            error_type=type(task.error).__name__ if task.error else "",
+            error_message=str(task.error) if task.error else "",
+        )
+
+    def _log_crash(self, task: Task) -> None:
+        """Default uncaught-exception handler: log like a JVM would."""
+        self._crash_log.exception(
+            "Unhandled exception in thread %s",
+            task.name,
+            exc=task.error,
+        )
+
+
+WorkloadFn = Callable[[Cluster], Any]
+
+
+def execute_workload(
+    workload: WorkloadFn,
+    horizon: float,
+    seed: int = 0,
+    plan: Optional[InjectionPlan] = None,
+    tracing: bool = True,
+) -> RunResult:
+    """Run ``workload`` in a fresh cluster with an optional injection plan."""
+    cluster = Cluster(seed=seed)
+    cluster.fir.tracing = tracing
+    cluster.fir.set_plan(plan)
+    workload(cluster)
+    return cluster.run(horizon)

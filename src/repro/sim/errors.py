@@ -1,0 +1,96 @@
+"""Exception hierarchy for simulated systems.
+
+Faults in the paper's targets surface as Java exceptions (IOException and
+friends).  The mini systems raise these analogs; the FIR injects them at
+environment-boundary fault sites.  Names deliberately mirror the Java ones
+so the failure catalog reads like the paper's appendix (Table 5).
+"""
+
+from __future__ import annotations
+
+
+class SimException(Exception):
+    """Base class for all simulated-system exceptions."""
+
+
+class IOException(SimException):
+    """Generic I/O fault (disk or network)."""
+
+
+class SocketException(IOException):
+    """Network socket fault."""
+
+
+class ConnectException(SocketException):
+    """Connection establishment fault."""
+
+
+class TimeoutIOException(IOException):
+    """An I/O wait exceeded its deadline."""
+
+
+class FileNotFoundException(IOException):
+    """A file was missing or unreadable."""
+
+
+class EOFException(IOException):
+    """Unexpected end of stream (truncated file or connection)."""
+
+
+class InterruptedException(SimException):
+    """A blocked task was interrupted."""
+
+
+class ExecutionException(SimException):
+    """A future completed exceptionally; ``cause`` is the original fault."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(f"execution failed: {type(cause).__name__}: {cause}")
+        self.cause = cause
+
+
+class IllegalStateException(SimException):
+    """The component reached a state its protocol forbids."""
+
+
+class RuntimeException(SimException):
+    """Unchecked failure (analog of java.lang.RuntimeException)."""
+
+
+#: Registry used by injection plans, which name exception types as strings.
+EXCEPTION_TYPES: dict[str, type[SimException]] = {
+    cls.__name__: cls
+    for cls in (
+        SimException,
+        IOException,
+        SocketException,
+        ConnectException,
+        TimeoutIOException,
+        FileNotFoundException,
+        EOFException,
+        InterruptedException,
+        IllegalStateException,
+        RuntimeException,
+    )
+}
+
+
+def exception_from_name(name: str, message: str = "injected fault") -> SimException:
+    """Instantiate a registered exception type by name."""
+    try:
+        cls = EXCEPTION_TYPES[name]
+    except KeyError:
+        raise ValueError(f"unknown exception type: {name!r}") from None
+    return cls(message)
+
+
+def is_subtype(name: str, of: str) -> bool:
+    """Whether exception type ``name`` is a subtype of type ``of``.
+
+    Used by the static exception analysis to decide which handlers catch
+    which fault sites.
+    """
+    try:
+        return issubclass(EXCEPTION_TYPES[name], EXCEPTION_TYPES[of])
+    except KeyError:
+        return name == of

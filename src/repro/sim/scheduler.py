@@ -1,0 +1,300 @@
+"""Deterministic discrete-event scheduler with generator-based tasks.
+
+The simulator is the substrate under every mini distributed system.  A
+"thread" is a Python generator; it blocks by yielding *effects* (sleeps,
+condition waits, queue operations, futures) that the scheduler interprets.
+Virtual time only advances when every runnable task has run, so a run is a
+pure function of (workload, seed, injection plan) — the determinism that
+lets ANDURIL's reproduction scripts replay a failure exactly.
+
+Hang symptoms matter to the paper (stuck WAL rollers, blocked repairs), so
+the scheduler records which tasks are still blocked when the run ends and
+can capture a virtual stack (the ``yield from`` chain) for each, which
+oracles match the way a developer matches a jstack dump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import heapq
+import random
+import traceback
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import InterruptedException
+
+TaskGen = Generator[Any, Any, Any]
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+@dataclasses.dataclass(frozen=True)
+class StackFrame:
+    """One frame of a task's virtual stack."""
+
+    file: str
+    line: int
+    function: str
+
+    def __str__(self) -> str:
+        return f"{self.function} ({self.file}:{self.line})"
+
+
+class Sleep:
+    """Effect: suspend the task for ``delay`` virtual seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("sleep delay must be non-negative")
+        self.delay = delay
+
+    def subscribe(self, sim: "Simulator", task: "Task") -> None:
+        sim.call_at(sim.now + self.delay, lambda: sim._resume(task, value=None))
+
+
+class Task:
+    """A named simulated thread wrapping a generator."""
+
+    def __init__(self, name: str, gen: TaskGen) -> None:
+        self.name = name
+        self.gen = gen
+        self.state = TaskState.READY
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.error_traceback: str = ""
+        #: What the task is currently blocked on (effect object), if any.
+        self.waiting_on: Any = None
+        #: Set while blocked; calling it revokes the pending wakeup (used by
+        #: interrupt and by timeout races).
+        self._cancel_wakeup: Optional[Callable[[], None]] = None
+        #: Callbacks to run when the task finishes (used by join()).
+        self._watchers: list[Callable[["Task"], None]] = []
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} {self.state.value}>"
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (TaskState.READY, TaskState.RUNNING, TaskState.BLOCKED)
+
+    def virtual_stack(self) -> list[StackFrame]:
+        """The task's current ``yield from`` chain, outermost first."""
+        frames: list[StackFrame] = []
+        gen = self.gen
+        while gen is not None:
+            frame = getattr(gen, "gi_frame", None)
+            if frame is not None:
+                frames.append(
+                    StackFrame(
+                        file=frame.f_code.co_filename,
+                        line=frame.f_lineno,
+                        function=frame.f_code.co_name,
+                    )
+                )
+            gen = getattr(gen, "gi_yieldfrom", None)
+        return frames
+
+    def stack_functions(self) -> list[str]:
+        return [frame.function for frame in self.virtual_stack()]
+
+    def blocked_in(self, function: str) -> bool:
+        """Whether the task is blocked with ``function`` on its stack."""
+        return self.state is TaskState.BLOCKED and function in self.stack_functions()
+
+
+class Join:
+    """Effect: wait for another task to finish; yields its result."""
+
+    __slots__ = ("task",)
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+
+    def subscribe(self, sim: "Simulator", waiter: Task) -> None:
+        if not self.task.alive:
+            sim.call_soon(lambda: sim._resume(waiter, value=self.task.result))
+            return
+
+        def on_done(done: Task) -> None:
+            sim._resume(waiter, value=done.result)
+
+        self.task._watchers.append(on_done)
+
+
+class Simulator:
+    """Deterministic event loop over virtual time."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now = 0.0
+        self.random = random.Random(seed)
+        self.current_task: Optional[Task] = None
+        self.tasks: list[Task] = []
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._crash_handlers: list[Callable[[Task], None]] = []
+
+    # ------------------------------------------------------------------ events
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Callable[[], None]:
+        """Schedule ``fn`` at virtual time ``when``; returns a canceller."""
+        if when < self.now:
+            when = self.now
+        self._seq += 1
+        cancelled = {"done": False}
+
+        def guarded() -> None:
+            if not cancelled["done"]:
+                fn()
+
+        heapq.heappush(self._heap, (when, self._seq, guarded))
+
+        def cancel() -> None:
+            cancelled["done"] = True
+
+        return cancel
+
+    def call_soon(self, fn: Callable[[], None]) -> Callable[[], None]:
+        return self.call_at(self.now, fn)
+
+    # ------------------------------------------------------------------- tasks
+
+    def spawn(self, name: str, gen: TaskGen) -> Task:
+        """Register a generator as a named task and schedule its first step."""
+        if not hasattr(gen, "send"):
+            raise TypeError(f"spawn() expects a generator, got {type(gen).__name__}")
+        task = Task(name, gen)
+        self.tasks.append(task)
+        self.call_soon(lambda: self._step(task, value=None, first=True))
+        return task
+
+    def on_task_crash(self, handler: Callable[[Task], None]) -> None:
+        """Register a handler invoked when a task dies of an unhandled error."""
+        self._crash_handlers.append(handler)
+
+    def interrupt(self, task: Task) -> None:
+        """Throw :class:`InterruptedException` into a blocked task."""
+        if task.state is not TaskState.BLOCKED:
+            return
+        self._resume(task, exc=InterruptedException(f"{task.name} interrupted"))
+
+    def kill(self, task: Task) -> None:
+        """Terminate a task without running its handlers (crash analog)."""
+        if not task.alive:
+            return
+        if task._cancel_wakeup is not None:
+            task._cancel_wakeup()
+            task._cancel_wakeup = None
+        task.state = TaskState.KILLED
+        task.gen.close()
+        self._notify_watchers(task)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self, until: float) -> None:
+        """Run events until the queue drains or virtual ``until`` is reached."""
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = max(self.now, when)
+            fn()
+        self.now = max(self.now, until)
+
+    def blocked_tasks(self) -> list[Task]:
+        return [task for task in self.tasks if task.state is TaskState.BLOCKED]
+
+    def failed_tasks(self) -> list[Task]:
+        return [task for task in self.tasks if task.state is TaskState.FAILED]
+
+    # --------------------------------------------------------------- internals
+
+    def _resume(
+        self,
+        task: Task,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        """Wake a blocked task with a value or an exception."""
+        if task.state is not TaskState.BLOCKED:
+            return  # raced with another wakeup (e.g. timeout vs signal)
+        if task._cancel_wakeup is not None:
+            task._cancel_wakeup()
+            task._cancel_wakeup = None
+        task.waiting_on = None
+        task.state = TaskState.READY
+        self._step(task, value=value, exc=exc)
+
+    def _step(
+        self,
+        task: Task,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+        first: bool = False,
+    ) -> None:
+        """Advance the task's generator by one yield."""
+        if task.state is not TaskState.READY:
+            return  # killed or already resumed through another path
+        previous = self.current_task
+        self.current_task = task
+        task.state = TaskState.RUNNING
+        try:
+            if exc is not None:
+                effect = task.gen.throw(exc)
+            else:
+                effect = task.gen.send(value)
+        except StopIteration as stop:
+            task.state = TaskState.DONE
+            task.result = stop.value
+            self._notify_watchers(task)
+            return
+        except BaseException as error:  # noqa: BLE001 - task crash boundary
+            task.state = TaskState.FAILED
+            task.error = error
+            task.error_traceback = traceback.format_exc()
+            for handler in self._crash_handlers:
+                handler(task)
+            self._notify_watchers(task)
+            return
+        finally:
+            self.current_task = previous
+
+        task.state = TaskState.BLOCKED
+        task.waiting_on = effect
+        subscribe = getattr(effect, "subscribe", None)
+        if subscribe is None:
+            task.state = TaskState.FAILED
+            task.error = TypeError(f"task {task.name} yielded {effect!r}")
+            self._notify_watchers(task)
+            return
+        subscribe(self, task)
+
+    def _notify_watchers(self, task: Task) -> None:
+        watchers, task._watchers = task._watchers, []
+        for watcher in watchers:
+            watcher(task)
+
+
+def run_all(sim: Simulator, horizon: float) -> None:
+    """Convenience: run the simulator to its horizon."""
+    sim.run(until=horizon)
+
+
+def stuck_report(tasks: Iterable[Task]) -> str:
+    """Human-readable report of blocked tasks (a jstack analog)."""
+    lines = []
+    for task in tasks:
+        lines.append(f'Thread "{task.name}" BLOCKED')
+        for frame in task.virtual_stack():
+            lines.append(f"    at {frame}")
+    return "\n".join(lines)

@@ -1,0 +1,425 @@
+"""Synchronization primitives for simulated tasks.
+
+All primitives are effects: a task blocks by ``yield``-ing the object the
+primitive returns.  Wakeups are always scheduled through ``call_soon`` so
+that execution never recurses through generator frames, keeping the run
+order a deterministic function of the event queue.
+
+The :class:`Future`/:class:`Executor` pair matters beyond plumbing: the
+paper's exception analysis explicitly models cross-thread exception
+propagation through futures (§4.1), and several failure cases hinge on a
+fault thrown inside a submitted job surfacing as an ``ExecutionException``
+at the waiting thread.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Callable, Generator, Optional
+
+from .errors import ExecutionException, IllegalStateException
+from .scheduler import Simulator, Task
+
+
+class _WaitEffect:
+    """Base for effects that park the task on a waiter list."""
+
+    def __init__(self) -> None:
+        self._task: Optional[Task] = None
+
+    def _park(
+        self,
+        sim: Simulator,
+        task: Task,
+        unregister: Callable[[], None],
+        timeout: Optional[float] = None,
+        on_timeout: Any = None,
+    ) -> None:
+        """Register cleanup and (optionally) a timeout wakeup."""
+        cancel_timer: Callable[[], None] = lambda: None
+        if timeout is not None:
+            cancel_timer = sim.call_at(
+                sim.now + timeout, lambda: sim._resume(task, value=on_timeout)
+            )
+
+        def cleanup() -> None:
+            unregister()
+            cancel_timer()
+
+        task._cancel_wakeup = cleanup
+
+
+class Condition:
+    """Java-style condition variable.
+
+    ``wait(timeout)`` yields ``True`` when signaled and ``False`` on
+    timeout — the shape of ``Condition.await(long)`` that the motivating
+    HBase example's ``doneCondition.await(timeoutNs)`` relies on.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cond") -> None:
+        self._sim = sim
+        self.name = name
+        self._waiters: list[Task] = []
+
+    def wait(self, timeout: Optional[float] = None) -> "_ConditionWait":
+        return _ConditionWait(self, timeout)
+
+    def notify_all(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self._sim.call_soon(
+                lambda t=task: self._sim._resume(t, value=True)
+            )
+
+    def notify(self) -> None:
+        if self._waiters:
+            task = self._waiters.pop(0)
+            self._sim.call_soon(lambda: self._sim._resume(task, value=True))
+
+    def _discard(self, task: Task) -> None:
+        try:
+            self._waiters.remove(task)
+        except ValueError:
+            pass
+
+
+class _ConditionWait(_WaitEffect):
+    def __init__(self, condition: Condition, timeout: Optional[float]) -> None:
+        super().__init__()
+        self._condition = condition
+        self._timeout = timeout
+
+    def subscribe(self, sim: Simulator, task: Task) -> None:
+        self._condition._waiters.append(task)
+        self._park(
+            sim,
+            task,
+            unregister=lambda: self._condition._discard(task),
+            timeout=self._timeout,
+            on_timeout=False,
+        )
+
+
+class Lock:
+    """Non-reentrant mutual exclusion."""
+
+    def __init__(self, sim: Simulator, name: str = "lock") -> None:
+        self._sim = sim
+        self.name = name
+        self._holder: Optional[Task] = None
+        self._waiters: list[Task] = []
+
+    @property
+    def held(self) -> bool:
+        return self._holder is not None
+
+    @property
+    def holder_name(self) -> Optional[str]:
+        return self._holder.name if self._holder else None
+
+    def acquire(self) -> "_LockAcquire":
+        return _LockAcquire(self)
+
+    def release(self) -> None:
+        if self._holder is None:
+            raise IllegalStateException(f"lock {self.name} released while free")
+        self._holder = None
+        if self._waiters:
+            task = self._waiters.pop(0)
+            self._holder = task
+            self._sim.call_soon(lambda: self._sim._resume(task, value=True))
+
+    def force_release(self) -> None:
+        """Drop the lock regardless of holder (crash-cleanup analog)."""
+        if self._holder is not None:
+            self.release()
+
+    def _discard(self, task: Task) -> None:
+        try:
+            self._waiters.remove(task)
+        except ValueError:
+            pass
+
+
+class _LockAcquire(_WaitEffect):
+    def __init__(self, lock: Lock) -> None:
+        super().__init__()
+        self._lock = lock
+
+    def subscribe(self, sim: Simulator, task: Task) -> None:
+        if self._lock._holder is None:
+            self._lock._holder = task
+            sim.call_soon(lambda: sim._resume(task, value=True))
+            task._cancel_wakeup = None
+            return
+        self._lock._waiters.append(task)
+        self._park(sim, task, unregister=lambda: self._lock._discard(task))
+
+
+class Queue:
+    """Bounded FIFO queue with blocking put/get.
+
+    ``get(timeout)`` yields the item, or ``None`` on timeout (the shape of
+    ``BlockingQueue.poll(long)``).  Items are reserved at subscribe time so
+    two concurrent getters never race for the same element.
+    """
+
+    def __init__(
+        self, sim: Simulator, name: str = "queue", capacity: Optional[int] = None
+    ) -> None:
+        self._sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: collections.deque[Any] = collections.deque()
+        self._getters: list[Task] = []
+        self._putters: list[tuple[Task, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def put(self, item: Any) -> "_QueuePut":
+        return _QueuePut(self, item)
+
+    def put_nowait(self, item: Any) -> None:
+        """Non-blocking put; raises when the queue is full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise IllegalStateException(f"queue {self.name} full")
+        self._deliver(item)
+
+    def get(self, timeout: Optional[float] = None) -> "_QueueGet":
+        return _QueueGet(self, timeout)
+
+    def get_nowait(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return item
+        return None
+
+    def peek(self) -> Any:
+        return self._items[0] if self._items else None
+
+    def drain(self) -> list[Any]:
+        items = list(self._items)
+        self._items.clear()
+        while self._putters:
+            self._admit_putter()
+        return items
+
+    # --------------------------------------------------------------- internals
+
+    def _deliver(self, item: Any) -> None:
+        """Hand an item to a waiting getter or store it."""
+        if self._getters:
+            getter = self._getters.pop(0)
+            self._sim.call_soon(lambda: self._sim._resume(getter, value=item))
+        else:
+            self._items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            putter, item = self._putters.pop(0)
+            self._items.append(item)
+            self._sim.call_soon(lambda: self._sim._resume(putter, value=None))
+
+    def _discard_getter(self, task: Task) -> None:
+        try:
+            self._getters.remove(task)
+        except ValueError:
+            pass
+
+    def _discard_putter(self, task: Task) -> None:
+        self._putters = [(t, i) for t, i in self._putters if t is not task]
+
+
+class _QueuePut(_WaitEffect):
+    def __init__(self, queue: Queue, item: Any) -> None:
+        super().__init__()
+        self._queue = queue
+        self._item = item
+
+    def subscribe(self, sim: Simulator, task: Task) -> None:
+        queue = self._queue
+        if queue.capacity is None or len(queue._items) < queue.capacity or queue._getters:
+            queue._deliver(self._item)
+            sim.call_soon(lambda: sim._resume(task, value=None))
+            task._cancel_wakeup = None
+            return
+        queue._putters.append((task, self._item))
+        self._park(sim, task, unregister=lambda: queue._discard_putter(task))
+
+
+class _QueueGet(_WaitEffect):
+    def __init__(self, queue: Queue, timeout: Optional[float]) -> None:
+        super().__init__()
+        self._queue = queue
+        self._timeout = timeout
+
+    def subscribe(self, sim: Simulator, task: Task) -> None:
+        queue = self._queue
+        if queue._items:
+            item = queue._items.popleft()
+            queue._admit_putter()
+            sim.call_soon(lambda: sim._resume(task, value=item))
+            task._cancel_wakeup = None
+            return
+        queue._getters.append(task)
+        self._park(
+            sim,
+            task,
+            unregister=lambda: queue._discard_getter(task),
+            timeout=self._timeout,
+            on_timeout=None,
+        )
+
+
+class Future:
+    """A write-once result container; yielding it waits for completion.
+
+    A waiter receives the result, or — when the future completed
+    exceptionally — an :class:`ExecutionException` wrapping the original
+    cause is thrown into it, matching ``Future.get()`` semantics.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "future") -> None:
+        self._sim = sim
+        self.name = name
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._waiters: list[Task] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def set_result(self, value: Any = None) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._result = value
+        self._wake_all()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._exception = exc
+        self._wake_all()
+
+    # Java-flavored alias used by the mini systems.
+    complete_exceptionally = set_exception
+
+    def subscribe(self, sim: Simulator, task: Task) -> None:
+        if self._done:
+            self._schedule_wake(task)
+            task._cancel_wakeup = None
+            return
+        self._waiters.append(task)
+
+        def unregister() -> None:
+            try:
+                self._waiters.remove(task)
+            except ValueError:
+                pass
+
+        task._cancel_wakeup = unregister
+
+    def _wake_all(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self._schedule_wake(task)
+
+    def _schedule_wake(self, task: Task) -> None:
+        if self._exception is not None:
+            wrapped = ExecutionException(self._exception)
+            self._sim.call_soon(lambda: self._sim._resume(task, exc=wrapped))
+        else:
+            self._sim.call_soon(
+                lambda: self._sim._resume(task, value=self._result)
+            )
+
+
+GenFn = Callable[..., Generator[Any, Any, Any]]
+
+
+class Executor:
+    """Thread-pool analog: each submission runs as its own task.
+
+    An unhandled exception inside a submitted job completes the job's
+    future exceptionally instead of crashing the process — the executor
+    swallows it exactly the way a Java pool does, which is why faults can
+    hide until someone waits on the future.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self._sim = sim
+        self.name = name
+        self._counter = 0
+
+    def submit(self, fn: GenFn, *args: Any, **kwargs: Any) -> Future:
+        self._counter += 1
+        future = Future(self._sim, name=f"{self.name}-f{self._counter}")
+        task_name = f"{self.name}-{self._counter}"
+
+        def runner() -> Generator[Any, Any, Any]:
+            try:
+                result = yield from fn(*args, **kwargs)
+            except GeneratorExit:
+                raise
+            except BaseException as error:  # noqa: BLE001 - pool boundary
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+
+        self._sim.spawn(task_name, runner())
+        return future
+
+
+class SerialExecutor:
+    """Single-threaded executor: jobs run in submission order on one task.
+
+    This is the shape of HBase's WAL ``consumeExecutor``: one long-lived
+    worker draining a job queue, so a job that blocks starves every later
+    submission — the exact mechanism behind the motivating failure.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self._sim = sim
+        self.name = name
+        self._jobs: Queue = Queue(sim, name=f"{name}-jobs")
+        self._counter = 0
+        self.worker = sim.spawn(name, self._loop())
+
+    def submit(self, fn: GenFn, *args: Any, **kwargs: Any) -> Future:
+        self._counter += 1
+        future = Future(self._sim, name=f"{self.name}-f{self._counter}")
+        self._jobs.put_nowait((fn, args, kwargs, future))
+        return future
+
+    def _loop(self) -> Generator[Any, Any, Any]:
+        while True:
+            job = yield self._jobs.get()
+            if job is None:
+                continue
+            fn, args, kwargs, future = job
+            try:
+                result = yield from fn(*args, **kwargs)
+            except GeneratorExit:
+                raise
+            except BaseException as error:  # noqa: BLE001 - pool boundary
+                future.set_exception(error)
+            else:
+                future.set_result(result)

@@ -1,0 +1,9 @@
+"""Miniature distributed systems used as fault-injection targets.
+
+Each subpackage is a small but genuine distributed system built on
+:mod:`repro.sim`: real concurrency, real exception handling with both
+tolerated and poorly-handled faults, and log statements written the way
+the paper's targets log (state transitions, warnings for handled errors,
+errors for unrecoverable ones).  All external I/O goes through the env
+boundary, whose call sites form the fault space.
+"""

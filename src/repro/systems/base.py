@@ -1,0 +1,29 @@
+"""Shared base class for mini-system components.
+
+A component binds the cluster's logger and env handle to ``self.log`` and
+``self.env`` — the two attribute names the static analyzer recognizes, so
+every component gets observables and fault sites for free.
+"""
+
+from __future__ import annotations
+
+from ..sim.cluster import Cluster
+
+
+class Component:
+    def __init__(self, cluster: Cluster, name: str = "") -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.net = cluster.net
+        self.env = cluster.env
+        self.log = cluster.logger()
+        self.name = name
+
+    def sleep(self, delay: float):
+        """Effect: suspend the calling task for ``delay`` virtual seconds."""
+        return self.cluster.sleep(delay)
+
+    def jitter(self, base: float, spread: float = 0.2):
+        """Effect: sleep with seed-dependent jitter (models timing noise)."""
+        factor = 1.0 + spread * (self.sim.random.random() - 0.5)
+        return self.cluster.sleep(base * factor)

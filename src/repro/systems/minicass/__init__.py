@@ -1,0 +1,12 @@
+"""MiniCassandra: a miniature Cassandra-like replica set.
+
+Snapshot repair coordination (CASSANDRA-6415), per-replica keyspace /
+column-family storage (whose creation path is the CASSANDRA-18748-style
+deeper root cause), and file streaming over a shared channel proxy
+(CASSANDRA-17663).
+"""
+
+from .repair import RepairCoordinator
+from .replica import Replica
+
+__all__ = ["RepairCoordinator", "Replica"]

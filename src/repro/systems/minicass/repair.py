@@ -1,0 +1,140 @@
+"""Snapshot repair coordination (the CASSANDRA-6415 surface).
+
+The coordinator asks every replica for a snapshot and waits for *all*
+acks with no timeout — the seeded defect.  A lost request (or a replica
+that cannot snapshot because its column family was never created) blocks
+the repair session forever.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+COORDINATOR = "repair-coordinator"
+
+
+class RepairCoordinator(Component):
+    def __init__(self, cluster, replicas, column_family: str = "cf1") -> None:
+        super().__init__(cluster, name=COORDINATOR)
+        self.inbox = cluster.net.register(COORDINATOR)
+        self.replicas = list(replicas)
+        self.column_family = column_family
+        self.acks = 0
+
+    def start(self) -> None:
+        self.cluster.spawn(COORDINATOR, self.run())
+
+    def run(self):
+        yield self.sleep(0.3)
+        yield from self.create_keyspace()
+        yield self.sleep(0.5)
+        yield from self.snapshot_phase()
+        self.log.info("Repair session for %s completed", self.column_family)
+        self.cluster.state["repair_done"] = True
+
+    # ---------------------------------------------------------------- keyspace
+
+    def create_keyspace(self):
+        for replica in self.replicas:
+            try:
+                self.env.sock_send(
+                    self.name, replica, "create_cf", self.column_family,
+                    reply_to=COORDINATOR,
+                )
+            except SocketException as error:
+                self.log.warn(
+                    "Failed sending create to %s: %s", replica, error
+                )
+        ready = 0
+        while ready < len(self.replicas):
+            raw = yield self.inbox.get(timeout=1.0)
+            if raw is None:
+                self.log.warn(
+                    "Keyspace creation still pending (%d/%d replicas ready)",
+                    ready,
+                    len(self.replicas),
+                )
+                break  # proceed anyway; snapshots will block if unready
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Bad keyspace ack: %s", error)
+                continue
+            if message.kind == "cf_ready":
+                ready += 1
+        self.log.info(
+            "Column family %s ready on %d replicas", self.column_family, ready
+        )
+
+    # --------------------------------------------------------------- snapshots
+
+    def snapshot_phase(self):
+        for replica in self.replicas:
+            try:
+                self.env.sock_send(
+                    self.name,
+                    replica,
+                    "make_snapshot",
+                    self.column_family,
+                    reply_to=COORDINATOR,
+                )
+            except SocketException as error:
+                # CASSANDRA-6415: the lost request is logged but the wait
+                # below still expects every replica to answer.
+                self.log.warn(
+                    "Failed to send snapshot request to %s: %s", replica, error
+                )
+        yield from self.await_snapshots()
+
+    def await_snapshots(self):
+        """Wait for all snapshot acks — with no timeout (the defect)."""
+        while self.acks < len(self.replicas):
+            raw = yield self.inbox.get(timeout=1.5)
+            if raw is None:
+                self.log.warn(
+                    "Still waiting for snapshot responses (%d/%d)",
+                    self.acks,
+                    len(self.replicas),
+                )
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Bad snapshot ack: %s", error)
+                continue
+            if message.kind == "snapshot_ok":
+                self.acks += 1
+                self.log.info(
+                    "Snapshot ack %d/%d received", self.acks, len(self.replicas)
+                )
+
+
+class WriteDriver(Component):
+    """Steady writes against the replicas (workload traffic + noise)."""
+
+    def __init__(self, cluster, replicas, column_family: str = "cf1", count: int = 12):
+        super().__init__(cluster, name="cass-writer")
+        self.replicas = list(replicas)
+        self.column_family = column_family
+        self.count = count
+
+    def start(self) -> None:
+        self.cluster.spawn("cass-writer", self.run())
+
+    def run(self):
+        yield self.sleep(1.0)
+        for index in range(self.count):
+            replica = self.replicas[index % len(self.replicas)]
+            try:
+                self.env.sock_send(
+                    self.name,
+                    replica,
+                    "write",
+                    (self.column_family, f"k{index}", f"v{index}"),
+                )
+            except SocketException as error:
+                self.log.warn("Write %d to %s failed: %s", index, replica, error)
+            yield self.jitter(0.2)
+        self.cluster.state["writes_issued"] = self.count
+        self.log.info("Write driver issued %d writes", self.count)

@@ -1,0 +1,118 @@
+"""MiniCassandra replica: column-family storage and snapshots.
+
+The column-family creation path tolerates disk faults with a warning —
+but a replica without the column family can never take the snapshot the
+repair coordinator asks for, which is exactly the deeper root cause
+ANDURIL found behind the CASSANDRA-6415 symptom (Table 6: CA-18748).
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import FileNotFoundException, IOException, SocketException
+from ..base import Component
+
+
+class Replica(Component):
+    def __init__(self, cluster, name: str) -> None:
+        super().__init__(cluster, name=name)
+        self.inbox = cluster.net.register(name)
+        self.column_families: set[str] = set()
+        self.snapshots = 0
+
+    def start(self) -> None:
+        self.cluster.spawn(f"{self.name}-serve", self.serve())
+        self.cluster.spawn(f"{self.name}-compact", self.compaction_loop())
+
+    def serve(self):
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Replica %s dropped bad message: %s", self.name, error)
+                continue
+            if message.kind == "create_cf":
+                self.create_column_family(message)
+            elif message.kind == "make_snapshot":
+                self.make_snapshot(message)
+            elif message.kind == "write":
+                if self.sim.random.random() < 0.08:
+                    self.log.warn(
+                        "Digest mismatch applying mutation on %s, read repair "
+                        "scheduled",
+                        self.name,
+                    )
+                self.apply_write(message)
+
+    def cf_path(self, cf: str) -> str:
+        return f"/cass/{self.name}/{cf}"
+
+    def create_column_family(self, message) -> None:
+        cf = message.payload
+        try:
+            self.env.disk_write(self.cf_path(cf), b"cf-metadata\n")
+        except IOException as error:
+            # Tolerated with a warning — but this replica can now never
+            # snapshot cf, which blocks any later repair (CA-18748).
+            self.log.warn(
+                "Failed creating column family %s on %s: %s", cf, self.name, error
+            )
+            return
+        self.column_families.add(cf)
+        self.log.info("Column family %s created on %s", cf, self.name)
+        self.ack(message, "cf_ready", cf)
+
+    def apply_write(self, message) -> None:
+        cf, key, value = message.payload
+        if cf not in self.column_families:
+            self.log.warn("Write to unknown column family %s on %s", cf, self.name)
+            return
+        try:
+            self.env.disk_append(self.cf_path(cf), f"{key}={value}\n".encode())
+        except IOException as error:
+            self.log.warn("Write to %s failed on %s: %s", cf, self.name, error)
+
+    def make_snapshot(self, message) -> None:
+        cf = message.payload
+        if cf not in self.column_families:
+            self.log.error(
+                "Cannot snapshot unknown column family %s on %s", cf, self.name
+            )
+            return  # no ack: the coordinator keeps waiting
+        try:
+            data = self.env.disk_read(self.cf_path(cf))
+            self.env.disk_write(f"{self.cf_path(cf)}.snapshot{self.snapshots}", data)
+        except FileNotFoundException as error:
+            self.log.error("Snapshot source missing for %s: %s", cf, error)
+            return
+        except IOException as error:
+            self.log.warn("Snapshot of %s failed on %s: %s", cf, self.name, error)
+            return
+        self.snapshots += 1
+        self.log.info("Snapshot %d of %s taken on %s", self.snapshots, cf, self.name)
+        self.ack(message, "snapshot_ok", cf)
+
+    def ack(self, message, kind: str, payload) -> None:
+        target = message.reply_to or message.src
+        try:
+            self.env.sock_send(self.name, target, kind, payload)
+        except SocketException as error:
+            self.log.warn("Replica %s failed acking %s: %s", self.name, kind, error)
+
+    def compaction_loop(self):
+        """Steady background disk traffic and log noise."""
+        index = 0
+        while True:
+            yield self.jitter(1.2)
+            index += 1
+            path = f"/cass/{self.name}/compaction-{index}"
+            try:
+                self.env.disk_write(path, b"sstable")
+                self.env.disk_delete(path)
+            except IOException as error:
+                self.log.warn("Compaction round %d failed on %s: %s", index, self.name, error)
+                continue
+            if index % 4 == 0:
+                self.log.info("Compacted %d sstables on %s", index, self.name)

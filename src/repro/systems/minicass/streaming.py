@@ -1,0 +1,73 @@
+"""File streaming over a shared channel proxy (CASSANDRA-17663).
+
+Stream tasks share one channel proxy.  The seeded defect: a task that
+fails mid-transfer returns without releasing the proxy, so the next task
+finds it busy and dies of an IllegalStateException — one transient fault
+compromises the shared channel for everyone.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IllegalStateException, IOException, SimException
+from ..base import Component
+
+STREAM_TARGET = "stream-target"
+
+
+class SharedChannelProxy:
+    """A channel that at most one stream task may hold at a time."""
+
+    def __init__(self) -> None:
+        self.in_use_by: str | None = None
+
+    def acquire(self, owner: str) -> None:
+        if self.in_use_by is not None:
+            raise IllegalStateException(
+                f"channel proxy busy (held by {self.in_use_by})"
+            )
+        self.in_use_by = owner
+
+    def release(self) -> None:
+        self.in_use_by = None
+
+
+class StreamTarget(Component):
+    """Receiving end of file streams (registers the transfer endpoint)."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name=STREAM_TARGET)
+        cluster.net.register(STREAM_TARGET)
+
+
+class StreamingService(Component):
+    def __init__(self, cluster, files, source: str = "cass1") -> None:
+        super().__init__(cluster, name="streaming")
+        self.proxy = SharedChannelProxy()
+        self.files = list(files)
+        self.source = source
+        self.completed = 0
+
+    def start(self) -> None:
+        StreamTarget(self.cluster)
+        for index, (path, size) in enumerate(self.files, start=1):
+            self.cluster.spawn(
+                f"stream-task-{index}", self.stream_file(index, path, size)
+            )
+
+    def stream_file(self, index: int, path: str, size: int):
+        """One FileStreamTask; the broken cleanup path is the defect."""
+        yield self.sleep(0.4 * index)  # tasks take the proxy in turn
+        self.proxy.acquire(f"stream-task-{index}")
+        self.log.info("Streaming %s (%d bytes) over the shared channel", path, size)
+        try:
+            self.env.net_transfer(self.source, STREAM_TARGET, size)
+        except SimException as error:
+            # CASSANDRA-17663: the proxy is never released on this path.
+            self.log.warn(
+                "File stream task for %s failed mid-transfer: %s", path, error
+            )
+            return
+        self.proxy.release()
+        self.completed += 1
+        self.cluster.state["streams_completed"] = self.completed
+        self.log.info("Finished streaming %s", path)

@@ -1,0 +1,14 @@
+"""MiniDFS: a miniature HDFS-like distributed file system.
+
+Namenode with leases and block recovery, datanodes with registration and
+block serving, a writing/reading client with pipeline setup and block
+tokens, a checkpoint daemon, and a balancer.  Seeded bugs mirror
+HDFS-4233, HDFS-12248, HDFS-12070, HDFS-13039, HDFS-16332, HDFS-14333,
+and HDFS-15032.
+"""
+
+from .namenode import NameNode
+from .datanode import DataNode
+from .client import DfsClient
+
+__all__ = ["DataNode", "DfsClient", "NameNode"]

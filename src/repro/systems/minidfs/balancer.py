@@ -1,0 +1,60 @@
+"""Cluster balancer.
+
+Seeded defect (HDFS-15032): the balancer handles transfer and report
+failures per-datanode, but a connection failure while contacting a
+namenode escapes the loop entirely and crashes the balancer thread.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+BALANCER_ENDPOINT = "balancer"
+
+
+class Balancer(Component):
+    def __init__(self, cluster, namenode_endpoints, datanodes, period: float = 1.5):
+        super().__init__(cluster, name=BALANCER_ENDPOINT)
+        self.namenode_endpoints = list(namenode_endpoints)
+        self.datanodes = list(datanodes)
+        self.period = period
+        self.iterations = 0
+        cluster.net.register(BALANCER_ENDPOINT)
+
+    def start(self) -> None:
+        self.cluster.spawn(BALANCER_ENDPOINT, self.run())
+
+    def run(self):
+        yield self.sleep(1.0)
+        while True:
+            try:
+                for endpoint in self.namenode_endpoints:
+                    self.env.sock_connect(BALANCER_ENDPOINT, endpoint)
+            except SocketException as error:
+                # HDFS-15032: log and die — the balancer has no retry for
+                # an unreachable namenode.
+                self.log.error(
+                    "Balancer exiting: failed to contact namenode: %s", error
+                )
+                raise
+            self.log.info(
+                "Balancer iteration %d: namenodes reachable, moving blocks",
+                self.iterations,
+            )
+            moved = 0
+            for index, datanode in enumerate(self.datanodes):
+                target = self.datanodes[(index + 1) % len(self.datanodes)]
+                try:
+                    self.env.net_transfer(datanode, target, size=4)
+                    moved += 1
+                except IOException as error:
+                    self.log.warn(
+                        "Balancer move %s -> %s failed: %s", datanode, target, error
+                    )
+            self.iterations += 1
+            self.cluster.state["balancer_iterations"] = self.iterations
+            self.cluster.state["blocks_moved"] = (
+                self.cluster.state.get("blocks_moved", 0) + moved
+            )
+            yield self.jitter(self.period)

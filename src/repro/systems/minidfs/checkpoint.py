@@ -1,0 +1,70 @@
+"""Checkpoint daemon (secondary namenode analog).
+
+Seeded defect (HDFS-12248): the image upload is wrapped in a catch-all
+that *ignores* transfer exceptions — the checkpoint round is recorded as
+successful even though the namenode never received the new image, so the
+backup silently goes stale.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SimException
+from ..base import Component
+from .namenode import NameNode, NN_ENDPOINT
+
+CHECKPOINT_ENDPOINT = "checkpointer"
+
+
+class CheckpointDaemon(Component):
+    def __init__(self, cluster, namenode: NameNode, period: float = 2.0) -> None:
+        super().__init__(cluster, name=CHECKPOINT_ENDPOINT)
+        self.namenode = namenode
+        self.period = period
+        self.rounds = 0
+        self.uploaded_txid = -1
+        cluster.net.register(CHECKPOINT_ENDPOINT)
+
+    def start(self) -> None:
+        self.cluster.spawn(CHECKPOINT_ENDPOINT, self.run())
+
+    def run(self):
+        while True:
+            yield self.jitter(self.period)
+            yield from self.checkpoint_once()
+
+    def checkpoint_once(self):
+        """Download edits, merge into an image, upload it back."""
+        txid = self.namenode.edits_txid
+        if txid == self.uploaded_txid:
+            # Nothing new since the last (recorded-as-successful) upload.
+            # Combined with the ignore-bug below, a failed upload is never
+            # redone: the image stays stale for good.
+            self.log.debug("Checkpoint image already recorded at txid %d", txid)
+            return
+        try:
+            self.env.net_transfer(NN_ENDPOINT, CHECKPOINT_ENDPOINT, size=txid + 1)
+        except SimException as error:
+            self.log.warn("Checkpoint download of edits failed: %s", error)
+            return
+        yield self.jitter(0.1)
+        image_path = f"/checkpoint/fsimage.{txid}"
+        try:
+            self.env.disk_write(image_path, b"image" + str(txid).encode())
+            self.env.disk_sync(image_path)
+        except IOException as error:
+            self.log.warn("Failed writing merged image %s: %s", image_path, error)
+            return
+        try:
+            self.env.net_transfer(CHECKPOINT_ENDPOINT, NN_ENDPOINT, size=txid + 1)
+            self.env.sock_send(CHECKPOINT_ENDPOINT, NN_ENDPOINT, "upload_image", txid)
+        except SimException as error:
+            # HDFS-12248: the exception is ignored and the round is still
+            # recorded as a successful checkpoint.
+            self.log.warn(
+                "Ignoring exception during image transfer to namenode: %s", error
+            )
+        self.uploaded_txid = txid
+        self.rounds += 1
+        self.cluster.state["checkpoint_rounds"] = self.rounds
+        self.cluster.state["checkpoint_txid"] = txid
+        self.log.info("Checkpoint round %d done at txid %d", self.rounds, txid)

@@ -1,0 +1,217 @@
+"""MiniDFS client: pipelined writes, token-gated reads.
+
+Seeded defects:
+
+* HDFS-13039 — setting up a write pipeline opens a socket to each
+  datanode; when the *second* connect fails, the block is abandoned and
+  retried, but the first socket is never closed (a leak per abandoned
+  block).
+* HDFS-16332 — a failure while fetching the block token is swallowed and
+  the unusable token is cached; every read is then denied and retried
+  against the same datanode with growing backoff before the client
+  finally refreshes the token — reads succeed, but orders of magnitude
+  slower.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+from .namenode import NN_ENDPOINT
+
+TOKEN_RETRIES = 4
+
+
+class DfsClient(Component):
+    def __init__(self, cluster, name: str) -> None:
+        super().__init__(cluster, name=name)
+        self.inbox = cluster.net.register(name)
+        self.open_sockets = 0
+        self.token = None
+
+    # ---------------------------------------------------------------- plumbing
+
+    def call_nn(self, kind: str, payload):
+        """RPC to the namenode with retries; returns the reply or None."""
+        for attempt in range(1, 3):
+            try:
+                self.env.sock_send(
+                    self.name, NN_ENDPOINT, kind, payload, reply_to=self.name
+                )
+            except SocketException as error:
+                self.log.warn(
+                    "Client %s failed calling %s: %s", self.name, kind, error
+                )
+                yield self.sleep(0.1)
+                continue
+            raw = yield self.inbox.get(timeout=2.0)
+            if raw is None:
+                self.log.warn(
+                    "Client %s: %s RPC timed out (attempt %d)",
+                    self.name,
+                    kind,
+                    attempt,
+                )
+                continue
+            try:
+                return self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Client %s: bad %s reply: %s", self.name, kind, error)
+                continue
+        return None
+
+    # ------------------------------------------------------------------ writes
+
+    def write_file(self, path: str, blocks: int):
+        """Create a file, push blocks through a two-node pipeline, close."""
+        reply = yield from self.call_nn("create", path)
+        if reply is None or reply.kind != "create_ack":
+            self.log.error("Client %s could not create %s", self.name, path)
+            return False
+        pipeline = reply.payload["pipeline"]
+        for index in range(blocks):
+            block = f"{path.replace('/', '_')}-blk{index}"
+            ok = yield from self.write_block(block, pipeline)
+            if not ok:
+                self.log.warn("Client %s giving up block %s", self.name, block)
+            reply = yield from self.call_nn("add_block", (path, block))
+            if reply is None:
+                return False
+            yield self.jitter(0.1)
+        yield from self.call_nn("complete", path)
+        self.log.info("Client %s finished writing %s", self.name, path)
+        done = self.cluster.state.setdefault("files_written", [])
+        done.append(path)
+        return True
+
+    def write_block(self, block: str, pipeline):
+        """Set up the pipeline sockets and ship the block (HDFS-13039)."""
+        for attempt in range(1, 3):
+            acquired = 0
+            try:
+                self.env.sock_connect(self.name, pipeline[0])
+                self.open_sockets += 1
+                acquired = 1
+                if len(pipeline) > 1:
+                    self.env.sock_connect(self.name, pipeline[1])
+                    self.open_sockets += 1
+                    acquired = 2
+            except IOException as error:
+                # HDFS-13039: the already-open first socket is never
+                # closed when the mirror connect fails.
+                self.log.warn(
+                    "Abandoning block %s: pipeline setup failed (attempt %d): %s",
+                    block,
+                    attempt,
+                    error,
+                )
+                self.cluster.state["leaked_sockets"] = (
+                    self.cluster.state.get("leaked_sockets", 0) + acquired
+                )
+                yield self.sleep(0.1)
+                continue
+            try:
+                self.env.sock_send(
+                    self.name,
+                    pipeline[0],
+                    "write_block",
+                    (block, b"data" * 8),
+                    reply_to=self.name,
+                )
+            except SocketException as error:
+                self.log.warn("Client %s failed shipping %s: %s", self.name, block, error)
+                self.open_sockets -= acquired
+                yield self.sleep(0.1)
+                continue
+            raw = yield self.inbox.get(timeout=2.0)
+            self.open_sockets -= acquired
+            if raw is None:
+                self.log.warn("Write of %s timed out", block)
+                continue
+            try:
+                reply = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Bad write ack for %s: %s", block, error)
+                continue
+            if reply.kind == "write_ok":
+                return True
+        return False
+
+    # ------------------------------------------------------------------- reads
+
+    def fetch_token(self):
+        """Get a block token from the namenode (HDFS-16332 surface)."""
+        try:
+            self.env.sock_send(
+                self.name, NN_ENDPOINT, "get_token", None, reply_to=self.name
+            )
+        except SocketException as error:
+            self.log.warn("Token request failed: %s", error)
+            self.token = None
+            return
+        raw = yield self.inbox.get(timeout=2.0)
+        if raw is None:
+            self.log.warn("Token request timed out")
+            self.token = None
+            return
+        try:
+            reply = self.env.sock_recv(raw)
+        except IOException as error:
+            # HDFS-16332: the failure is swallowed and the dead token is
+            # cached; reads will be denied until a refresh much later.
+            self.log.warn("Failed fetching block token, using cached: %s", error)
+            self.token = {"token": None}
+            return
+        self.token = reply.payload
+        self.log.debug("Client %s obtained block token", self.name)
+
+    def read_block(self, block: str, datanode: str):
+        """Read one block; token denials retry slowly (HDFS-16332)."""
+        started = self.sim.now
+        if self.token is None:
+            yield from self.fetch_token()
+        for attempt in range(1, TOKEN_RETRIES + 3):
+            try:
+                self.env.sock_send(
+                    self.name,
+                    datanode,
+                    "read_block",
+                    (block, self.token),
+                    reply_to=self.name,
+                )
+            except SocketException as error:
+                self.log.warn("Read request for %s failed: %s", block, error)
+                yield self.sleep(0.2)
+                continue
+            raw = yield self.inbox.get(timeout=2.0)
+            if raw is None:
+                self.log.warn("Read of %s timed out", block)
+                continue
+            try:
+                reply = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Bad read reply for %s: %s", block, error)
+                continue
+            if reply.kind == "read_ok":
+                duration = self.sim.now - started
+                total = self.cluster.state.get("read_seconds", 0.0)
+                self.cluster.state["read_seconds"] = total + duration
+                self.cluster.state["slowest_read"] = max(
+                    self.cluster.state.get("slowest_read", 0.0), duration
+                )
+                return reply.payload[1]
+            if reply.kind == "read_denied":
+                if attempt <= TOKEN_RETRIES:
+                    # The defect: retry the same datanode with growing
+                    # backoff instead of refreshing the token.
+                    self.log.warn(
+                        "Block token is expired for %s, retrying read "
+                        "(attempt %d)",
+                        block,
+                        attempt,
+                    )
+                    yield self.sleep(0.5 * attempt)
+                    continue
+                self.log.info("Refreshing block token for %s after retries", block)
+                yield from self.fetch_token()
+        return None

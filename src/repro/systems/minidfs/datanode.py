@@ -1,0 +1,158 @@
+"""MiniDFS datanode: registration, block serving, recovery participation.
+
+Seeded defect (HDFS-14333): a disk error while persisting the VERSION
+file during registration makes the datanode give up starting entirely —
+no retry, no cleanup — so the cluster silently runs under-replicated.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+from .namenode import NN_ENDPOINT
+
+
+class DataNode(Component):
+    def __init__(self, cluster, name: str) -> None:
+        super().__init__(cluster, name=name)
+        self.inbox = cluster.net.register(name)
+        self.blocks: dict[str, bytes] = {}
+        self.started = False
+        self.token_valid = True
+
+    def start(self) -> None:
+        self.cluster.spawn(f"{self.name}-main", self.main())
+
+    def main(self):
+        registered = yield from self.register()
+        if not registered:
+            return
+        self.started = True
+        started = self.cluster.state.setdefault("datanodes_started", [])
+        started.append(self.name)
+        self.cluster.spawn(f"{self.name}-serve", self.serve_loop())
+        while True:
+            yield self.jitter(1.0)
+            try:
+                self.env.sock_send(
+                    self.name, NN_ENDPOINT, "heartbeat", self.name,
+                    reply_to=self.name,
+                )
+            except SocketException as error:
+                self.log.warn("Heartbeat from %s failed: %s", self.name, error)
+
+    def register(self):
+        """Register with the namenode and persist VERSION (HDFS-14333)."""
+        for attempt in range(1, 4):
+            try:
+                self.env.sock_send(
+                    self.name, NN_ENDPOINT, "register", self.name,
+                    reply_to=self.name,
+                )
+            except SocketException as error:
+                self.log.warn(
+                    "Registration send attempt %d from %s failed: %s",
+                    attempt,
+                    self.name,
+                    error,
+                )
+                yield self.sleep(0.3)
+                continue
+            raw = yield self.inbox.get(timeout=2.0)
+            if raw is None:
+                self.log.warn("Registration of %s timed out, retrying", self.name)
+                continue
+            try:
+                self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Bad registration ack for %s: %s", self.name, error)
+                continue
+            try:
+                self.env.disk_write(f"/{self.name}/VERSION", b"storage-1")
+            except IOException as error:
+                # HDFS-14333: the datanode gives up starting entirely.
+                self.log.exception(
+                    "Failed to start datanode %s: could not write storage "
+                    "VERSION file",
+                    self.name,
+                    exc=error,
+                )
+                return False
+            self.log.info("Datanode %s registered with namenode", self.name)
+            return True
+        self.log.error("Datanode %s could not register after retries", self.name)
+        return False
+
+    # ----------------------------------------------------------------- serving
+
+    def serve_loop(self):
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+                if self.sim.random.random() < 0.03:
+                    raise IOException("checksum error in data packet")
+            except IOException as error:
+                self.log.warn("Datanode %s dropped bad packet: %s", self.name, error)
+                continue
+            if message.kind == "write_block":
+                self.handle_write_block(message)
+            elif message.kind == "read_block":
+                self.handle_read_block(message)
+            elif message.kind == "recover_block":
+                yield from self.handle_recover_block(message)
+
+    def handle_write_block(self, message) -> None:
+        block, data = message.payload
+        try:
+            self.env.disk_write(f"/{self.name}/{block}", data)
+        except IOException as error:
+            self.log.warn("Datanode %s failed storing %s: %s", self.name, block, error)
+            self.send_to(message.reply_to or message.src, "write_failed", block)
+            return
+        self.blocks[block] = data
+        self.send_to(message.reply_to or message.src, "write_ok", block)
+
+    def handle_read_block(self, message) -> None:
+        block, token = message.payload
+        if not token or token.get("token") is None:
+            # Token checks are strict: an unusable token is rejected.
+            self.log.info(
+                "Rejecting read of %s: block token is expired or missing", block
+            )
+            self.send_to(message.reply_to or message.src, "read_denied", block)
+            return
+        try:
+            data = self.env.disk_read(f"/{self.name}/{block}")
+        except IOException as error:
+            self.log.warn("Datanode %s failed reading %s: %s", self.name, block, error)
+            self.send_to(message.reply_to or message.src, "read_failed", block)
+            return
+        self.send_to(message.reply_to or message.src, "read_ok", (block, data))
+
+    def handle_recover_block(self, message):
+        """Finalize the last block of a file under lease recovery."""
+        path = message.payload
+        self.log.info("Datanode %s initiating block recovery for %s", self.name, path)
+        yield self.jitter(0.2)
+        marker = f"/{self.name}/recovery-{path.replace('/', '_')}"
+        try:
+            self.env.disk_write(marker, b"finalized")
+            self.env.disk_sync(marker)
+        except IOException as error:
+            self.log.warn(
+                "Recovery finalization for %s failed on %s: %s",
+                path,
+                self.name,
+                error,
+            )
+            return
+        self.send_to(NN_ENDPOINT, "recovery_done", path)
+
+    def send_to(self, target: str, kind: str, payload) -> None:
+        try:
+            self.env.sock_send(self.name, target, kind, payload)
+        except SocketException as error:
+            self.log.warn("Datanode %s failed sending %s: %s", self.name, kind, error)

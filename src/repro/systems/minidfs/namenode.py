@@ -1,0 +1,190 @@
+"""MiniDFS namenode: namespace, leases, block recovery, edit log rolling.
+
+Seeded defects:
+
+* HDFS-12070 — a failed block-recovery RPC is logged but never retried,
+  so the file under recovery stays open indefinitely.
+* HDFS-4233 — a failure while rolling the edit log invalidates the
+  backup image, but the namenode keeps serving as if nothing happened.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import FileNotFoundException, IOException, SocketException
+from ..base import Component
+
+NN_ENDPOINT = "nn:rpc"
+LEASE_TIMEOUT = 2.0
+
+
+class NameNode(Component):
+    def __init__(self, cluster, name: str = "nn") -> None:
+        super().__init__(cluster, name=name)
+        self.inbox = cluster.net.register(NN_ENDPOINT)
+        self.datanodes: list[str] = []
+        self.files: dict[str, dict] = {}
+        self.open_files: dict[str, float] = {}  # path -> lease deadline
+        self.edits_txid = 0
+        self.backup_valid = True
+        self.serving = False
+        self.backup_image_txid = -1
+        self.recovery_attempted: set[str] = set()
+
+    def start(self) -> None:
+        # Seed the current edit segment so the first roll has a file even
+        # before any RPC traffic arrives.
+        self.cluster.disk.write("/nn/edits.current", b"")
+        self.cluster.spawn(f"{self.name}-rpc", self.rpc_loop())
+        self.cluster.spawn(f"{self.name}-lease", self.lease_monitor())
+        self.cluster.spawn(f"{self.name}-editroll", self.edit_roll_loop())
+        self.serving = True
+        self.cluster.state["nn_serving"] = True
+        self.log.info("NameNode %s started and serving", self.name)
+
+    # --------------------------------------------------------------------- rpc
+
+    def rpc_loop(self):
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+                if self.sim.random.random() < 0.03:
+                    raise IOException("RPC header version mismatch")
+            except IOException as error:
+                self.log.warn("NameNode dropped malformed RPC: %s", error)
+                continue
+            handler = getattr(self, f"handle_{message.kind}", None)
+            if handler is None:
+                self.log.warn("NameNode got unknown RPC kind %s", message.kind)
+                continue
+            handler(message)
+            if message.kind in ("create", "add_block", "complete", "register"):
+                self.edits_txid += 1
+                try:
+                    self.env.disk_append(
+                        "/nn/edits.current", f"{message.kind}\n".encode()
+                    )
+                except IOException as error:
+                    self.log.warn("Failed journaling %s: %s", message.kind, error)
+
+    def reply(self, message, kind: str, payload) -> None:
+        target = message.reply_to or message.src
+        try:
+            self.env.sock_send(self.name, target, kind, payload)
+        except SocketException as error:
+            self.log.warn("NameNode failed replying %s to %s: %s", kind, target, error)
+
+    def handle_register(self, message) -> None:
+        datanode = message.payload
+        if datanode not in self.datanodes:
+            self.datanodes.append(datanode)
+        self.log.info("Registered datanode %s", datanode)
+        self.reply(message, "register_ack", {"node": datanode})
+
+    def handle_heartbeat(self, message) -> None:
+        self.reply(message, "heartbeat_ack", None)
+
+    def handle_create(self, message) -> None:
+        path = message.payload
+        self.files[path] = {"blocks": [], "closed": False}
+        self.open_files[path] = self.sim.now + LEASE_TIMEOUT
+        self.cluster.state["open_files"] = sorted(self.open_files)
+        self.log.info("Allocated file %s for client %s", path, message.src)
+        pipeline = self.datanodes[:2] if len(self.datanodes) >= 2 else self.datanodes
+        self.reply(message, "create_ack", {"path": path, "pipeline": pipeline})
+
+    def handle_add_block(self, message) -> None:
+        path, block = message.payload
+        if path in self.files:
+            self.files[path]["blocks"].append(block)
+            self.open_files[path] = self.sim.now + LEASE_TIMEOUT
+        self.reply(message, "block_ack", block)
+
+    def handle_complete(self, message) -> None:
+        path = message.payload
+        if path in self.files:
+            self.files[path]["closed"] = True
+        self.open_files.pop(path, None)
+        self.cluster.state["open_files"] = sorted(self.open_files)
+        self.log.info("File %s is closed", path)
+        self.reply(message, "complete_ack", path)
+
+    def handle_get_token(self, message) -> None:
+        self.reply(message, "token", {"token": f"tok-{self.edits_txid}"})
+
+    def handle_recovery_done(self, message) -> None:
+        path = message.payload
+        self.open_files.pop(path, None)
+        self.cluster.state["open_files"] = sorted(self.open_files)
+        if path in self.files:
+            self.files[path]["closed"] = True
+        self.log.info("Block recovery for %s completed, lease released", path)
+
+    def handle_upload_image(self, message) -> None:
+        txid = message.payload
+        self.backup_image_txid = txid
+        self.cluster.state["nn_backup_txid"] = txid
+        self.log.info("Accepted checkpoint image at txid %d", txid)
+
+    # ------------------------------------------------------------------ leases
+
+    def lease_monitor(self):
+        """Expire leases and trigger block recovery (HDFS-12070 surface)."""
+        while True:
+            yield self.jitter(0.5)
+            now = self.sim.now
+            for path, deadline in list(self.open_files.items()):
+                if now < deadline or path in self.recovery_attempted:
+                    continue
+                self.recovery_attempted.add(path)
+                self.log.info(
+                    "Lease for %s expired, starting block recovery", path
+                )
+                if not self.datanodes:
+                    continue
+                primary = self.datanodes[0]
+                try:
+                    self.env.sock_send(
+                        self.name, primary, "recover_block", path,
+                        reply_to=NN_ENDPOINT,
+                    )
+                except SocketException as error:
+                    # HDFS-12070: the failure is logged and the recovery is
+                    # never scheduled again — the file stays open forever.
+                    self.log.error(
+                        "Failed to recover block for %s: %s, giving up this "
+                        "recovery round",
+                        path,
+                        error,
+                    )
+
+    # --------------------------------------------------------------- edit roll
+
+    def edit_roll_loop(self):
+        """Roll the edit log periodically (HDFS-4233 surface)."""
+        while True:
+            yield self.jitter(1.5)
+            try:
+                data = self.env.disk_read("/nn/edits.current")
+            except FileNotFoundException as error:
+                # HDFS-4233: the rolling backup is now invalid, but the
+                # namenode keeps serving as if nothing happened.
+                self.backup_valid = False
+                self.cluster.state["backup_valid"] = False
+                self.log.error(
+                    "Unable to roll edit log, backup image is invalid: %s", error
+                )
+                continue
+            except IOException as error:
+                self.log.warn("Transient edit roll failure: %s", error)
+                continue
+            segment = f"/nn/edits.{self.edits_txid}"
+            try:
+                self.env.disk_write(segment, data)
+                self.env.disk_write("/nn/edits.current", b"")
+            except IOException as error:
+                self.log.warn("Failed writing rolled segment %s: %s", segment, error)
+                continue
+            self.log.info("Rolled edit log at txid %d", self.edits_txid)

@@ -1,0 +1,16 @@
+"""MiniHBase: a miniature HBase-like region server stack.
+
+Centerpiece: the asynchronous WAL of the paper's motivating example
+(HBase-25905, Figure 1) — a serial consumer, an ``unacked_appends`` retry
+queue, batch-limited sync, and a ``wait_for_safe_point`` roll protocol
+over a breakable DFS output stream.  Also: replication queues with
+claimable locks (HBase-16144), a WAL reader for replication
+(HBase-18137), batched mutation decoding with a shared cell scanner
+(HBase-19876), log splitting (HBase-20583), and a procedure executor
+(HBase-19608).
+"""
+
+from .regionserver import RegionServer
+from .wal import AsyncWal, LogRoller
+
+__all__ = ["AsyncWal", "LogRoller", "RegionServer"]

@@ -1,0 +1,123 @@
+"""DFS output streams for the WAL (the HDFS dependency of HBase).
+
+A :class:`DfsOutputStream` ships WAL entries as packets to a small DFS
+service task and consumes per-packet acks on a reader task — the
+``channelRead0`` path of the motivating example.  A bad or faulted ack
+read breaks the stream; recovery is the WAL's job (roll to a new writer),
+exactly the recoverable-stream design HBase-25905 describes.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+DFS_ENDPOINT = "dfs-service"
+
+
+class MiniDfsService(Component):
+    """Datanode analog: acks every WAL packet after a short delay."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name="dfs-service")
+        self.inbox = cluster.net.register(DFS_ENDPOINT)
+        self.blocks_received = 0
+
+    def start(self) -> None:
+        self.cluster.spawn("dfs-service", self.serve())
+
+    def serve(self):
+        self.log.info("DFS service started, ready to receive blocks")
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("DFS dropped malformed packet: %s", error)
+                continue
+            self.blocks_received += 1
+            if self.sim.random.random() < 0.04:
+                self.log.warn(
+                    "Slow block receiver, pipeline congestion at packet %d",
+                    self.blocks_received,
+                )
+                yield self.jitter(0.03)
+            if self.blocks_received % 50 == 0:
+                self.log.info("DFS received %d blocks so far", self.blocks_received)
+            yield self.jitter(0.01)
+            stream_id, seq = message.payload
+            for attempt in range(3):
+                try:
+                    self.env.sock_send(
+                        self.name,
+                        message.reply_to,
+                        "ack",
+                        {"stream": stream_id, "seq": seq, "status": "SUCCESS"},
+                    )
+                except IOException as error:
+                    self.log.warn(
+                        "DFS failed to ack packet %d (attempt %d): %s",
+                        seq,
+                        attempt + 1,
+                        error,
+                    )
+                    yield self.jitter(0.02)
+                    continue
+                break
+
+
+class DfsOutputStream(Component):
+    """One write pipeline to DFS; breaks permanently on a bad ack."""
+
+    def __init__(self, cluster, owner: str, path: str, stream_id: int = 0) -> None:
+        self.stream_id = stream_id
+        super().__init__(cluster, name=f"{owner}-stream{self.stream_id}")
+        self.owner = owner
+        self.path = path
+        self.ack_endpoint = f"{owner}:acks{self.stream_id}"
+        self.ack_inbox = cluster.net.register(self.ack_endpoint)
+        self.broken = False
+        self.next_seq = 0
+
+    def create(self) -> None:
+        """Create the backing file (WAL creation step 1 of the incident)."""
+        self.env.disk_write(self.path, b"WALHDR\n")
+        self.log.info("Created new WAL file %s", self.path)
+
+    def write_packet(self, seq: int) -> None:
+        """Ship one entry packet to DFS; raises on transport faults."""
+        if self.broken:
+            raise IOException(f"stream {self.stream_id} already broken")
+        self.env.sock_send(
+            self.owner,
+            DFS_ENDPOINT,
+            "packet",
+            (self.stream_id, seq),
+            reply_to=self.ack_endpoint,
+        )
+
+    def read_ack(self, raw):
+        """Decode one pipeline ack — the ``channelRead0`` fault surface.
+
+        A transport fault or a non-SUCCESS status raises IOException; the
+        caller (the WAL's ack reader) treats that as a broken stream.
+        """
+        message = self.env.sock_recv(raw)
+        if message.payload.get("status") != "SUCCESS":
+            raise IOException(
+                f"Bad response for block write on stream {self.stream_id}"
+            )
+        return message.payload["seq"]
+
+    def persist(self, data: bytes) -> None:
+        """Append the acked entry's bytes to the backing file."""
+        self.env.disk_append(self.path, data)
+
+    def close(self) -> None:
+        try:
+            self.env.disk_sync(self.path)
+            self.log.info("Closed WAL file %s", self.path)
+        except IOException as error:
+            self.log.warn("Failed to finalize %s on close: %s", self.path, error)

@@ -1,0 +1,107 @@
+"""Master procedure executor (the HBase-19608 surface).
+
+Procedures execute steps that persist state to the master store.  A step
+that fails with an IOException flips the executor's ``failed`` latch and
+is then retried (successfully) — but the latch is never cleared, so every
+*later* procedure is refused even though nothing is actually wrong.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException
+from ..base import Component
+
+STEP_RETRIES = 3
+
+
+class MasterChore(Component):
+    """Background master housekeeping: metrics flushes and janitor scans.
+
+    Pure steady-state activity — realistic log volume and extra fault
+    sites around the procedure executor's workload.
+    """
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name="master-chore")
+        self.scans = 0
+
+    def start(self) -> None:
+        self.cluster.spawn("master-chore", self.run())
+
+    def run(self):
+        while True:
+            yield self.jitter(0.8)
+            self.scans += 1
+            try:
+                self.env.disk_write(
+                    f"/hbase/master/metrics.{self.scans}", b"m" * 16
+                )
+                self.env.disk_delete(f"/hbase/master/metrics.{self.scans - 2}")
+            except IOException as error:
+                self.log.warn("Metrics flush %d failed: %s", self.scans, error)
+                continue
+            if self.scans % 2 == 0:
+                self.log.info(
+                    "Catalog janitor scanned %d regions, nothing to clean",
+                    8 + self.scans,
+                )
+
+
+class ProcedureExecutor(Component):
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name="proc-executor")
+        self.failed = False
+        self.completed = 0
+
+    def start(self, procedures) -> None:
+        self.cluster.spawn("proc-executor", self.run(list(procedures)))
+
+    def run(self, procedures):
+        yield self.sleep(0.2)
+        for proc_id, steps in enumerate(procedures, start=1):
+            if self.failed:
+                # HB-19608: the stale latch rejects healthy procedures.
+                self.log.error(
+                    "Procedure executor is aborting, cannot run procedure %d",
+                    proc_id,
+                )
+                continue
+            yield from self.execute_procedure(proc_id, steps)
+        self.cluster.state["procedures_completed"] = self.completed
+        self.log.info(
+            "Procedure executor finished, %d procedures completed", self.completed
+        )
+
+    def execute_procedure(self, proc_id: int, steps: int):
+        self.log.info("Executing procedure %d with %d steps", proc_id, steps)
+        for step in range(steps):
+            done = False
+            for attempt in range(1, STEP_RETRIES + 1):
+                try:
+                    self.persist_step(proc_id, step)
+                except IOException as error:
+                    # The latch is set on the first failure and never
+                    # cleared, even though the retry below succeeds.
+                    self.failed = True
+                    self.log.warn(
+                        "Procedure %d step %d attempt %d failed: %s",
+                        proc_id,
+                        step,
+                        attempt,
+                        error,
+                    )
+                    yield self.sleep(0.1)
+                    continue
+                done = True
+                break
+            if not done:
+                self.log.error("Procedure %d step %d failed permanently", proc_id, step)
+                return
+            yield self.sleep(0.05)
+        self.completed += 1
+        self.log.info("Procedure %d finished", proc_id)
+
+    def persist_step(self, proc_id: int, step: int) -> None:
+        path = f"/hbase/master/proc/{proc_id}/{step}"
+        self.env.disk_write(path, b"state")
+        self.env.disk_sync(path)

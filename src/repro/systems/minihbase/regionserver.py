@@ -1,0 +1,224 @@
+"""Region server: regions, flushes, batched mutations, and abort.
+
+Seeded defects:
+
+* HBase-25905 — exercised through the WAL (see :mod:`.wal`): region
+  flushes wait on sync futures with a deadline and log the classic
+  "Failed to get sync result" timeout when the WAL system stalls.
+* HBase-19876 — the batched-mutation path decodes cells from a shared
+  cell scanner; a decode failure for one non-atomic mutation skips the
+  scanner advance, silently misaligning every later mutation in the
+  batch (corrupted writes).
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException, TimeoutIOException
+from ..base import Component
+from .wal import AsyncWal, LogRoller
+
+FLUSH_TIMEOUT = 1.2
+
+
+class CellScanner:
+    """Shared cursor over a batch's cell block."""
+
+    def __init__(self, cells) -> None:
+        self._cells = list(cells)
+        self._index = 0
+
+    def current(self):
+        if self._index >= len(self._cells):
+            raise IOException("CellScanner exhausted")
+        return self._cells[self._index]
+
+    def advance(self) -> None:
+        self._index += 1
+
+
+class Region(Component):
+    """One region: an in-memory store whose edits go through the WAL."""
+
+    def __init__(self, cluster, rs, region_name: str) -> None:
+        super().__init__(cluster, name=f"{rs.name}-{region_name}")
+        self.rs = rs
+        self.region_name = region_name
+        self.data: dict[str, str] = {}
+        self.edits = 0
+
+    def put(self, key: str, value: str) -> None:
+        self.data[key] = value
+        self.edits += 1
+        self.cluster.state.setdefault("region_data", {})[key] = value
+
+    def write_burst(self, count: int):
+        """Append a burst of edits to the WAL (makes the pipeline deep)."""
+        for i in range(count):
+            payload = f"{self.region_name}-edit-{self.edits + i}\n".encode()
+            self.rs.wal.append(payload)
+        yield self.sleep(0.0)
+        self.edits += count
+
+    def flush(self):
+        """Write a flush marker and wait for its sync (HB-25905 symptom)."""
+        future = self.rs.wal.append(f"FLUSH {self.region_name}\n".encode())
+        try:
+            yield from self.rs.wal.get_sync_result(future, FLUSH_TIMEOUT)
+        except TimeoutIOException as error:
+            self.log.warn(
+                "Failed to get sync result after %d ms for region %s: %s, "
+                "WAL system stuck?",
+                int(FLUSH_TIMEOUT * 1000),
+                self.region_name,
+                error,
+            )
+            return False
+        self.log.debug("Flushed region %s", self.region_name)
+        return True
+
+
+class RegionServer(Component):
+    def __init__(self, cluster, rs_name: str, roll_period: float = 2.0) -> None:
+        super().__init__(cluster, name=rs_name)
+        self.wal = AsyncWal(cluster, rs_name)
+        self.roller = LogRoller(cluster, self.wal, period=roll_period)
+        self.regions: list[Region] = []
+        self.multi_inbox = cluster.net.register(f"{rs_name}:multi")
+        self.aborted = False
+
+    def add_region(self, region_name: str) -> Region:
+        region = Region(self.cluster, self, region_name)
+        self.regions.append(region)
+        return region
+
+    def start(self, burst: int = 5, burst_period: float = 0.4) -> None:
+        self.cluster.spawn(f"{self.name}-boot", self.boot(burst, burst_period))
+
+    def boot(self, burst: int, burst_period: float):
+        yield from self.wal.start()
+        self.log.info("Region server %s opened its WAL", self.name)
+        self.roller.start()
+        for region in self.regions:
+            self.cluster.spawn(
+                f"{self.name}-writer-{region.region_name}",
+                self.region_write_loop(region, burst, burst_period),
+            )
+        self.cluster.spawn(f"{self.name}-flusher", self.flush_loop())
+        self.cluster.spawn(f"{self.name}-multi", self.multi_loop())
+        self.cluster.state["rs_started"] = True
+
+    def region_write_loop(self, region: Region, burst: int, period: float):
+        while not self.aborted:
+            yield from region.write_burst(burst)
+            yield self.jitter(period)
+
+    def flush_loop(self):
+        while not self.aborted:
+            yield self.jitter(1.0)
+            for region in self.regions:
+                ok = yield from region.flush()
+                if not ok:
+                    self.cluster.state["flush_timeouts"] = (
+                        self.cluster.state.get("flush_timeouts", 0) + 1
+                    )
+
+    # -------------------------------------------------------------- mutations
+
+    def multi_loop(self):
+        """Serve batched mutations (HB-19876 surface)."""
+        while not self.aborted:
+            raw = yield self.multi_inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Dropped malformed multi request: %s", error)
+                continue
+            actions, cells, atomic = message.payload
+            try:
+                results = self.apply_batch(actions, cells, atomic)
+            except IOException as error:
+                self.log.error("Atomic batch failed entirely: %s", error)
+                results = [("failed", action) for action in actions]
+            if message.reply_to:
+                try:
+                    self.env.sock_send(self.name, message.reply_to, "multi_resp", results)
+                except SocketException as error:
+                    self.log.warn("Failed to send multi response: %s", error)
+
+    def apply_batch(self, actions, cells, atomic: bool):
+        """Decode and apply mutations sharing one cell scanner.
+
+        The seeded bug: a decode failure in the non-atomic path does not
+        advance the scanner, so every subsequent mutation reads its
+        predecessor's cell.
+        """
+        scanner = CellScanner(cells)
+        region = self.regions[0]
+        results = []
+        for action in actions:
+            try:
+                value = self.env.codec_decode(scanner.current())
+            except IOException as error:
+                if atomic:
+                    raise
+                self.log.warn(
+                    "Failed converting mutation %s to put: %s", action, error
+                )
+                results.append(("exception", action))
+                continue
+            scanner.advance()
+            region.put(action, value)
+            results.append(("ok", action))
+        return results
+
+    # ------------------------------------------------------------------ abort
+
+    def abort(self, reason: str, error: BaseException) -> None:
+        """Abort the region server (common HBase failure policy)."""
+        self.aborted = True
+        self.cluster.state[f"{self.name}_aborted"] = True
+        self.log.exception(
+            "ABORTING region server %s: %s", self.name, reason, exc=error
+        )
+
+
+class MultiClient(Component):
+    """Client issuing batched mutations against a region server."""
+
+    def __init__(self, cluster, name: str, rs_name: str, batches) -> None:
+        super().__init__(cluster, name=name)
+        self.rs_name = rs_name
+        self.batches = list(batches)
+        self.inbox = cluster.net.register(name)
+
+    def start(self) -> None:
+        self.cluster.spawn(self.name, self.run())
+
+    def run(self):
+        yield self.sleep(0.5)  # wait for the region server to boot
+        for batch_index, (actions, cells, atomic) in enumerate(self.batches):
+            try:
+                self.env.sock_send(
+                    self.name,
+                    f"{self.rs_name}:multi",
+                    "multi",
+                    (actions, cells, atomic),
+                    reply_to=self.name,
+                )
+            except SocketException as error:
+                self.log.warn("Failed to send batch %d: %s", batch_index, error)
+                continue
+            raw = yield self.inbox.get(timeout=2.0)
+            if raw is None:
+                self.log.warn("Batch %d timed out", batch_index)
+                continue
+            try:
+                self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Failed to read batch %d response: %s", batch_index, error)
+                continue
+            self.log.info("Batch %d applied", batch_index)
+            yield self.jitter(0.3)
+        self.cluster.state["multi_client_done"] = True

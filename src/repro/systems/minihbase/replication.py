@@ -1,0 +1,202 @@
+"""WAL replication: tailing sources and claimable replication queues.
+
+Seeded defects:
+
+* HBase-18137 — the tailing reader only advances past a finished WAL
+  file when it has shipped at least one edit from it, so a WAL that was
+  created and then abandoned empty (stream broke before the first
+  persist) pins the reader forever: replication lag grows while the
+  reader spins on the empty file.
+* HBase-16144 — a region server that aborts while holding the
+  replication queue lock never releases it; every other server's claim
+  loop retries forever.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+PEER_ENDPOINT = "replication-peer"
+WAL_HEADER = b"WALHDR\n"
+STUCK_ITERATIONS = 8
+
+
+class ReplicationPeer(Component):
+    """Remote cluster analog: swallows shipped edits."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name=PEER_ENDPOINT)
+        self.inbox = cluster.net.register(PEER_ENDPOINT)
+        self.received = 0
+
+    def start(self) -> None:
+        self.cluster.spawn(PEER_ENDPOINT, self.serve())
+
+    def serve(self):
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Peer dropped malformed edit batch: %s", error)
+                continue
+            self.received += len(message.payload)
+            self.cluster.state["peer_received"] = self.received
+
+
+class ReplicationSource(Component):
+    """Tails one region server's WAL files and ships edits to the peer."""
+
+    def __init__(self, cluster, rs_name: str) -> None:
+        super().__init__(cluster, name=f"{rs_name}-replication")
+        self.owner = rs_name
+        self.file_position = 0
+        self.offset = 0
+        self.shipped = 0
+        self.stuck_iterations = 0
+
+    def start(self) -> None:
+        self.cluster.spawn(f"{self.owner}-replication", self.tail_loop())
+
+    def closed_wals(self) -> set[str]:
+        return self.cluster.state.setdefault("closed_wals", set())
+
+    def tail_loop(self):
+        yield self.sleep(0.5)
+        while True:
+            files = self.env.disk_list(f"/hbase/{self.owner}/wal.")
+            if self.file_position >= len(files):
+                yield self.sleep(0.3)
+                continue
+            path = files[self.file_position]
+            try:
+                data = self.env.disk_read(path)
+            except IOException as error:
+                self.log.warn("Failed opening WAL %s for replication: %s", path, error)
+                yield self.sleep(0.3)
+                continue
+            entries = self.parse_entries(data)
+            fresh = entries[self.offset:]
+            if fresh:
+                self.ship(fresh)
+                self.offset += len(fresh)
+                self.stuck_iterations = 0
+            elif path in self.closed_wals() and self.offset > 0:
+                # Advance to the next WAL.  The seeded HB-18137 bug: the
+                # ``offset > 0`` guard means a finished-but-empty WAL can
+                # never be skipped.
+                self.log.info("Finished replicating WAL %s", path)
+                self.file_position += 1
+                self.offset = 0
+                self.stuck_iterations = 0
+            else:
+                self.stuck_iterations += 1
+                lag = self.cluster.state.get("wal_synced", 0) - self.shipped
+                if self.stuck_iterations >= STUCK_ITERATIONS and lag > 0:
+                    self.log.warn(
+                        "Replication source for %s is stuck on %s, "
+                        "lag is %d edits",
+                        self.owner,
+                        path,
+                        lag,
+                    )
+                    self.cluster.state["replication_stuck"] = True
+                yield self.sleep(0.3)
+                continue
+            yield self.sleep(0.1)
+
+    def parse_entries(self, data: bytes) -> list[bytes]:
+        body = data[len(WAL_HEADER):] if data.startswith(WAL_HEADER) else data
+        try:
+            decoded = self.env.codec_decode(body)
+            if self.sim.random.random() < 0.03:
+                raise IOException("WAL trailer not yet flushed")
+        except IOException as error:
+            self.log.warn("Failed decoding WAL entries: %s", error)
+            return []
+        return [line for line in decoded.split(b"\n") if line]
+
+    def ship(self, entries) -> None:
+        try:
+            self.env.sock_send(self.owner, PEER_ENDPOINT, "edits", list(entries))
+            if self.sim.random.random() < 0.04:
+                raise SocketException("broken pipe shipping to peer cluster")
+        except SocketException as error:
+            self.log.warn("Failed shipping %d edits: %s", len(entries), error)
+            return
+        self.shipped += len(entries)
+        self.cluster.state["replicated"] = self.shipped
+        if self.shipped % 40 == 0:
+            self.log.info(
+                "Replication source for %s shipped %d edits", self.owner, self.shipped
+            )
+
+
+class ReplicationQueueClaimer(Component):
+    """Claims a dead server's replication queue under a persistent lock.
+
+    The lock is a file on shared storage (the ZK-node analog).  The
+    seeded HB-16144 bug: processing the queue while holding the lock can
+    abort the region server, and the abort path never removes the lock
+    file, so later claimers spin forever.
+    """
+
+    LOCK_PATH = "/hbase/replication/claim.lock"
+    QUEUE_PATH = "/hbase/replication/queue"
+
+    def __init__(self, cluster, rs, delay: float = 0.0) -> None:
+        super().__init__(cluster, name=f"{rs.name}-claimer")
+        self.rs = rs
+        self.delay = delay
+
+    def start(self) -> None:
+        self.cluster.spawn(f"{self.rs.name}-claimer", self.claim_queue())
+
+    def claim_queue(self):
+        yield self.sleep(self.delay)
+        while True:
+            if not self.cluster.disk.exists(self.LOCK_PATH):
+                try:
+                    self.env.disk_write(self.LOCK_PATH, self.rs.name.encode())
+                except IOException as error:
+                    self.log.warn("Failed writing claim lock: %s", error)
+                    yield self.sleep(0.2)
+                    continue
+                self.log.info(
+                    "Region server %s acquired the replication queue lock",
+                    self.rs.name,
+                )
+                break
+            self.log.debug(
+                "Replication queue lock held by another server, %s retrying",
+                self.rs.name,
+            )
+            yield self.sleep(0.25)
+        yield from self.process_queue()
+
+    def process_queue(self):
+        """Replay the claimed queue; an unexpected fault aborts the RS."""
+        try:
+            raw = self.env.disk_read(self.QUEUE_PATH)
+        except IOException as error:
+            # The HB-16144 defect: abort without releasing the lock.
+            self.rs.abort("unexpected exception claiming replication queue", error)
+            return
+        entries = [line for line in raw.split(b"\n") if line]
+        for index, _entry in enumerate(entries):
+            yield self.sleep(0.05)
+            if index % 4 == 3:
+                self.log.debug(
+                    "Server %s replayed %d queued edits", self.rs.name, index + 1
+                )
+        self.env.disk_delete(self.LOCK_PATH)
+        done = self.cluster.state.setdefault("queues_claimed", [])
+        done.append(self.rs.name)
+        self.log.info(
+            "Server %s finished claiming the replication queue (%d edits)",
+            self.rs.name,
+            len(entries),
+        )

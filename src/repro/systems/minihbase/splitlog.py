@@ -1,0 +1,116 @@
+"""Distributed WAL splitting (the HBase-20583 surface).
+
+The split-log manager hands one task per WAL file of a dead server to
+split workers.  A worker that fails a task reports the error; the
+manager resubmits — but the seeded defect resubmits ``self.last_task``
+(the most recently *assigned* task) instead of the failed one, so the
+failed file is never split and the manager waits for it forever.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+
+class SplitWorker(Component):
+    def __init__(self, cluster, worker_name: str, manager_name: str) -> None:
+        super().__init__(cluster, name=worker_name)
+        self.manager_name = manager_name
+        self.inbox = cluster.net.register(worker_name)
+
+    def start(self) -> None:
+        self.cluster.spawn(self.name, self.work_loop())
+
+    def work_loop(self):
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Worker %s dropped bad task packet: %s", self.name, error)
+                continue
+            task_path = message.payload
+            yield self.jitter(0.1)
+            try:
+                data = self.env.disk_read(task_path)
+                recovered = f"{task_path}.recovered"
+                self.env.disk_write(recovered, data)
+            except IOException as error:
+                self.log.warn(
+                    "Worker %s failed split task %s: %s", self.name, task_path, error
+                )
+                self.report("split_failed", task_path)
+                continue
+            self.log.info("Worker %s finished splitting %s", self.name, task_path)
+            self.report("split_done", task_path)
+
+    def report(self, kind: str, task_path: str) -> None:
+        try:
+            self.env.sock_send(self.name, self.manager_name, kind, task_path)
+        except SocketException as error:
+            self.log.warn("Worker %s could not report %s: %s", self.name, kind, error)
+
+
+class SplitLogManager(Component):
+    def __init__(self, cluster, worker_names, wal_paths) -> None:
+        super().__init__(cluster, name="split-manager")
+        self.worker_names = list(worker_names)
+        self.wal_paths = list(wal_paths)
+        self.inbox = cluster.net.register("split-manager")
+        self.pending: set[str] = set()
+        self.last_task: str | None = None
+        self._next_worker = 0
+
+    def start(self) -> None:
+        self.cluster.spawn("split-manager", self.run())
+
+    def run(self):
+        yield self.sleep(0.2)
+        self.log.info("Started splitting %d WAL files", len(self.wal_paths))
+        for path in self.wal_paths:
+            self.assign(path)
+            yield self.sleep(0.05)
+        yield from self.wait_for_split()
+
+    def assign(self, task_path: str) -> None:
+        worker = self.worker_names[self._next_worker % len(self.worker_names)]
+        self._next_worker += 1
+        self.pending.add(task_path)
+        self.last_task = task_path
+        try:
+            self.env.sock_send(self.name, worker, "split_task", task_path)
+        except SocketException as error:
+            self.log.warn("Failed assigning %s to %s: %s", task_path, worker, error)
+        self.log.info("Assigned split task %s to worker %s", task_path, worker)
+
+    def wait_for_split(self):
+        """Collect completions; the defective resubmit path lives here."""
+        while self.pending:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                self.log.debug("Split manager still waiting on %d tasks", len(self.pending))
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Split manager dropped bad report: %s", error)
+                continue
+            task_path = message.payload
+            if message.kind == "split_done":
+                self.pending.discard(task_path)
+                self.log.info(
+                    "Split task %s done, %d remaining", task_path, len(self.pending)
+                )
+            elif message.kind == "split_failed":
+                # HB-20583: resubmits the most recently assigned task
+                # instead of the failed one.
+                resubmit = self.last_task
+                self.log.warn(
+                    "Split task failed, resubmitting task %s", resubmit
+                )
+                self.assign(resubmit)
+        self.cluster.state["split_complete"] = True
+        self.log.info("All WAL split tasks completed")

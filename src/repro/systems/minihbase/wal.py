@@ -1,0 +1,316 @@
+"""Asynchronous WAL — the motivating example's machinery (Figure 1).
+
+One serial consumer drives all WAL work: appends are staged in
+``to_write``, moved into the writer in batches of ``BATCH_SIZE``, shipped
+to DFS, and tracked in ``unacked_appends`` until the pipeline acks them.
+A broken stream (bad ack / transport fault) marks every in-flight entry
+for resend and rolls to a fresh writer; draining the retry backlog takes
+multiple consume cycles because of the batch limit.
+
+The seeded HBase-25905 defect: while a log roll is waiting for the safe
+point, ``consume`` neither appends new entries nor retries the backlog —
+so if the roll arrives while more than one batch of entries still needs
+resending, the consumer reaches a state where no future event will ever
+re-invoke it: ``ready_for_rolling`` is never signaled, the roller blocks
+in ``wait_for_safe_point`` forever, and every region flush times out
+waiting for its sync result.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from ...sim.errors import IOException, TimeoutIOException
+from ...sim.sync import Future
+from ..base import Component
+from .hdfs_stream import DfsOutputStream
+
+BATCH_SIZE = 3
+SYNC_POLL_INTERVAL = 0.05
+ACK_TIMEOUT = 1.0
+
+
+@dataclasses.dataclass
+class WalEntry:
+    txid: int
+    data: bytes
+    future: Future
+    needs_resend: bool = False
+    sent_at: float = -1.0
+
+
+class AsyncWal(Component):
+    def __init__(self, cluster, owner: str) -> None:
+        super().__init__(cluster, name=f"{owner}-wal")
+        self.owner = owner
+        self.consume_executor = cluster.serial_executor(f"{owner}-wal-consumer")
+        self.to_write: collections.deque[WalEntry] = collections.deque()
+        self.writer_buffer: list[WalEntry] = []
+        self.unacked_appends: collections.deque[WalEntry] = collections.deque()
+        self.writer: DfsOutputStream | None = None
+        self.next_txid = 0
+        self.wal_index = 0
+        self.waiting_roll = False
+        self.ready_for_rolling = False
+        self.ready_cond = cluster.condition(f"{owner}-readyForRolling")
+        self.synced_count = 0
+
+    # ------------------------------------------------------------------- boot
+
+    def start(self):
+        """Generator: open the first writer (called from the RS boot task)."""
+        yield from self.open_new_writer()
+        self.cluster.spawn(f"{self.owner}-wal-watchdog", self.ack_watchdog())
+
+    def open_new_writer(self):
+        """Create a fresh DFS stream; creation failures are retried."""
+        while True:
+            self.wal_index += 1
+            path = f"/hbase/{self.owner}/wal.{self.wal_index}"
+            stream = DfsOutputStream(
+                self.cluster, self.owner, path, stream_id=self.wal_index
+            )
+            try:
+                stream.create()
+            except IOException as error:
+                self.log.warn("Failed to create new WAL writer %s: %s", path, error)
+                yield self.sleep(0.2)
+                continue
+            break
+        self.writer = stream
+        self.cluster.spawn(
+            f"{self.owner}-ackreader-{stream.stream_id}", self.ack_loop(stream)
+        )
+        self.cluster.state["current_wal"] = path
+
+    # ---------------------------------------------------------------- appends
+
+    def append(self, data: bytes) -> Future:
+        """Stage one entry; returns the sync future the caller can wait on."""
+        self.next_txid += 1
+        entry = WalEntry(
+            txid=self.next_txid,
+            data=data,
+            future=self.cluster.future(f"{self.owner}-sync-{self.next_txid}"),
+        )
+        self.to_write.append(entry)
+        self.consume_executor.submit(self.consume)
+        return entry.future
+
+    def get_sync_result(self, future: Future, timeout: float):
+        """Wait for a sync future with a deadline (Figure 1's ``get``)."""
+        deadline = self.sim.now + timeout
+        while not future.done:
+            if self.sim.now >= deadline:
+                raise TimeoutIOException("Failed to get sync result")
+            yield self.sleep(SYNC_POLL_INTERVAL)
+        return future
+
+    # ---------------------------------------------------------------- consume
+
+    def consume(self):
+        """One consumer cycle (runs on the serial executor)."""
+        yield self.sleep(0.0)
+        if self.writer_buffer:
+            self.sync_pending()
+        elif not self.unacked_appends:
+            if self.waiting_roll and not self.ready_for_rolling:
+                self.ready_for_rolling = True
+                self.ready_cond.notify_all()
+                self.log.info(
+                    "WAL writer for %s reached the safe point for log roll",
+                    self.owner,
+                )
+        if not self.waiting_roll:
+            self.append_and_sync()
+
+    def append_and_sync(self) -> None:
+        """Stage up to BATCH_SIZE entries into the writer: retries first."""
+        budget = BATCH_SIZE
+        staged = 0
+        for entry in self.unacked_appends:
+            if budget == 0:
+                break
+            if entry.needs_resend:
+                entry.needs_resend = False
+                self.writer_buffer.append(entry)
+                staged += 1
+                budget -= 1
+        while budget > 0 and self.to_write:
+            entry = self.to_write.popleft()
+            self.writer_buffer.append(entry)
+            staged += 1
+            budget -= 1
+        if staged:
+            self.consume_executor.submit(self.consume)
+
+    def sync_pending(self) -> None:
+        """Ship the writer buffer to DFS; a send fault breaks the stream."""
+        writer = self.writer
+        if writer is None or writer.broken:
+            return  # recovery is in flight; it resubmits consume when done
+        while self.writer_buffer:
+            entry = self.writer_buffer[0]
+            try:
+                writer.write_packet(entry.txid)
+            except IOException as error:
+                self.log.exception(
+                    "WAL sync failed for %s, requesting writer roll",
+                    self.owner,
+                    exc=error,
+                )
+                self.on_stream_broken(writer)
+                return
+            self.writer_buffer.pop(0)
+            entry.sent_at = self.sim.now
+            if entry not in self.unacked_appends:
+                self.unacked_appends.append(entry)
+
+    def ack_watchdog(self):
+        """Detect lost pipeline acks and fail the stream over.
+
+        Real DFS pipelines time out stuck writes; without this, a single
+        dropped packet would wedge the WAL forever (which would make the
+        motivating failure trivially reachable from any fault).
+        """
+        while True:
+            yield self.sleep(0.5)
+            writer = self.writer
+            if writer is None or writer.broken or not self.unacked_appends:
+                continue
+            sent_times = [
+                entry.sent_at
+                for entry in self.unacked_appends
+                if entry.sent_at >= 0 and not entry.needs_resend
+            ]
+            if not sent_times:
+                continue
+            if self.sim.now - min(sent_times) > ACK_TIMEOUT:
+                self.log.warn(
+                    "WAL pipeline ack timeout on %s with %d unacked appends, "
+                    "failing the stream over",
+                    self.owner,
+                    len(self.unacked_appends),
+                )
+                self.on_stream_broken(writer)
+
+    # ------------------------------------------------------------------- acks
+
+    def ack_loop(self, stream: DfsOutputStream):
+        """Per-stream ack reader; a bad ack breaks the stream (HB-25905)."""
+        while True:
+            raw = yield stream.ack_inbox.get(timeout=3.0)
+            if raw is None:
+                if stream.broken or stream is not self.writer:
+                    return
+                continue
+            try:
+                txid = stream.read_ack(raw)
+            except IOException as error:
+                self.log.exception(
+                    "Failed to read WAL pipeline ack on stream %d for %s, "
+                    "stream is broken",
+                    stream.stream_id,
+                    self.owner,
+                    exc=error,
+                )
+                self.on_stream_broken(stream)
+                return
+            self.on_ack(stream, txid)
+
+    def on_ack(self, stream: DfsOutputStream, txid: int) -> None:
+        for entry in list(self.unacked_appends):
+            if entry.txid == txid:
+                self.unacked_appends.remove(entry)
+                try:
+                    stream.persist(entry.data)
+                    if self.sim.random.random() < 0.02:
+                        raise IOException("local fs hiccup persisting entry")
+                except IOException as error:
+                    self.log.warn(
+                        "Failed to persist acked entry %d: %s", txid, error
+                    )
+                entry.future.set_result(txid)
+                self.synced_count += 1
+                self.cluster.state["wal_synced"] = self.synced_count
+                break
+        self.consume_executor.submit(self.consume)
+
+    # --------------------------------------------------------------- recovery
+
+    def on_stream_broken(self, stream: DfsOutputStream) -> None:
+        """Mark in-flight entries for resend and roll to a new writer."""
+        if stream.broken or stream is not self.writer:
+            return
+        stream.broken = True
+        backlog = 0
+        for entry in self.unacked_appends:
+            entry.needs_resend = True
+            backlog += 1
+        # Entries staged in the writer but never shipped: already-sent
+        # entries are covered by the resend flags above; brand new ones go
+        # back to the head of the append queue.
+        for entry in reversed(self.writer_buffer):
+            if entry not in self.unacked_appends:
+                self.to_write.appendleft(entry)
+        self.writer_buffer.clear()
+        self.log.warn(
+            "WAL stream %d for %s broken with %d unacked appends, recovering",
+            stream.stream_id,
+            self.owner,
+            backlog,
+        )
+        # The broken writer's file is abandoned as-is; replication must
+        # treat it as finished (possibly with zero entries — HB-18137).
+        self.cluster.state.setdefault("closed_wals", set()).add(stream.path)
+        self.cluster.spawn(
+            f"{self.owner}-wal-recover-{stream.stream_id}", self.recover()
+        )
+
+    def recover(self):
+        yield self.sleep(0.05)
+        yield from self.open_new_writer()
+        self.consume_executor.submit(self.consume)
+
+    # ------------------------------------------------------------------- roll
+
+    def wait_for_safe_point(self):
+        """Block until the consumer reaches the roll safe point (Figure 1)."""
+        self.waiting_roll = True
+        self.consume_executor.submit(self.consume)
+        while not self.ready_for_rolling:
+            yield self.ready_cond.wait()
+
+    def replace_writer(self):
+        old = self.writer
+        if old is not None and not old.broken:
+            try:
+                old.close()
+            except IOException as error:
+                self.log.warn("Failed closing old WAL writer: %s", error)
+            self.cluster.state.setdefault("closed_wals", set()).add(old.path)
+        yield from self.open_new_writer()
+        self.waiting_roll = False
+        self.ready_for_rolling = False
+        self.consume_executor.submit(self.consume)
+
+
+class LogRoller(Component):
+    """Periodically rolls the WAL to a new file."""
+
+    def __init__(self, cluster, wal: AsyncWal, period: float = 2.0) -> None:
+        super().__init__(cluster, name=f"{wal.owner}-logroller")
+        self.wal = wal
+        self.period = period
+
+    def start(self) -> None:
+        self.cluster.spawn(f"{self.wal.owner}-logroller", self.roll_loop())
+
+    def roll_loop(self):
+        while True:
+            yield self.jitter(self.period)
+            self.log.info("Log roll requested for %s", self.wal.owner)
+            yield from self.wal.wait_for_safe_point()
+            yield from self.wal.replace_writer()
+            self.log.info("Rolled WAL writer for %s", self.wal.owner)

@@ -1,0 +1,12 @@
+"""MiniKafka: a miniature Kafka-like streaming stack.
+
+A broker with appendable topics, an emit-on-change table processor with a
+changelog (KAFKA-12508), a Connect herder whose single worker thread
+starts connectors (KAFKA-9374), and an MM2-style mirror with offset
+syncs and consumer failover (KAFKA-10048).
+"""
+
+from .broker import Broker
+from .table import EmitOnChangeProcessor
+
+__all__ = ["Broker", "EmitOnChangeProcessor"]

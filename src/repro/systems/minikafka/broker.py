@@ -1,0 +1,129 @@
+"""A miniature message broker: named topics with offset-addressed logs."""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+
+class Broker(Component):
+    """Append-only topics served over the network.
+
+    Supported RPCs: ``produce (topic, value)``, ``fetch (topic, offset)``
+    (returns records from offset), ``end_offset topic``, and
+    ``commit (group, topic, offset)`` / ``fetch_committed (group, topic)``.
+    """
+
+    def __init__(self, cluster, name: str) -> None:
+        super().__init__(cluster, name=name)
+        self.inbox = cluster.net.register(name)
+        self.topics: dict[str, list] = {}
+        self.committed: dict[tuple[str, str], int] = {}
+
+    def start(self) -> None:
+        self.cluster.spawn(f"{self.name}-serve", self.serve())
+
+    def topic(self, name: str) -> list:
+        return self.topics.setdefault(name, [])
+
+    def serve(self):
+        self.log.info("Broker %s online", self.name)
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Broker %s dropped bad request: %s", self.name, error)
+                continue
+            if self.sim.random.random() < 0.04:
+                self.log.warn(
+                    "Slow request processing on %s, request queue backing up",
+                    self.name,
+                )
+            reply = self.handle(message)
+            if message.reply_to and reply is not None:
+                kind, payload = reply
+                try:
+                    self.env.sock_send(self.name, message.reply_to, kind, payload)
+                except SocketException as error:
+                    self.log.warn(
+                        "Broker %s failed replying %s: %s", self.name, kind, error
+                    )
+
+    def handle(self, message):
+        if message.kind == "produce":
+            topic, value = message.payload
+            log = self.topic(topic)
+            log.append(value)
+            self.cluster.state[f"topic:{self.name}:{topic}"] = len(log)
+            try:
+                self.env.disk_append(
+                    f"/kafka/{self.name}/{topic}.log", repr(value).encode() + b"\n"
+                )
+            except IOException as error:
+                self.log.warn(
+                    "Broker %s failed persisting to %s: %s", self.name, topic, error
+                )
+            return ("produce_ack", len(log) - 1)
+        if message.kind == "fetch":
+            topic, offset = message.payload
+            log = self.topic(topic)
+            return ("records", (topic, offset, log[offset:]))
+        if message.kind == "end_offset":
+            return ("end_offset", len(self.topic(message.payload)))
+        if message.kind == "commit":
+            group, topic, offset = message.payload
+            self.committed[(group, topic)] = offset
+            return ("commit_ack", offset)
+        if message.kind == "fetch_committed":
+            group, topic = message.payload
+            return ("committed", self.committed.get((group, topic), 0))
+        self.log.warn("Broker %s got unknown request %s", self.name, message.kind)
+        return None
+
+
+class BrokerClient(Component):
+    """Blocking RPC helper shared by producers, consumers, and mirrors."""
+
+    def __init__(self, cluster, name: str, broker: str) -> None:
+        super().__init__(cluster, name=name)
+        self.broker = broker
+        self.inbox = cluster.net.register(name)
+
+    def call(self, kind: str, payload):
+        try:
+            self.env.sock_send(self.name, self.broker, kind, payload, reply_to=self.name)
+        except SocketException as error:
+            self.log.warn("%s request to %s failed: %s", kind, self.broker, error)
+            return None
+        raw = yield self.inbox.get(timeout=2.0)
+        if raw is None:
+            self.log.warn("%s request to %s timed out", kind, self.broker)
+            return None
+        try:
+            return self.env.sock_recv(raw)
+        except IOException as error:
+            self.log.warn("Bad %s reply from %s: %s", kind, self.broker, error)
+            return None
+
+    def produce(self, topic: str, value):
+        return (yield from self.call("produce", (topic, value)))
+
+    def fetch(self, topic: str, offset: int):
+        reply = yield from self.call("fetch", (topic, offset))
+        if reply is None or reply.kind != "records":
+            return []
+        return reply.payload[2]
+
+    def end_offset(self, topic: str) -> int:
+        reply = yield from self.call("end_offset", topic)
+        return reply.payload if reply is not None else 0
+
+    def commit(self, group: str, topic: str, offset: int):
+        return (yield from self.call("commit", (group, topic, offset)))
+
+    def fetch_committed(self, group: str, topic: str) -> int:
+        reply = yield from self.call("fetch_committed", (group, topic))
+        return reply.payload if reply is not None else 0

@@ -1,0 +1,124 @@
+"""Connect herder (the KAFKA-9374 surface).
+
+All connector lifecycle operations run on a single herder worker thread.
+Starting a connector fetches its configuration from the config topic
+service; the seeded defect: when the config read fails, the start path
+parks on a "config updated" condition that nobody ever signals — the
+worker thread is gone, and every later request just times out.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+CONFIG_SERVICE = "connect-config"
+REQUEST_TIMEOUT = 2.0
+
+
+class ConfigService(Component):
+    """Serves connector configurations."""
+
+    def __init__(self, cluster, configs: dict[str, dict]) -> None:
+        super().__init__(cluster, name=CONFIG_SERVICE)
+        self.inbox = cluster.net.register(CONFIG_SERVICE)
+        self.configs = dict(configs)
+
+    def start(self) -> None:
+        self.cluster.spawn(CONFIG_SERVICE, self.serve())
+
+    def serve(self):
+        while True:
+            raw = yield self.inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Config service dropped bad request: %s", error)
+                continue
+            config = self.configs.get(message.payload, {})
+            self.log.info("Serving configuration for connector %s", message.payload)
+            try:
+                self.env.sock_send(
+                    self.name, message.reply_to or message.src, "config", config
+                )
+            except SocketException as error:
+                self.log.warn("Config service failed replying: %s", error)
+
+
+class Herder(Component):
+    def __init__(self, cluster, name: str = "herder") -> None:
+        super().__init__(cluster, name=name)
+        self.worker = cluster.serial_executor("connect-worker")
+        self.inbox = cluster.net.register(f"{name}:rpc")
+        self.config_cond = cluster.condition("config-updated")
+        self.running: list[str] = []
+
+    def start(self, connectors) -> None:
+        self.cluster.spawn(f"{self.name}-requests", self.request_loop(list(connectors)))
+        self.cluster.spawn(f"{self.name}-status", self.status_loop())
+
+    def status_loop(self):
+        """Periodic herder status reporting (log volume + liveness)."""
+        while True:
+            yield self.jitter(2.0)
+            self.log.info(
+                "Herder status: %d connectors running", len(self.running)
+            )
+
+    def request_loop(self, connectors):
+        """Submit connector starts and watch their futures (REST analog)."""
+        yield self.sleep(0.3)
+        futures = []
+        for connector in connectors:
+            self.log.info("Submitting connector %s for startup", connector)
+            futures.append((connector, self.worker.submit(self.start_connector, connector)))
+            yield self.sleep(0.1)
+        for connector, future in futures:
+            deadline = self.sim.now + REQUEST_TIMEOUT
+            while not future.done and self.sim.now < deadline:
+                yield self.sleep(0.1)
+            if not future.done:
+                self.log.error(
+                    "Request to start connector %s timed out, the herder "
+                    "worker thread may be blocked",
+                    connector,
+                )
+        self.cluster.state["connectors_running"] = list(self.running)
+
+    def start_connector(self, connector: str):
+        """Runs on the single herder worker (KAFKA-9374 surface)."""
+        self.log.info("Starting connector %s", connector)
+        reply_box = self.cluster.net.register(f"connect-start-{connector}")
+        try:
+            self.env.sock_send(
+                "herder",
+                CONFIG_SERVICE,
+                "get_config",
+                connector,
+                reply_to=f"connect-start-{connector}",
+            )
+        except SocketException as error:
+            self.log.warn("Could not reach config service for %s: %s", connector, error)
+            return False
+        raw = yield reply_box.get(timeout=2.0)
+        if raw is None:
+            self.log.warn("Config fetch for %s timed out", connector)
+            return False
+        try:
+            self.env.sock_recv(raw)
+        except IOException as error:
+            # KAFKA-9374: wait for a config update that never comes,
+            # pinning the only worker thread forever.
+            self.log.warn(
+                "Failed reading config for connector %s, waiting for a "
+                "config update: %s",
+                connector,
+                error,
+            )
+            yield self.config_cond.wait()
+        self.running.append(connector)
+        self.cluster.state["connectors_running"] = list(self.running)
+        self.log.info("Connector %s is running", connector)
+        return True

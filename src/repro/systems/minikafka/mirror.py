@@ -1,0 +1,126 @@
+"""MM2-style cross-cluster mirroring with consumer failover (KAFKA-10048).
+
+A mirror task copies the source cluster's topic into the target cluster
+and emits offset-sync records.  The seeded defect: when a mirrored
+produce fails, the task logs and *advances its source position anyway*,
+so the record is never mirrored — a permanent data gap between the two
+clusters that a consumer failing over to the target cluster can never
+recover.
+"""
+
+from __future__ import annotations
+
+from ..base import Component
+from .broker import BrokerClient
+
+SYNC_EVERY = 5
+
+
+class Producer(Component):
+    def __init__(self, cluster, broker: str, topic: str, values) -> None:
+        super().__init__(cluster, name="mm-producer")
+        self.client = BrokerClient(cluster, "mm-producer-client", broker)
+        self.topic = topic
+        self.values = list(values)
+
+    def start(self) -> None:
+        self.cluster.spawn("mm-producer", self.run())
+
+    def run(self):
+        yield self.sleep(0.3)
+        for value in self.values:
+            reply = yield from self.client.produce(self.topic, value)
+            if reply is None:
+                self.log.warn("Producer could not write %s, retrying once", value)
+                yield from self.client.produce(self.topic, value)
+            yield self.jitter(0.08)
+        self.cluster.state["produced"] = len(self.values)
+        self.log.info("Producer finished writing %d records", len(self.values))
+
+
+class MirrorTask(Component):
+    def __init__(self, cluster, source: str, target: str, topic: str) -> None:
+        super().__init__(cluster, name="mirror-task")
+        self.source = BrokerClient(cluster, "mirror-src-client", source)
+        self.target = BrokerClient(cluster, "mirror-dst-client", target)
+        self.topic = topic
+        self.position = 0
+        self.mirrored = 0
+
+    def start(self) -> None:
+        self.cluster.spawn("mirror-task", self.run())
+
+    def run(self):
+        yield self.sleep(0.5)
+        while True:
+            records = yield from self.source.fetch(self.topic, self.position)
+            if not records:
+                yield self.sleep(0.2)
+                continue
+            for value in records:
+                reply = yield from self.target.produce(self.topic, value)
+                if reply is None:
+                    # KAFKA-10048: the failure is logged but the source
+                    # position still advances — the record is lost to the
+                    # target cluster forever.
+                    self.log.warn(
+                        "Failed mirroring record at source offset %d, skipping",
+                        self.position,
+                    )
+                else:
+                    self.mirrored += 1
+                    if self.mirrored % SYNC_EVERY == 0:
+                        yield from self.target.produce(
+                            "offset-syncs", (self.position, self.mirrored)
+                        )
+                        self.log.debug(
+                            "Offset sync emitted at source offset %d", self.position
+                        )
+                self.position += 1
+            self.cluster.state["mirror_position"] = self.position
+            self.cluster.state["mirrored"] = self.mirrored
+
+
+class FailoverConsumer(Component):
+    """Consumes from the source cluster, then fails over to the target."""
+
+    def __init__(self, cluster, source: str, target: str, topic: str, failover_at: float):
+        super().__init__(cluster, name="mm-consumer")
+        self.source = BrokerClient(cluster, "consumer-src-client", source)
+        self.target = BrokerClient(cluster, "consumer-dst-client", target)
+        self.topic = topic
+        self.failover_at = failover_at
+        self.values: list = []
+
+    def start(self) -> None:
+        self.cluster.spawn("mm-consumer", self.run())
+
+    def run(self):
+        yield self.sleep(0.4)
+        offset = 0
+        while self.sim.now < self.failover_at:
+            records = yield from self.source.fetch(self.topic, offset)
+            if records:
+                self.values.extend(records)
+                offset += len(records)
+                yield from self.source.commit("app", self.topic, offset)
+            else:
+                yield self.sleep(0.15)
+        self.log.info(
+            "Consumer failing over to target cluster after %d records", len(self.values)
+        )
+        # Resume on the target cluster assuming 1:1 mirroring.
+        offset = len(self.values)
+        idle = 0
+        while idle < 10:
+            records = yield from self.target.fetch(self.topic, offset)
+            if records:
+                self.values.extend(records)
+                offset += len(records)
+                idle = 0
+            else:
+                idle += 1
+                yield self.sleep(0.2)
+        self.cluster.state["consumed"] = len(self.values)
+        self.cluster.state["consumer_done"] = True
+        self.log.info("Consumer finished with %d records", len(self.values))

@@ -1,0 +1,105 @@
+"""Emit-on-change table processor (the KAFKA-12508 surface).
+
+The processor consumes (key, value) records from an input topic, emits
+downstream only when the value actually changed, and journals each change
+to an on-disk changelog.  The seeded defect is an ordering bug: the input
+offset is committed *before* the changelog flush, so when a flush failure
+restarts the task, the already-committed record is neither re-processed
+nor in the restored table — its update is silently lost downstream.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import FileNotFoundException, IOException
+from ..base import Component
+from .broker import BrokerClient
+
+INPUT_TOPIC = "events"
+OUTPUT_TOPIC = "changes"
+GROUP = "table-task"
+
+
+class EmitOnChangeProcessor(Component):
+    def __init__(self, cluster, name: str, broker: str) -> None:
+        super().__init__(cluster, name=name)
+        self.client = BrokerClient(cluster, f"{name}-client", broker)
+        self.table: dict[str, str] = {}
+        self.changelog_path = f"/kafka/{name}/changelog"
+        self.emitted = 0
+        self.restarts = 0
+
+    def start(self) -> None:
+        self.cluster.spawn(self.name, self.run())
+
+    def run(self):
+        yield from self.restore()
+        while True:
+            offset = yield from self.client.fetch_committed(GROUP, INPUT_TOPIC)
+            records = yield from self.client.fetch(INPUT_TOPIC, offset)
+            if not records:
+                yield self.sleep(0.2)
+                continue
+            restart = False
+            for index, (key, value) in enumerate(records):
+                # The seeded ordering bug: commit before flushing state.
+                yield from self.client.commit(GROUP, INPUT_TOPIC, offset + index + 1)
+                if self.table.get(key) == value:
+                    self.log.debug("Suppressing unchanged update %s=%s", key, value)
+                    continue
+                self.table[key] = value
+                try:
+                    self.flush_change(key, value)
+                except IOException as error:
+                    self.log.error(
+                        "State flush failed for task %s, restarting task: %s",
+                        self.name,
+                        error,
+                    )
+                    yield from self.restart_task()
+                    restart = True
+                    break
+                yield from self.client.produce(OUTPUT_TOPIC, (key, value))
+                self.emitted += 1
+                self.cluster.state["table_emitted"] = self.emitted
+                self.log.info("Emitted change %s=%s", key, value)
+            if restart:
+                continue
+
+    def flush_change(self, key: str, value: str) -> None:
+        self.env.disk_append(
+            self.changelog_path, f"{key}={value}\n".encode()
+        )
+        self.env.disk_sync(self.changelog_path)
+
+    def restart_task(self):
+        self.restarts += 1
+        self.cluster.state["table_restarts"] = self.restarts
+        yield self.sleep(0.3)
+        yield from self.restore()
+        self.log.info("Task %s restarted (%d restarts so far)", self.name, self.restarts)
+
+    def restore(self):
+        """Rebuild the in-memory table from the changelog (startup path).
+
+        The startup read is also a fault surface (the KAFKA-15339-style
+        deeper root cause: a disk issue appending/reading records at
+        startup leaves the table permanently behind).
+        """
+        yield self.sleep(0.05)
+        self.table = {}
+        try:
+            raw = self.env.disk_read(self.changelog_path)
+        except FileNotFoundException:
+            self.log.info("No changelog for %s, starting empty", self.name)
+            return
+        except IOException as error:
+            self.log.warn(
+                "Failed restoring changelog for %s, starting empty: %s",
+                self.name,
+                error,
+            )
+            return
+        for line in raw.decode().splitlines():
+            if "=" in line:
+                key, _, value = line.partition("=")
+                self.table[key] = value

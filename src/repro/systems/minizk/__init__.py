@@ -1,0 +1,12 @@
+"""MiniZK: a miniature ZooKeeper-like coordination service.
+
+Components: quorum servers with leader election, a leader with a follower
+listener (cnxn accept loop), a transaction log with periodic sync, an
+epoch/snapshot store, and sessionful clients.  Seeded fault-handling bugs
+mirror ZK-2247, ZK-3157, ZK-4203, and ZK-3006.
+"""
+
+from .client import ZkClient
+from .node import ZkServer
+
+__all__ = ["ZkClient", "ZkServer"]

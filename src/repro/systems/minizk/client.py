@@ -1,0 +1,107 @@
+"""Sessionful MiniZK client.
+
+Carries the ZK-3157 defect: an IOException while reading the session
+establishment response makes the client abandon the session entirely (it
+logs the classic "Unable to read additional data from server" and gives
+up) instead of retrying like every other path does.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+from .leader import request_endpoint, session_endpoint
+
+CONNECT_ATTEMPTS = 3
+REQUEST_ATTEMPTS = 2
+
+
+class ZkClient(Component):
+    def __init__(self, cluster, name: str, server: str, ops) -> None:
+        super().__init__(cluster, name=name)
+        self.server = server
+        self.ops = list(ops)
+        self.inbox = cluster.net.register(name)
+        self.session = None
+        self.done = 0
+
+    def start(self) -> None:
+        self.cluster.spawn(self.name, self.run())
+
+    def run(self):
+        connected = yield from self.connect()
+        if not connected:
+            return
+        for op in self.ops:
+            yield from self.submit(op)
+            yield self.jitter(0.1)
+        self.log.info("Client %s finished %d operations", self.name, self.done)
+        self.cluster.state[f"{self.name}_done"] = self.done
+
+    def connect(self):
+        """Establish a session; ZK-3157 fault surface."""
+        for attempt in range(1, CONNECT_ATTEMPTS + 1):
+            try:
+                self.env.sock_connect(self.name, session_endpoint(self.server))
+                self.env.sock_send(
+                    self.name, session_endpoint(self.server), "session", self.name
+                )
+            except IOException as error:
+                self.log.warn(
+                    "Session connect attempt %d failed: %s", attempt, error
+                )
+                yield self.sleep(0.2)
+                continue
+            raw = yield self.inbox.get(timeout=2.0)
+            if raw is None:
+                self.log.warn("Session response timed out on attempt %d", attempt)
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.exception(
+                    "Unable to read additional data from server, "
+                    "likely server has closed socket, closing socket connection",
+                    exc=error,
+                )
+                self.cluster.state["client_failed"] = True
+                return False
+            self.session = message.payload
+            self.log.info(
+                "Session establishment complete on server %s, session id %s",
+                self.server,
+                self.session,
+            )
+            return True
+        self.log.error("Could not establish session to %s after retries", self.server)
+        return False
+
+    def submit(self, op):
+        """Send one write; retries transparently, logs on give-up."""
+        for attempt in range(1, REQUEST_ATTEMPTS + 1):
+            try:
+                self.env.sock_send(
+                    self.name,
+                    request_endpoint(self.server),
+                    "write",
+                    op,
+                    reply_to=self.name,
+                )
+            except SocketException as error:
+                self.log.warn("Send failed for op %s: %s", op, error)
+                yield self.sleep(0.1)
+                continue
+            raw = yield self.inbox.get(timeout=1.5)
+            if raw is None:
+                self.log.warn(
+                    "ZooKeeper service is not available: request %s timed out", op
+                )
+                continue
+            try:
+                self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Failed reading reply for %s: %s", op, error)
+                continue
+            self.done += 1
+            return
+        self.log.error("Operation %s failed permanently on %s", op, self.name)

@@ -1,0 +1,72 @@
+"""Leader election for MiniZK.
+
+A simple fast-leader-election analog: every server broadcasts its vote a
+few times and elects the highest server id it has heard of within the
+election window.  Vote transmission and reception are fault-tolerant
+(warn + continue), contributing handled fault sites and log noise.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+ELECTION_WINDOW = 1.0
+BROADCAST_ROUNDS = 3
+
+
+def election_endpoint(name: str) -> str:
+    return f"{name}:election"
+
+
+class ElectionService(Component):
+    def __init__(self, cluster, name: str, server_id: int, peer_ids) -> None:
+        super().__init__(cluster, name=f"{name}-election")
+        self.owner = name
+        self.server_id = server_id
+        self.peer_ids = list(peer_ids)
+        self.inbox = cluster.net.register(election_endpoint(name))
+
+    def elect(self):
+        """Generator: run one election round and return the leader id."""
+        self.log.info(
+            "LOOKING - starting leader election, my id is %d", self.server_id
+        )
+        votes = {self.server_id}
+        deadline = self.sim.now + ELECTION_WINDOW
+        broadcasts_left = BROADCAST_ROUNDS
+        while self.sim.now < deadline:
+            if broadcasts_left > 0:
+                self._broadcast_vote()
+                broadcasts_left -= 1
+            raw = yield self.inbox.get(timeout=ELECTION_WINDOW / 4)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Failed reading vote notification: %s", error)
+                continue
+            if message.kind == "vote":
+                votes.add(message.payload)
+        leader = max(votes)
+        self.log.info(
+            "Notification round done on %s: elected leader %d", self.owner, leader
+        )
+        return leader
+
+    def _broadcast_vote(self) -> None:
+        for peer in self.peer_ids:
+            if peer == self.server_id:
+                continue
+            try:
+                self.env.sock_send(
+                    self.owner,
+                    election_endpoint(f"zk{peer}"),
+                    "vote",
+                    self.server_id,
+                )
+            except SocketException as error:
+                self.log.warn(
+                    "Cannot open channel to %d at election address: %s", peer, error
+                )

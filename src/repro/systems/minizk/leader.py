@@ -1,0 +1,195 @@
+"""Leader and follower roles for MiniZK.
+
+Two seeded defects live here:
+
+* ZK-4203 — the follower-connection listener treats any IOException while
+  reading a join packet as fatal and *leaves the listener*, after which no
+  follower can ever join the quorum; followers wait for their join ack
+  forever (the defective design the real issue describes).
+* ZK-2247 — the request processor treats an IOException from the
+  transaction log append as a severe unrecoverable error and shuts down
+  request processing, leaving the whole service unavailable while the
+  process stays up.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import IOException, SocketException
+from ..base import Component
+
+
+def cnxn_endpoint(name: str) -> str:
+    return f"{name}:cnxn"
+
+
+def session_endpoint(name: str) -> str:
+    return f"{name}:session"
+
+
+def request_endpoint(name: str) -> str:
+    return f"{name}:req"
+
+
+class LeaderServer(Component):
+    def __init__(self, cluster, server) -> None:
+        super().__init__(cluster, name=f"{server.name}-leader")
+        self.server = server
+        self.owner = server.name
+        self.cnxn_inbox = cluster.net.register(cnxn_endpoint(self.owner))
+        self.session_inbox = cluster.net.register(session_endpoint(self.owner))
+        self.request_inbox = cluster.net.register(request_endpoint(self.owner))
+        self.followers: set[str] = set()
+
+    def lead(self):
+        """Generator: main leader task."""
+        self.log.info("LEADING - epoch %d on %s", self.server.current_epoch, self.owner)
+        self.cluster.spawn(f"{self.owner}-listener", self.accept_loop())
+        self.cluster.spawn(f"{self.owner}-session", self.session_loop())
+        self.cluster.spawn(f"{self.owner}-request", self.request_loop())
+        self.server.serving = True
+        self.cluster.state["zk_serving"] = True
+        self.cluster.state["listener_alive"] = True
+        self.log.info("Leader %s is now serving requests", self.owner)
+        while True:
+            yield self.jitter(0.5)
+            for follower in sorted(self.followers):
+                try:
+                    self.env.sock_send(self.owner, follower, "ping")
+                except SocketException as error:
+                    self.log.warn("Ping to %s failed: %s", follower, error)
+
+    def accept_loop(self):
+        """Accept follower connections; ZK-4203 fault surface."""
+        self.log.info("Listener started at %s", cnxn_endpoint(self.owner))
+        while True:
+            raw = yield self.cnxn_inbox.get(timeout=5.0)
+            if raw is None:
+                self.log.debug("Listener on %s idle", self.owner)
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.exception(
+                    "Exception while listening for follower connections. "
+                    "Leaving listener",
+                    exc=error,
+                )
+                self.cluster.state["listener_alive"] = False
+                return
+            self.followers.add(message.src)
+            try:
+                self.env.sock_send(
+                    self.owner, message.src, "join_ack", self.server.current_epoch
+                )
+            except SocketException as error:
+                self.log.warn("Failed to ack follower %s: %s", message.src, error)
+                continue
+            self.log.info("Follower %s joined the quorum", message.src)
+
+    def session_loop(self):
+        """Establish client sessions."""
+        while True:
+            raw = yield self.session_inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+                if self.sim.random.random() < 0.05:
+                    raise IOException("checksum mismatch on session packet")
+            except IOException as error:
+                self.log.warn("Dropped malformed session packet: %s", error)
+                continue
+            session_id = f"0x{abs(hash(message.src)) % (1 << 32):08x}"
+            try:
+                self.env.sock_send(self.owner, message.src, "session_ok", session_id)
+            except SocketException as error:
+                self.log.warn("Failed to confirm session for %s: %s", message.src, error)
+            self.log.info("Established session %s for client %s", session_id, message.src)
+
+    def request_loop(self):
+        """Apply client writes to the transaction log; ZK-2247 surface."""
+        while True:
+            raw = yield self.request_inbox.get(timeout=5.0)
+            if raw is None:
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+                if self.sim.random.random() < 0.04:
+                    raise IOException("truncated client packet")
+            except IOException as error:
+                self.log.warn("Dropped malformed client packet: %s", error)
+                continue
+            try:
+                self.server.txnlog.append(message.payload)
+            except IOException as error:
+                self.log.exception(
+                    "Severe unrecoverable error: unable to write transaction log",
+                    exc=error,
+                )
+                self.server.serving = False
+                self.cluster.state["zk_serving"] = False
+                self.log.error(
+                    "ZooKeeper service is not available anymore, "
+                    "shutting down request processor"
+                )
+                return
+            reply_to = message.reply_to or message.src
+            try:
+                self.env.sock_send(self.owner, reply_to, "reply", message.payload)
+            except SocketException as error:
+                self.log.warn("Failed replying to %s: %s", reply_to, error)
+
+
+class Follower(Component):
+    def __init__(self, cluster, server) -> None:
+        super().__init__(cluster, name=f"{server.name}-follower")
+        self.server = server
+        self.owner = server.name
+        self.inbox = server.inbox
+        self.joined = False
+
+    def follow(self, leader_id: int):
+        """Generator: join the quorum and consume leader pings."""
+        leader_cnxn = cnxn_endpoint(f"zk{leader_id}")
+        self.log.info("FOLLOWING - server %s follows leader %d", self.owner, leader_id)
+        yield from self.wait_for_join(leader_cnxn)
+        self.log.info("Synchronized with leader, %s now serving reads", self.owner)
+        while True:
+            raw = yield self.inbox.get(timeout=3.0)
+            if raw is None:
+                self.log.debug("No ping from leader on %s", self.owner)
+                continue
+            try:
+                self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Bad packet from leader: %s", error)
+
+    def wait_for_join(self, leader_cnxn: str):
+        """Join the quorum, retrying until the leader acks.
+
+        The retry makes transient send failures harmless; but when the
+        leader's listener has died (ZK-4203), no ack ever arrives and the
+        follower loops here forever — the stuck-election symptom.
+        """
+        while not self.joined:
+            try:
+                self.env.sock_send(
+                    self.owner, leader_cnxn, "join", self.server.server_id
+                )
+            except SocketException as error:
+                self.log.warn("Cannot connect to leader cnxn: %s", error)
+                yield self.sleep(0.3)
+                continue
+            raw = yield self.inbox.get(timeout=1.0)
+            if raw is None:
+                self.log.warn(
+                    "Join ack not received by %s yet, retrying", self.owner
+                )
+                continue
+            try:
+                message = self.env.sock_recv(raw)
+            except IOException as error:
+                self.log.warn("Bad join ack packet: %s", error)
+                continue
+            if message.kind == "join_ack":
+                self.joined = True

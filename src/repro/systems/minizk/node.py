@@ -1,0 +1,57 @@
+"""MiniZK quorum server.
+
+Boot sequence: load the epoch from disk (ZK-3006 surface — a ``None``
+epoch from a corrupt read crashes the boot with the NPE analog), run the
+election, then assume the leader or follower role.  A background snapshot
+task provides steady disk traffic and log noise.
+"""
+
+from __future__ import annotations
+
+from ..base import Component
+from .election import ElectionService
+from .leader import Follower, LeaderServer
+from .txnlog import SnapshotStore, TxnLog
+
+
+class ZkServer(Component):
+    def __init__(self, cluster, server_id: int, peer_ids) -> None:
+        super().__init__(cluster, name=f"zk{server_id}")
+        self.server_id = server_id
+        self.peer_ids = list(peer_ids)
+        self.inbox = cluster.net.register(self.name)
+        self.txnlog = TxnLog(cluster, self.name)
+        self.snapshots = SnapshotStore(cluster, self.name)
+        self.election = ElectionService(cluster, self.name, server_id, peer_ids)
+        self.serving = False
+        self.is_leader = False
+        self.current_epoch = 0
+
+    def start(self) -> None:
+        self.cluster.spawn(f"{self.name}-main", self.main())
+        self.cluster.spawn(f"{self.name}-snap", self.snapshots.snapshot_loop())
+
+    def main(self):
+        self.boot_epoch()
+        leader_id = yield from self.election.elect()
+        if leader_id == self.server_id:
+            self.is_leader = True
+            leader = LeaderServer(self.cluster, self)
+            yield from leader.lead()
+        else:
+            follower = Follower(self.cluster, self)
+            yield from follower.follow(leader_id)
+
+    def boot_epoch(self) -> None:
+        """Load and bump the epoch.
+
+        ``load_epoch`` can return ``None`` on a corrupt read (the seeded
+        ZK-3006 bug); the unchecked arithmetic below is the NPE analog
+        that kills the boot thread.
+        """
+        epoch = self.snapshots.load_epoch()
+        self.current_epoch = epoch + 1
+        self.snapshots.save_epoch(self.current_epoch)
+        self.log.info(
+            "Server %s starting with epoch %d", self.name, self.current_epoch
+        )

@@ -1,0 +1,96 @@
+"""Transaction log and epoch/snapshot storage for MiniZK.
+
+The transaction log append path is the ZK-2247 fault surface: an
+IOException while the leader writes the transaction log is treated as a
+severe unrecoverable error by the request processor (see
+:mod:`repro.systems.minizk.leader`).  The epoch load path carries the
+ZK-3006 bug: a corrupt read is "handled" by returning ``None``, which
+blows up later as the NPE analog.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import FileNotFoundException, IOException
+from ..base import Component
+
+SYNC_EVERY = 4
+
+
+class TxnLog(Component):
+    """Append-only transaction log backed by the simulated disk."""
+
+    def __init__(self, cluster, owner: str) -> None:
+        super().__init__(cluster, name=f"{owner}-txnlog")
+        self.owner = owner
+        self.path = f"/{owner}/log/txns"
+        self.count = 0
+
+    def append(self, txn) -> None:
+        """Append one transaction; lets IOException escape to the caller."""
+        payload = f"{self.count}:{txn}\n".encode()
+        self.env.disk_append(self.path, payload)
+        self.count += 1
+        if self.count % SYNC_EVERY == 0:
+            self.env.disk_sync(self.path)
+            self.log.debug("Synced transaction log at txn %d", self.count)
+
+
+class SnapshotStore(Component):
+    """Epoch file plus periodic fuzzy snapshots."""
+
+    def __init__(self, cluster, owner: str) -> None:
+        super().__init__(cluster, name=f"{owner}-snap")
+        self.owner = owner
+        self.epoch_path = f"/{owner}/currentEpoch"
+        self.snap_count = 0
+
+    def load_epoch(self):
+        """Read the persisted epoch; ``None`` signals a corrupt read (bug).
+
+        A missing file is the legitimate fresh-start path.  Any other read
+        failure is logged and swallowed — the ZK-3006 defect: the caller
+        receives ``None`` and later dereferences it.
+        """
+        try:
+            raw = self.env.disk_read(self.epoch_path)
+        except FileNotFoundException:
+            self.log.info("No epoch file for %s, starting fresh", self.owner)
+            return 0
+        except IOException as error:
+            self.log.exception(
+                "Failed reading current epoch file for %s, treating as corrupt",
+                self.owner,
+                exc=error,
+            )
+            return None
+        try:
+            return int(raw.decode())
+        except ValueError:
+            self.log.warn("Epoch file for %s has invalid content", self.owner)
+            return None
+
+    def save_epoch(self, epoch: int) -> None:
+        try:
+            self.env.disk_write(self.epoch_path, str(epoch).encode())
+        except IOException as error:
+            self.log.warn("Failed persisting epoch %d: %s", epoch, error)
+
+    def save_snapshot(self, state_size: int) -> None:
+        """Periodic snapshot write; failures are tolerated with a warning."""
+        self.snap_count += 1
+        path = f"/{self.owner}/snapshot.{self.snap_count}"
+        try:
+            self.env.disk_write(path, b"s" * max(state_size, 1))
+            if self.sim.random.random() < 0.06:
+                raise IOException("fsync taking abnormally long")
+            self.log.debug("Snapshot %d written for %s", self.snap_count, self.owner)
+        except IOException as error:
+            self.log.warn(
+                "Snapshot %d failed for %s: %s", self.snap_count, self.owner, error
+            )
+
+    def snapshot_loop(self, interval: float = 1.0):
+        """Background task: take fuzzy snapshots forever."""
+        while True:
+            yield self.jitter(interval)
+            self.save_snapshot(state_size=8 + self.snap_count)

@@ -1,0 +1,69 @@
+"""Shared fixtures: a small synthetic system for analysis tests.
+
+The toy system mirrors the shape of the motivating HBase example: a sync
+path over an env boundary, a retry queue, a condition wait, a handler
+that logs, and cross-thread propagation through an executor.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.ast_facts import extract_module_facts
+from repro.analysis.system_model import SystemModel
+
+TOY_SOURCE = textwrap.dedent(
+    '''
+    class WalError(IOException):
+        pass
+
+
+    class Wal:
+        def write_entry(self, entry):
+            self.env.disk_append("/wal", entry)
+            self.log.info("appended entry %s", entry)
+
+        def sync(self):
+            try:
+                self.env.disk_sync("/wal")
+                self.log.info("sync done")
+            except IOException as error:
+                self.log.exception("sync failed", exc=error)
+                self.pending.append(1)
+                raise WalError("sync broken")
+
+        def consume(self):
+            if self.pending:
+                yield from self.retry()
+            else:
+                self.ready = True
+                self.cond.notify_all()
+                self.log.info("safe point reached")
+
+        def retry(self):
+            try:
+                self.sync()
+            except WalError:
+                self.log.warn("retry postponed")
+            yield None
+
+        def roll(self):
+            self.pool.submit(self.consume)
+            while not self.ready:
+                yield self.cond.wait()
+            self.log.info("roll complete")
+
+        def start(self, cluster):
+            cluster.spawn("roller", self.roll())
+    '''
+)
+
+
+@pytest.fixture(scope="module")
+def toy_facts():
+    return extract_module_facts("toysystem.wal", "repro/toysystem/wal.py", TOY_SOURCE)
+
+
+@pytest.fixture(scope="module")
+def toy_model(toy_facts):
+    return SystemModel([toy_facts])

@@ -1,0 +1,109 @@
+"""Tests for AST fact extraction."""
+
+from repro.analysis.ast_facts import extract_module_facts
+
+
+class TestFunctionFacts:
+    def test_methods_get_class_qualified_names(self, toy_facts):
+        names = {fn.qualname for fn in toy_facts.functions}
+        assert "toysystem.wal:Wal.sync" in names
+        assert "toysystem.wal:Wal.consume" in names
+
+    def test_bare_name_matches_runtime_frame_name(self, toy_facts):
+        sync = next(fn for fn in toy_facts.functions if fn.qualname.endswith(".sync"))
+        assert sync.name == "sync"
+
+    def test_function_spans_cover_bodies(self, toy_facts):
+        sync = next(fn for fn in toy_facts.functions if fn.name == "sync")
+        assert sync.end_line > sync.line
+
+
+class TestLogFacts:
+    def test_templates_extracted(self, toy_facts):
+        templates = {log.template for log in toy_facts.logs}
+        assert "appended entry %s" in templates
+        assert "sync failed" in templates
+        assert "retry postponed" in templates
+
+    def test_levels(self, toy_facts):
+        by_template = {log.template: log.level for log in toy_facts.logs}
+        assert by_template["appended entry %s"] == "INFO"
+        assert by_template["retry postponed"] == "WARN"
+        assert by_template["sync failed"] == "ERROR"  # log.exception
+
+    def test_enclosing_function_recorded(self, toy_facts):
+        log = next(l for l in toy_facts.logs if l.template == "roll complete")
+        assert log.function == "toysystem.wal:Wal.roll"
+
+
+class TestEnvCallFacts:
+    def test_env_sites_found(self, toy_facts):
+        ops = {call.op for call in toy_facts.env_calls}
+        assert ops == {"disk_append", "disk_sync"}
+
+    def test_site_id_shape(self, toy_facts):
+        site = next(c for c in toy_facts.env_calls if c.op == "disk_sync")
+        assert site.site_id.endswith(":sync:disk_sync")
+        assert site.exception_types == ("IOException", "TimeoutIOException")
+
+
+class TestRaiseAndTryFacts:
+    def test_raise_inside_handler_records_handler(self, toy_facts):
+        wal_error_raise = next(
+            r for r in toy_facts.raises if r.exception == "WalError"
+        )
+        assert wal_error_raise.handler_line > 0
+
+    def test_try_structure(self, toy_facts):
+        sync_trys = [t for t in toy_facts.trys if "Wal.sync" in t.function]
+        assert len(sync_trys) == 1
+        handler = sync_trys[0].handlers[0]
+        assert handler.exceptions == ("IOException",)
+        assert handler.body_start <= wal_line(toy_facts, "sync failed") <= handler.body_end
+
+
+class TestCallFacts:
+    def test_plain_call(self, toy_facts):
+        callees = {c.callee for c in toy_facts.calls if not c.is_submit}
+        assert "sync" in callees
+
+    def test_submit_target(self, toy_facts):
+        submit = next(c for c in toy_facts.calls if c.is_submit)
+        assert submit.callee == "consume"
+        assert "Wal.roll" in submit.caller
+
+    def test_spawn_target(self, toy_facts):
+        spawn = next(c for c in toy_facts.calls if c.is_spawn)
+        assert spawn.callee == "roll"
+
+
+class TestConditionsAndAssigns:
+    def test_condition_variables(self, toy_facts):
+        conds = {c.line: c.variables for c in toy_facts.conditions}
+        assert ("pending",) in conds.values()
+        assert ("ready",) in conds.values()
+
+    def test_assign_targets_include_attributes(self, toy_facts):
+        targets = {t for a in toy_facts.assigns for t in a.targets}
+        assert "ready" in targets
+
+    def test_mutating_method_counts_as_write(self, toy_facts):
+        # self.pending.append(1) writes "pending"
+        targets = {t for a in toy_facts.assigns for t in a.targets}
+        assert "pending" in targets
+
+
+class TestClassFacts:
+    def test_exception_class_bases(self, toy_facts):
+        wal_error = next(c for c in toy_facts.classes if c.name == "WalError")
+        assert wal_error.bases == ("IOException",)
+
+
+def wal_line(facts, template):
+    return next(l for l in facts.logs if l.template == template).line
+
+
+def test_extraction_on_empty_module():
+    facts = extract_module_facts("empty", "empty.py", "x = 1\n")
+    assert facts.functions == []
+    assert facts.logs == []

@@ -1,0 +1,146 @@
+"""Tests for Algorithm 1: causal graph construction and distances."""
+
+from repro.analysis.causal import CausalGraphBuilder, DistanceIndex
+from repro.analysis.model import NodeKind, graph_fault_candidates
+
+
+def template_id_for(model, template):
+    return next(l for l in model.logs if l.template == template).template_id
+
+
+class TestGraphShape:
+    def test_sinks_registered_for_observables(self, toy_model):
+        builder = CausalGraphBuilder(toy_model)
+        tid = template_id_for(toy_model, "sync failed")
+        graph = builder.build([tid])
+        assert tid in graph.sinks
+
+    def test_full_graph_contains_external_sources(self, toy_model):
+        graph = CausalGraphBuilder(toy_model).build()
+        sources = graph.external_sources()
+        ops = {node.detail for node in sources}
+        # disk_sync is handled (its handler logs), so it is a source;
+        # disk_append in straight-line code with no handler cannot *cause*
+        # any message to appear, so it is correctly absent.
+        assert "disk_sync" in ops
+        assert "disk_append" not in ops
+
+    def test_handler_log_reaches_env_fault_site(self, toy_model):
+        """'sync failed' is logged in the IOException handler around
+        disk_sync; the graph must connect the disk_sync fault to it."""
+        builder = CausalGraphBuilder(toy_model)
+        tid = template_id_for(toy_model, "sync failed")
+        graph = builder.build([tid])
+        index = DistanceIndex(graph)
+        candidates = graph_fault_candidates(graph)
+        sync_candidates = [
+            c for c in candidates if ":sync:disk_sync" in c.site_id
+        ]
+        assert sync_candidates, "disk_sync site missing from causal graph"
+        for candidate in sync_candidates:
+            assert index.distance(candidate.node_id, tid) is not None
+
+    def test_condition_slicing_links_state_writes(self, toy_model):
+        """'roll complete' is behind `while not self.ready`; assignments to
+        `ready` (in consume) must be causally prior, and through consume's
+        guard on `pending`, the disk_sync fault (which feeds pending via
+        the retry path) must be in the graph."""
+        builder = CausalGraphBuilder(toy_model)
+        tid = template_id_for(toy_model, "roll complete")
+        graph = builder.build([tid])
+        index = DistanceIndex(graph)
+        candidates = graph_fault_candidates(graph)
+        reachable_sites = {
+            c.site_id
+            for c in candidates
+            if index.distance(c.node_id, tid) is not None
+        }
+        assert any(":sync:disk_sync" in site for site in reachable_sites)
+
+    def test_sources_have_no_priors(self, toy_model):
+        graph = CausalGraphBuilder(toy_model).build()
+        for node in graph.sources():
+            assert graph.priors(node.node_id) == set()
+
+    def test_fault_coupled_sinks_reachable(self, toy_model):
+        """Every observable that semantically depends on a fault must be
+        reachable from an injectable source."""
+        graph = CausalGraphBuilder(toy_model).build()
+        index = DistanceIndex(graph)
+        candidates = graph_fault_candidates(graph)
+        fault_coupled = [
+            "sync failed",
+            "retry postponed",
+            "roll complete",
+            "safe point reached",
+        ]
+        for template in fault_coupled:
+            tid = template_id_for(toy_model, template)
+            reachable = any(
+                index.distance(c.node_id, tid) is not None for c in candidates
+            )
+            assert reachable, f"no fault can cause observable {template}"
+
+    def test_distance_monotonic_along_chain(self, toy_model):
+        """A deeper log (through more hops) is farther from the fault."""
+        builder = CausalGraphBuilder(toy_model)
+        graph = builder.build()
+        index = DistanceIndex(graph)
+        candidates = graph_fault_candidates(graph)
+        sync_site = next(
+            c for c in candidates
+            if ":sync:disk_sync" in c.site_id and c.exception == "IOException"
+        )
+        near = template_id_for(toy_model, "sync failed")
+        far = template_id_for(toy_model, "roll complete")
+        near_distance = index.distance(sync_site.node_id, near)
+        far_distance = index.distance(sync_site.node_id, far)
+        assert near_distance is not None and far_distance is not None
+        assert near_distance < far_distance
+
+
+class TestNodeTaxonomy:
+    def test_kinds_present(self, toy_model):
+        graph = CausalGraphBuilder(toy_model).build()
+        kinds = {node.kind for node in graph.nodes.values()}
+        assert NodeKind.LOCATION in kinds
+        assert NodeKind.CONDITION in kinds
+        assert NodeKind.INVOCATION in kinds
+        assert NodeKind.HANDLER in kinds
+        assert NodeKind.EXTERNAL_EXCEPTION in kinds
+
+    def test_raise_in_handler_is_internal_not_new(self, toy_model):
+        """`raise WalError` inside the IOException handler must be
+        downgraded to an internal-exception node (the paper digs deeper)."""
+        graph = CausalGraphBuilder(toy_model).build()
+        new_nodes = [
+            node
+            for node in graph.nodes.values()
+            if node.kind is NodeKind.NEW_EXCEPTION and node.exception == "WalError"
+        ]
+        assert new_nodes == []
+        internal = [
+            node
+            for node in graph.nodes.values()
+            if node.kind is NodeKind.INTERNAL_EXCEPTION
+            and node.exception == "WalError"
+        ]
+        assert internal, "WalError should appear as internal-exception"
+
+    def test_candidates_sorted_and_unique(self, toy_model):
+        graph = CausalGraphBuilder(toy_model).build()
+        candidates = graph_fault_candidates(graph)
+        keys = [(c.site_id, c.exception) for c in candidates]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+
+class TestTimings:
+    def test_timing_breakdown_populated(self, toy_model):
+        builder = CausalGraphBuilder(toy_model)
+        builder.build()
+        timings = builder.timings
+        assert timings.exception_seconds >= 0.0
+        assert timings.slicing_seconds >= 0.0
+        assert timings.chaining_seconds >= 0.0
+        assert timings.total_seconds >= timings.exception_seconds

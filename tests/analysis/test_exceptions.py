@@ -1,0 +1,234 @@
+"""Tests for the interprocedural exception analysis."""
+
+import textwrap
+
+from repro.analysis.ast_facts import extract_module_facts
+from repro.analysis.exceptions import (
+    KIND_ASYNC,
+    KIND_CALL,
+    KIND_EXTERNAL,
+    KIND_NEW,
+    ExceptionAnalysis,
+)
+from repro.analysis.system_model import SystemModel
+
+
+def build(source):
+    facts = extract_module_facts("m", "m.py", textwrap.dedent(source))
+    model = SystemModel([facts])
+    return model, ExceptionAnalysis(model)
+
+
+class TestDirectPoints:
+    def test_env_call_escapes_uncaught(self):
+        model, analysis = build(
+            """
+            class A:
+                def write(self):
+                    self.env.disk_write("/f", b"")
+            """
+        )
+        escaping = analysis.escaping_points("m:A.write")
+        assert {p.exc_type for p in escaping} == {"IOException"}
+        assert escaping[0].kind == KIND_EXTERNAL
+        assert escaping[0].site_id.endswith(":write:disk_write")
+
+    def test_env_call_caught_by_matching_handler(self):
+        model, analysis = build(
+            """
+            class A:
+                def write(self):
+                    try:
+                        self.env.disk_write("/f", b"")
+                    except IOException:
+                        self.log.warn("handled")
+            """
+        )
+        assert analysis.escaping_points("m:A.write") == []
+        handler = model.trys[0].handlers[0]
+        caught = analysis.caught_by(handler)
+        assert len(caught) == 1
+        assert caught[0].kind == KIND_EXTERNAL
+
+    def test_mismatched_handler_does_not_catch(self):
+        model, analysis = build(
+            """
+            class A:
+                def write(self):
+                    try:
+                        raise IllegalStateException("x")
+                    except IOException:
+                        pass
+            """
+        )
+        escaping = analysis.escaping_points("m:A.write")
+        assert {p.exc_type for p in escaping} == {"IllegalStateException"}
+
+    def test_subtype_caught_by_supertype_handler(self):
+        model, analysis = build(
+            """
+            class A:
+                def connect(self):
+                    try:
+                        self.env.sock_connect("a", "b")
+                    except IOException:
+                        pass
+            """
+        )
+        # ConnectException/SocketException are IOExceptions.
+        assert analysis.escaping_points("m:A.connect") == []
+
+
+class TestInterprocedural:
+    def test_exception_flows_through_calls(self):
+        model, analysis = build(
+            """
+            class A:
+                def low(self):
+                    self.env.disk_read("/f")
+
+                def mid(self):
+                    self.low()
+
+                def top(self):
+                    try:
+                        self.mid()
+                    except IOException:
+                        self.log.error("io failed")
+            """
+        )
+        assert "IOException" in analysis.escaping_types["m:A.mid"]
+        assert analysis.escaping_points("m:A.top") == []
+        handler = model.trys[0].handlers[0]
+        caught = analysis.caught_by(handler)
+        kinds = {p.kind for p in caught}
+        assert kinds == {KIND_CALL}
+        assert {p.callee for p in caught} == {"mid"}
+
+    def test_recursive_calls_terminate(self):
+        model, analysis = build(
+            """
+            class A:
+                def ping(self):
+                    self.env.sock_send("a", "b", "ping")
+                    self.pong()
+
+                def pong(self):
+                    self.ping()
+            """
+        )
+        assert "SocketException" in analysis.escaping_types["m:A.ping"]
+        assert "SocketException" in analysis.escaping_types["m:A.pong"]
+
+    def test_custom_exception_class_hierarchy(self):
+        model, analysis = build(
+            """
+            class WalError(IOException):
+                pass
+
+            class A:
+                def fail(self):
+                    raise WalError("x")
+
+                def top(self):
+                    try:
+                        self.fail()
+                    except IOException:
+                        pass
+            """
+        )
+        assert analysis.escaping_points("m:A.top") == []
+
+    def test_submit_surfaces_as_execution_exception(self):
+        model, analysis = build(
+            """
+            class A:
+                def job(self):
+                    self.env.disk_write("/f", b"")
+
+                def run(self):
+                    try:
+                        self.pool.submit(self.job)
+                    except ExecutionException:
+                        self.log.error("job failed")
+            """
+        )
+        handler = model.trys[0].handlers[0]
+        caught = analysis.caught_by(handler)
+        assert len(caught) == 1
+        assert caught[0].kind == KIND_ASYNC
+        assert caught[0].callee == "job"
+
+    def test_spawn_does_not_propagate(self):
+        model, analysis = build(
+            """
+            class A:
+                def job(self):
+                    self.env.disk_write("/f", b"")
+                    yield None
+
+                def run(self, cluster):
+                    cluster.spawn("worker", self.job())
+            """
+        )
+        assert analysis.escaping_points("m:A.run") == []
+
+
+class TestReraiseAndNew:
+    def test_bare_reraise_escapes_handler_types(self):
+        model, analysis = build(
+            """
+            class A:
+                def work(self):
+                    try:
+                        self.env.disk_write("/f", b"")
+                    except IOException:
+                        raise
+            """
+        )
+        escaping = analysis.escaping_points("m:A.work")
+        assert {p.exc_type for p in escaping} == {"IOException"}
+
+    def test_new_raise_in_handler_escapes(self):
+        model, analysis = build(
+            """
+            class A:
+                def work(self):
+                    try:
+                        self.env.disk_write("/f", b"")
+                    except IOException:
+                        raise IllegalStateException("wrapped")
+            """
+        )
+        escaping = analysis.escaping_points("m:A.work")
+        assert {p.exc_type for p in escaping} == {"IllegalStateException"}
+        assert {p.kind for p in escaping} == {KIND_NEW}
+
+    def test_nested_try_inner_catches_first(self):
+        model, analysis = build(
+            """
+            class A:
+                def work(self):
+                    try:
+                        try:
+                            self.env.disk_write("/f", b"")
+                        except IOException:
+                            self.log.warn("inner")
+                    except Exception:
+                        self.log.error("outer")
+            """
+        )
+        inner = next(
+            h
+            for t in model.trys
+            for h in t.handlers
+            if h.exceptions == ("IOException",)
+        )
+        outer = next(
+            h
+            for t in model.trys
+            for h in t.handlers
+            if h.exceptions == ("Exception",)
+        )
+        assert len(analysis.caught_by(inner)) == 1
+        assert analysis.caught_by(outer) == []

@@ -1,0 +1,84 @@
+"""Causal-graph invariants over the real mini-system packages."""
+
+import pytest
+
+from repro.analysis.causal import CausalGraphBuilder, DistanceIndex
+from repro.analysis.model import NodeKind, SOURCE_KINDS, graph_fault_candidates
+from repro.failures.case import system_model
+
+PACKAGES = [
+    "repro.systems.minizk",
+    "repro.systems.minidfs",
+    "repro.systems.minihbase",
+    "repro.systems.minikafka",
+    "repro.systems.minicass",
+]
+
+
+@pytest.fixture(scope="module", params=PACKAGES)
+def graph(request):
+    model = system_model(request.param)
+    return CausalGraphBuilder(model).build()
+
+
+class TestGraphInvariants:
+    def test_sources_have_no_priors(self, graph):
+        for node in graph.nodes.values():
+            if node.kind in SOURCE_KINDS:
+                assert graph.priors(node.node_id) == set(), node.node_id
+
+    def test_edges_are_symmetric_adjacency(self, graph):
+        for prior, effects in graph.edges.items():
+            for effect in effects:
+                assert prior in graph.redges[effect]
+        for effect, priors in graph.redges.items():
+            for prior in priors:
+                assert effect in graph.edges[prior]
+
+    def test_every_node_referenced_by_edges_exists(self, graph):
+        for prior, effects in graph.edges.items():
+            assert prior in graph.nodes
+            for effect in effects:
+                assert effect in graph.nodes
+
+    def test_sinks_are_location_nodes(self, graph):
+        for template_id, node_id in graph.sinks.items():
+            node = graph.nodes[node_id]
+            assert node.kind is NodeKind.LOCATION
+            assert node.detail == template_id
+
+    def test_candidates_reference_external_nodes(self, graph):
+        for candidate in graph_fault_candidates(graph):
+            node = graph.nodes[candidate.node_id]
+            assert node.kind is NodeKind.EXTERNAL_EXCEPTION
+            assert node.exception == candidate.exception
+
+    def test_distances_are_positive_and_finite(self, graph):
+        index = DistanceIndex(graph)
+        for candidate in graph_fault_candidates(graph):
+            for template_id, distance in index.observables_reachable_from(
+                candidate.node_id
+            ).items():
+                assert distance >= 1
+                assert template_id in graph.sinks
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_build_is_deterministic(package):
+    model = system_model(package)
+    a = CausalGraphBuilder(model).build()
+    b = CausalGraphBuilder(model).build()
+    assert set(a.nodes) == set(b.nodes)
+    assert a.edges == b.edges
+    assert a.sinks == b.sinks
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_subset_graph_is_contained_in_full_graph(package):
+    """Building from a subset of observables yields a subgraph."""
+    model = system_model(package)
+    full = CausalGraphBuilder(model).build()
+    some_templates = [log.template_id for log in model.logs[:3]]
+    sub = CausalGraphBuilder(model).build(some_templates)
+    assert set(sub.nodes) <= set(full.nodes)
+    for prior, effects in sub.edges.items():
+        assert effects <= full.edges.get(prior, set())

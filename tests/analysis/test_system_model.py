@@ -1,0 +1,193 @@
+"""Tests for SystemModel lookups and the subtype relation."""
+
+import textwrap
+
+from repro.analysis.ast_facts import extract_module_facts
+from repro.analysis.system_model import SystemModel, analyze_package
+
+
+def build(source, module="m", path="m.py"):
+    return SystemModel([extract_module_facts(module, path, textwrap.dedent(source))])
+
+
+class TestLookups:
+    def test_functions_named_resolves_across_classes(self):
+        model = build(
+            """
+            class A:
+                def work(self):
+                    pass
+
+            class B:
+                def work(self):
+                    pass
+            """
+        )
+        assert len(model.functions_named("work")) == 2
+
+    def test_calls_to_by_bare_name(self):
+        model = build(
+            """
+            class A:
+                def helper(self):
+                    pass
+
+                def run(self):
+                    self.helper()
+                    self.helper()
+            """
+        )
+        assert len(model.calls_to("helper")) == 2
+
+    def test_assigns_to_crosses_functions(self):
+        model = build(
+            """
+            class A:
+                def set_up(self):
+                    self.ready = False
+
+                def finish(self):
+                    self.ready = True
+            """
+        )
+        assert len(model.assigns_to("ready")) == 2
+
+    def test_enclosing_trys_innermost_first(self):
+        model = build(
+            """
+            class A:
+                def run(self):
+                    try:
+                        try:
+                            self.env.disk_read("/f")
+                        except IOException:
+                            pass
+                    except Exception:
+                        pass
+            """
+        )
+        call = model.env_calls[0]
+        trys = model.enclosing_trys(call.function, call.line)
+        assert len(trys) == 2
+        assert trys[0].body_end - trys[0].body_start <= (
+            trys[1].body_end - trys[1].body_start
+        )
+
+    def test_handler_at_finds_innermost(self):
+        model = build(
+            """
+            class A:
+                def run(self):
+                    try:
+                        pass
+                    except IOException:
+                        self.log.warn("inner handler body")
+            """
+        )
+        log = model.logs[0]
+        handler = model.handler_at(log.file, log.line)
+        assert handler is not None
+        assert handler.exceptions == ("IOException",)
+
+
+class TestPriorConditions:
+    def test_enclosing_if(self):
+        model = build(
+            """
+            class A:
+                def run(self):
+                    if self.ready:
+                        self.log.info("go")
+            """
+        )
+        log = model.logs[0]
+        priors = model.prior_conditions(log.file, log.line, log.function)
+        assert len(priors) == 1
+        assert priors[0].variables == ("ready",)
+
+    def test_completed_while_dominates_later_statement(self):
+        model = build(
+            """
+            class A:
+                def run(self):
+                    while not self.done:
+                        yield self.cond.wait()
+                    self.log.info("after the loop")
+            """
+        )
+        log = model.logs[0]
+        priors = model.prior_conditions(log.file, log.line, log.function)
+        assert any(cond.is_loop for cond in priors)
+
+    def test_while_in_other_function_not_a_dominator(self):
+        model = build(
+            """
+            class A:
+                def spin(self):
+                    while self.busy:
+                        pass
+
+                def run(self):
+                    self.log.info("independent")
+            """
+        )
+        log = model.logs[0]
+        priors = model.prior_conditions(log.file, log.line, log.function)
+        assert priors == []
+
+
+class TestSubtypes:
+    def test_sim_hierarchy(self):
+        model = build("x = 1")
+        assert model.is_subtype("SocketException", "IOException")
+        assert not model.is_subtype("IOException", "SocketException")
+
+    def test_catch_all(self):
+        model = build("x = 1")
+        assert model.is_subtype("AnythingAtAll", "Exception")
+
+    def test_user_hierarchy_bridges_to_sim(self):
+        model = build(
+            """
+            class DeepError(WalError):
+                pass
+
+            class WalError(IOException):
+                pass
+            """
+        )
+        assert model.is_subtype("DeepError", "IOException")
+        assert model.is_subtype("WalError", "IOException")
+        assert not model.is_subtype("IOException", "WalError")
+
+    def test_handler_catches_tuple(self):
+        model = build(
+            """
+            class A:
+                def run(self):
+                    try:
+                        pass
+                    except (IOException, IllegalStateException):
+                        pass
+            """
+        )
+        handler = model.trys[0].handlers[0]
+        assert model.handler_catches(handler, "SocketException")
+        assert model.handler_catches(handler, "IllegalStateException")
+        assert not model.handler_catches(handler, "InterruptedException")
+
+
+class TestAnalyzePackage:
+    def test_walks_real_package(self):
+        model = analyze_package("repro.systems.minizk")
+        assert len(model.modules) >= 5
+        assert model.functions_named("accept_loop")
+        assert model.env_calls
+        assert model.log_templates()
+
+    def test_template_matcher_matches_rendered_logs(self):
+        model = analyze_package("repro.systems.minizk")
+        matcher = model.template_matcher()
+        key = matcher.key_for("Follower zk2 joined the quorum")
+        template = next(t for t in matcher.templates if t.template_id == key)
+        assert template.template == "Follower %s joined the quorum"

@@ -1,0 +1,61 @@
+"""Tests for the experiment harness and table formatting."""
+
+import os
+
+from repro.bench.harness import run_anduril, run_baseline
+from repro.bench.tables import format_table, write_table
+from repro.failures import get_case
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(
+            ["name", "value"], [("a", 1), ("longer-name", 22)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table
+
+    def test_write_table_persists(self, tmp_path, monkeypatch):
+        import repro.bench.tables as tables
+
+        monkeypatch.setattr(tables, "OUT_DIR", str(tmp_path))
+        path = write_table("unit", "hello")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == "hello\n"
+
+
+class TestHarness:
+    def test_run_anduril_outcome_fields(self):
+        outcome = run_anduril(get_case("f1"), max_rounds=100)
+        assert outcome.success
+        assert outcome.rounds >= 1
+        assert outcome.median_requests > 0
+        assert outcome.mean_decision_us >= 0.0
+        assert outcome.cell.endswith("s")
+        assert outcome.rank_trajectory
+
+    def test_run_anduril_respects_overrides(self):
+        outcome = run_anduril(get_case("f1"), max_rounds=100, initial_window=1)
+        assert outcome.success
+
+    def test_run_baseline_outcome(self):
+        outcome = run_baseline("stacktrace", get_case("f1"), max_rounds=100)
+        assert outcome.strategy == "stacktrace"
+        assert outcome.case_id == "f1"
+        assert isinstance(outcome.success, bool)
+
+    def test_failed_outcome_cell_is_dash(self):
+        outcome = run_baseline(
+            "crashtuner", get_case("f1"), max_rounds=50, max_seconds=10.0
+        )
+        if not outcome.success:
+            assert outcome.cell == "-"

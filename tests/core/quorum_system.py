@@ -1,0 +1,57 @@
+"""A two-replica store whose writes survive any single fault.
+
+Test fixture for the iterative multi-fault workflow: losing a write
+requires the *same* key's write to fail on replica A **and** replica B —
+two causally independent root-cause faults, which a single-injection
+search can never reproduce.
+"""
+
+from repro.sim.errors import IOException
+from repro.systems.base import Component
+
+KEYS = 5
+
+
+class QuorumStore(Component):
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name="quorum-store")
+        self.committed = 0
+
+    def store_a(self, key: int) -> None:
+        self.env.disk_write(f"/replicaA/k{key}", b"value")
+
+    def store_b(self, key: int) -> None:
+        self.env.disk_write(f"/replicaB/k{key}", b"value")
+
+    def put(self, key: int) -> None:
+        copies = 0
+        try:
+            self.store_a(key)
+            copies += 1
+        except IOException as error:
+            self.log.warn("Replica A write failed for k%d: %s", key, error)
+        try:
+            self.store_b(key)
+            copies += 1
+        except IOException as error:
+            self.log.warn("Replica B write failed for k%d: %s", key, error)
+        if copies == 0:
+            self.log.error("Write of k%d lost on all replicas", key)
+            self.cluster.state["lost_writes"] = (
+                self.cluster.state.get("lost_writes", 0) + 1
+            )
+        else:
+            self.committed += 1
+            self.cluster.state["committed"] = self.committed
+            self.log.info("Committed k%d with %d copies", key, copies)
+
+    def writer(self):
+        for key in range(KEYS):
+            self.put(key)
+            yield self.jitter(0.2)
+        self.log.info("Writer finished, %d writes committed", self.committed)
+
+
+def quorum_workload(cluster) -> None:
+    store = QuorumStore(cluster)
+    cluster.spawn("quorum-writer", store.writer())

@@ -1,0 +1,73 @@
+"""Unit tests for the flexible-window doubling path (§5.2.5).
+
+When none of a round's armed instances occurs, the Explorer must double
+the window instead of wasting identical rounds.  We stub out the workload
+execution so no injection ever fires and observe the recorded windows.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro.core.explorer as explorer_module
+from repro.failures import get_case
+from repro.logs.record import LogFile
+from repro.sim.cluster import RunResult
+
+
+def empty_run_result():
+    return RunResult(
+        log=LogFile(),
+        trace=[],
+        injected=False,
+        injected_instance=None,
+        stuck=[],
+        crashed=[],
+        state={},
+        end_time=0.0,
+        site_counts={},
+    )
+
+
+@pytest.fixture()
+def no_injection_explorer(monkeypatch):
+    case = get_case("f1")
+    explorer = case.explorer(max_rounds=8, initial_window=1)
+    explorer.prepare()  # uses the real execute_workload for the probe
+
+    def stubbed_execute(workload, horizon, seed=0, plan=None, tracing=True):
+        return empty_run_result()
+
+    monkeypatch.setattr(explorer_module, "execute_workload", stubbed_execute)
+    return explorer
+
+
+class TestWindowDoubling:
+    def test_window_grows_when_nothing_fires(self, no_injection_explorer):
+        result = no_injection_explorer.explore()
+        assert not result.success
+        sizes = [record.window_size for record in result.round_records]
+        assert sizes[0] == 1
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 1  # doubling kicked in
+
+    def test_growth_is_capped_by_candidate_count(self, no_injection_explorer):
+        pool = no_injection_explorer.prepare().pool
+        result = no_injection_explorer.explore()
+        for record in result.round_records:
+            assert record.window_size <= max(pool.candidate_count, 1)
+
+    def test_rounds_exhaust_budget_without_injection(self, no_injection_explorer):
+        result = no_injection_explorer.explore()
+        assert result.message == "round budget exhausted"
+        assert all(record.injected is None for record in result.round_records)
+
+
+class TestTimeBudget:
+    def test_zero_time_budget_stops_immediately(self):
+        case = get_case("f1")
+        explorer = case.explorer(max_rounds=100, max_seconds=0.0)
+        result = explorer.explore()
+        assert not result.success
+        assert result.message == "time budget exhausted"
+        assert result.rounds == 0

@@ -1,0 +1,151 @@
+"""Tests for the iterative multi-fault workflow on a genuine 2-fault bug."""
+
+import pytest
+
+from repro.analysis.ast_facts import extract_module_facts
+from repro.analysis.system_model import SystemModel
+from repro.core.iterative import IterativeExplorer
+from repro.core.oracle import LogMessageOracle, StatePredicateOracle
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.logs.parser import LogParser
+from repro.sim.cluster import execute_workload
+
+from . import quorum_system
+from .quorum_system import quorum_workload
+
+HORIZON = 5.0
+
+ORACLE = LogMessageOracle("lost on all replicas") & StatePredicateOracle(
+    lambda state: state.get("lost_writes", 0) > 0, "a write was lost"
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    with open(quorum_system.__file__, encoding="utf-8") as handle:
+        source = handle.read()
+    return SystemModel(
+        [
+            extract_module_facts(
+                quorum_system.__name__, quorum_system.__file__, source
+            )
+        ]
+    )
+
+
+def site_of(model, function):
+    return next(
+        call for call in model.env_calls if call.function_name == function
+    ).site_id
+
+
+@pytest.fixture(scope="module")
+def failure_log(model):
+    """Production log: the SAME key (k2) fails on both replicas."""
+    plan = InjectionPlan.of(
+        [FaultInstance(site_of(model, "store_b"), "IOException", 3)],
+        always=[FaultInstance(site_of(model, "store_a"), "IOException", 3)],
+    )
+    result = execute_workload(quorum_workload, horizon=HORIZON, seed=0, plan=plan)
+    assert ORACLE.satisfied(result), "two-fault ground truth must reproduce"
+    return LogParser().parse_text(result.log.to_text())
+
+
+class TestTwoFaultScenario:
+    def test_single_fault_cannot_reproduce(self, model):
+        for function in ("store_a", "store_b"):
+            plan = InjectionPlan.single(
+                FaultInstance(site_of(model, function), "IOException", 3)
+            )
+            result = execute_workload(
+                quorum_workload, horizon=HORIZON, seed=0, plan=plan
+            )
+            assert not ORACLE.satisfied(result)
+            assert result.state.get("committed") == quorum_system.KEYS
+
+    def test_single_stage_explorer_fails(self, model, failure_log):
+        from repro.core.explorer import Explorer
+
+        explorer = Explorer(
+            workload=quorum_workload,
+            horizon=HORIZON,
+            failure_log=failure_log,
+            oracle=ORACLE,
+            model=model,
+            max_rounds=100,
+        )
+        result = explorer.explore()
+        assert not result.success
+
+    def test_iterative_explorer_reproduces(self, model, failure_log):
+        iterative = IterativeExplorer(
+            max_faults=2,
+            workload=quorum_workload,
+            horizon=HORIZON,
+            failure_log=failure_log,
+            oracle=ORACLE,
+            model=model,
+            max_rounds=100,
+            case_id="quorum-2fault",
+            system="test",
+        )
+        result = iterative.explore()
+        assert result.success, result.message
+        assert result.stages == 2
+        assert len(result.faults) == 2
+        sites = {fault.site_id for fault in result.faults}
+        assert sites == {site_of(model, "store_a"), site_of(model, "store_b")}
+        # Both faults hit the same key.
+        occurrences = {fault.occurrence for fault in result.faults}
+        assert len(occurrences) == 1
+
+    def test_multi_fault_script_replays(self, model, failure_log):
+        iterative = IterativeExplorer(
+            max_faults=2,
+            workload=quorum_workload,
+            horizon=HORIZON,
+            failure_log=failure_log,
+            oracle=ORACLE,
+            model=model,
+            max_rounds=100,
+        )
+        result = iterative.explore()
+        assert result.success
+        script = result.script
+        assert script.extra_instances  # the fixed base fault is pinned
+        replay = script.replay(quorum_workload)
+        assert ORACLE.satisfied(replay)
+
+    def test_multi_fault_script_json_round_trip(self, model, failure_log):
+        from repro.core.report import ReproductionScript
+
+        iterative = IterativeExplorer(
+            max_faults=2,
+            workload=quorum_workload,
+            horizon=HORIZON,
+            failure_log=failure_log,
+            oracle=ORACLE,
+            model=model,
+            max_rounds=100,
+        )
+        result = iterative.explore()
+        restored = ReproductionScript.from_json(result.script.to_json())
+        assert restored == result.script
+
+    def test_fault_budget_of_one_gives_up(self, model, failure_log):
+        iterative = IterativeExplorer(
+            max_faults=1,
+            workload=quorum_workload,
+            horizon=HORIZON,
+            failure_log=failure_log,
+            oracle=ORACLE,
+            model=model,
+            max_rounds=60,
+        )
+        result = iterative.explore()
+        assert not result.success
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            IterativeExplorer(max_faults=0)

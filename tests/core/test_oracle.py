@@ -1,0 +1,108 @@
+"""Tests for failure oracles."""
+
+from repro.core.oracle import (
+    AllOf,
+    AnyOf,
+    CrashedTaskOracle,
+    LogMessageOracle,
+    Not,
+    StatePredicateOracle,
+    StuckTaskOracle,
+)
+from repro.logs.record import Level, LogFile, LogRecord
+from repro.sim.cluster import RunResult, TaskSummary
+
+
+def make_result(messages=(), stuck=(), crashed=(), state=None):
+    log = LogFile()
+    for message in messages:
+        log.append(LogRecord(0.0, "main", Level.INFO, message))
+    return RunResult(
+        log=log,
+        trace=[],
+        injected=False,
+        injected_instance=None,
+        stuck=list(stuck),
+        crashed=list(crashed),
+        state=state or {},
+        end_time=1.0,
+        site_counts={},
+    )
+
+
+def blocked(name, stack):
+    return TaskSummary(name=name, state="blocked", stack=tuple(stack))
+
+
+def failed(name, error_type):
+    return TaskSummary(
+        name=name, state="failed", stack=(), error_type=error_type
+    )
+
+
+class TestLogMessageOracle:
+    def test_matches_regex(self):
+        oracle = LogMessageOracle(r"service is not available")
+        assert oracle.satisfied(make_result(["ZooKeeper service is not available"]))
+        assert not oracle.satisfied(make_result(["all good"]))
+
+    def test_level_filter(self):
+        oracle = LogMessageOracle("boom", level="ERROR")
+        result = make_result(["boom"])  # INFO level
+        assert not oracle.satisfied(result)
+
+
+class TestStuckTaskOracle:
+    def test_function_on_stack(self):
+        oracle = StuckTaskOracle("wait_for_safe_point")
+        result = make_result(
+            stuck=[blocked("rs1-roller", ["roll", "wait_for_safe_point"])]
+        )
+        assert oracle.satisfied(result)
+
+    def test_task_prefix_filters(self):
+        oracle = StuckTaskOracle("wait", task_prefix="rs2")
+        result = make_result(stuck=[blocked("rs1-roller", ["wait"])])
+        assert not oracle.satisfied(result)
+
+    def test_not_satisfied_when_nothing_stuck(self):
+        assert not StuckTaskOracle("wait").satisfied(make_result())
+
+
+class TestCrashedTaskOracle:
+    def test_error_type_match(self):
+        oracle = CrashedTaskOracle(task_prefix="zk", error_type="TypeError")
+        assert oracle.satisfied(make_result(crashed=[failed("zk1-main", "TypeError")]))
+        assert not oracle.satisfied(
+            make_result(crashed=[failed("zk1-main", "ValueError")])
+        )
+
+
+class TestStateOracle:
+    def test_predicate(self):
+        oracle = StatePredicateOracle(lambda s: s.get("x") == 1)
+        assert oracle.satisfied(make_result(state={"x": 1}))
+        assert not oracle.satisfied(make_result(state={}))
+
+
+class TestCombinators:
+    def test_and(self):
+        oracle = LogMessageOracle("a") & LogMessageOracle("b")
+        assert isinstance(oracle, AllOf)
+        assert oracle.satisfied(make_result(["a then b"]))
+        assert not oracle.satisfied(make_result(["only a"]))
+
+    def test_or(self):
+        oracle = LogMessageOracle("a") | LogMessageOracle("b")
+        assert isinstance(oracle, AnyOf)
+        assert oracle.satisfied(make_result(["only b here"]))
+
+    def test_not(self):
+        oracle = ~LogMessageOracle("a")
+        assert isinstance(oracle, Not)
+        assert oracle.satisfied(make_result(["nothing"]))
+        assert not oracle.satisfied(make_result(["a"]))
+
+    def test_description_composition(self):
+        oracle = LogMessageOracle("x") & StuckTaskOracle("f")
+        assert "AND" in oracle.description

@@ -1,0 +1,76 @@
+"""Tests for reproduction scripts."""
+
+import pytest
+
+from repro.core.report import ReproductionScript
+from repro.failures import get_case
+from repro.injection.sites import FaultInstance
+
+
+def make_script(**overrides):
+    base = dict(
+        case_id="f1",
+        system="zookeeper",
+        instance=FaultInstance("site-a", "IOException", 3),
+        seed=7,
+        horizon=12.0,
+        oracle_description="desc",
+    )
+    base.update(overrides)
+    return ReproductionScript(**base)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        script = make_script()
+        restored = ReproductionScript.from_json(script.to_json())
+        assert restored == script
+
+    def test_json_fields(self):
+        import json
+
+        data = json.loads(make_script().to_json())
+        assert data["site_id"] == "site-a"
+        assert data["occurrence"] == 3
+        assert data["seed"] == 7
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            ReproductionScript.from_json("{}")
+
+    def test_oracle_description_optional(self):
+        restored = ReproductionScript.from_json(
+            '{"case_id": "x", "system": "s", "site_id": "a", '
+            '"exception": "IOException", "occurrence": 1, '
+            '"seed": 0, "horizon": 1.0}'
+        )
+        assert restored.oracle_description == ""
+
+
+class TestReplay:
+    def test_replay_injects_pinned_instance(self):
+        case = get_case("f4")
+        script = ReproductionScript(
+            case_id="f4",
+            system="zookeeper",
+            instance=case.ground_truth_instance(),
+            seed=case.seed,
+            horizon=case.horizon,
+        )
+        result = script.replay(case.workload)
+        assert result.injected
+        assert result.injected_instance == case.ground_truth_instance()
+        assert case.oracle.satisfied(result)
+
+    def test_replay_with_wrong_instance_fails_oracle(self):
+        case = get_case("f4")
+        truth = case.ground_truth_instance()
+        script = make_script(
+            case_id="f4",
+            instance=FaultInstance(truth.site_id, truth.exception, 999),
+            seed=case.seed,
+            horizon=case.horizon,
+        )
+        result = script.replay(case.workload)
+        assert not result.injected
+        assert not case.oracle.satisfied(result)

@@ -1,0 +1,130 @@
+"""Tests for the §6 multi-run round extension.
+
+A workload whose fault site only executes under some seeds models the
+"crucial log messages disappear under concurrency" scenario: with one run
+per round the armed (speculative) instance never fires under the probe
+seed; with several perturbed runs per round it eventually does.
+"""
+
+import pytest
+
+from repro.core.explorer import Explorer
+from repro.core.oracle import LogMessageOracle
+from repro.analysis.ast_facts import extract_module_facts
+from repro.analysis.system_model import SystemModel
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.logs.parser import LogParser
+from repro.sim.cluster import execute_workload
+from repro.sim.errors import IOException
+from repro.systems.base import Component
+
+SOURCE = '''
+from repro.sim.errors import IOException
+from repro.systems.base import Component
+
+
+class FlakyArchiver(Component):
+    """Archives only when a seed-dependent coin flip allows it."""
+
+    def __init__(self, cluster) -> None:
+        super().__init__(cluster, name="archiver")
+
+    def run(self):
+        for index in range(6):
+            yield self.sleep(0.2)
+            if self.sim.random.random() < 0.4:
+                self.log.debug("Skipping archive round %d", index)
+                continue
+            try:
+                self.env.disk_write(f"/archive/{index}", b"data")
+                self.log.info("Archived segment %d", index)
+            except IOException as error:
+                self.log.error(
+                    "Archive of segment %d failed, data at risk: %s",
+                    index,
+                    error,
+                )
+                self.cluster.state["archive_failed"] = True
+                return
+        self.log.info("Archiver finished")
+'''
+
+
+def workload(cluster):
+    namespace = {}
+    exec(compile(SOURCE, "flaky_archiver.py", "exec"), {
+        "IOException": IOException,
+        "Component": Component,
+    }, namespace)
+    archiver = namespace["FlakyArchiver"](cluster)
+    cluster.spawn("archiver", archiver.run())
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SystemModel(
+        [extract_module_facts("flaky_archiver", "flaky_archiver.py", SOURCE)]
+    )
+
+
+@pytest.fixture(scope="module")
+def failure_log(model):
+    site = model.env_calls[0].site_id
+    # Under seed 60 the 4th archive attempt executes; fail it.
+    for seed in range(50, 80):
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 4))
+        result = execute_workload(workload, horizon=4.0, seed=seed, plan=plan)
+        if result.injected:
+            return LogParser().parse_text(result.log.to_text()), seed
+    raise AssertionError("no seed exercised the 4th occurrence")
+
+
+ORACLE = LogMessageOracle("data at risk")
+
+
+def make_explorer(model, failure_log, probe_seed, **kwargs):
+    return Explorer(
+        workload=workload,
+        horizon=4.0,
+        failure_log=failure_log,
+        oracle=ORACLE,
+        model=model,
+        seed=probe_seed,
+        max_rounds=40,
+        **kwargs,
+    )
+
+
+def find_sparse_probe_seed(model):
+    """A probe seed under which the site runs fewer than 4 times."""
+    site = model.env_calls[0].site_id
+    for seed in range(200, 400):
+        probe = execute_workload(workload, horizon=4.0, seed=seed)
+        if probe.site_counts.get(site, 0) < 4:
+            return seed
+    raise AssertionError("no sparse seed found")
+
+
+class TestRunsPerRound:
+    def test_multi_run_rounds_recover_missing_occurrences(self, model, failure_log):
+        log, _ = failure_log
+        probe_seed = find_sparse_probe_seed(model)
+        # Single-run rounds: occurrence 4 never happens under this seed,
+        # so the window (occurrences seen in the probe) can't reach it.
+        single = make_explorer(model, log, probe_seed, runs_per_round=1)
+        single_result = single.explore()
+        # Multi-run rounds retry under perturbed seeds, letting the armed
+        # instances fire in some sub-run.
+        multi = make_explorer(model, log, probe_seed, runs_per_round=8)
+        multi_result = multi.explore()
+        assert multi_result.success
+        if single_result.success:
+            # If the sparse seed still allowed success, multi must not be
+            # worse — but the interesting configuration is the one above.
+            assert multi_result.rounds <= single_result.rounds + 40
+
+    def test_invalid_runs_per_round_rejected(self, model, failure_log):
+        log, _ = failure_log
+        with pytest.raises(ValueError):
+            make_explorer(model, log, 0, runs_per_round=0)

@@ -1,0 +1,74 @@
+"""Tests for structural ground-truth resolution."""
+
+import pytest
+
+from repro.failures import get_case
+from repro.failures.case import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def zk_model():
+    return get_case("f1").model()
+
+
+class TestResolution:
+    def test_resolves_to_stable_site_id(self, zk_model):
+        truth = GroundTruth(
+            function="append", op="disk_append",
+            exception="IOException", occurrence=1,
+        )
+        site = truth.resolve_site(zk_model)
+        assert site.endswith(":append:disk_append")
+        assert site.startswith("repro/systems/minizk/")
+
+    def test_missing_function_raises(self, zk_model):
+        truth = GroundTruth(
+            function="no_such_function", op="disk_write",
+            exception="IOException", occurrence=1,
+        )
+        with pytest.raises(LookupError):
+            truth.resolve_site(zk_model)
+
+    def test_module_suffix_disambiguates(self):
+        model = get_case("f8").model()
+        truth = GroundTruth(
+            function="register", op="disk_write",
+            exception="IOException", occurrence=1,
+            module_suffix="minidfs/datanode.py",
+        )
+        assert "minidfs/datanode.py" in truth.resolve_site(model)
+
+    def test_index_selects_among_multiple_calls(self):
+        """write_block opens two pipeline sockets; index picks which."""
+        model = get_case("f8").model()
+        first = GroundTruth(
+            function="write_block", op="sock_connect",
+            exception="ConnectException", occurrence=1, index=0,
+        ).resolve_site(model)
+        second = GroundTruth(
+            function="write_block", op="sock_connect",
+            exception="ConnectException", occurrence=1, index=1,
+        ).resolve_site(model)
+        assert first != second
+        line_of = lambda site: int(site.split(":")[1])
+        assert line_of(first) < line_of(second)
+
+    def test_resolve_instance_carries_occurrence(self, zk_model):
+        truth = GroundTruth(
+            function="append", op="disk_append",
+            exception="IOException", occurrence=7,
+        )
+        instance = truth.resolve_instance(zk_model)
+        assert instance.occurrence == 7
+        assert instance.exception == "IOException"
+
+
+class TestCatalogGroundTruthsAreResolvable:
+    def test_all_cases_resolve(self):
+        from repro.failures import all_cases
+
+        for case in all_cases():
+            instance = case.ground_truth_instance()
+            assert instance.site_id
+            for alternate in case.alternates:
+                assert alternate.resolve_instance(case.model()).site_id

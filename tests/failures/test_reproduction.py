@@ -1,0 +1,28 @@
+"""End-to-end: ANDURIL reproduces every failure in the dataset (§8.1)."""
+
+import pytest
+
+from repro.failures import all_cases
+
+CASES = all_cases()
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.case_id)
+def test_anduril_reproduces(case):
+    result = case.explorer(max_rounds=800).explore()
+    assert result.success, f"{case.case_id}: {result.message}"
+    assert result.script is not None
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in CASES if c.case_id in ("f1", "f8", "f13", "f17", "f20", "f22")],
+    ids=lambda c: c.case_id,
+)
+def test_reproduction_scripts_replay_deterministically(case):
+    result = case.explorer(max_rounds=800).explore()
+    first = result.script.replay(case.workload)
+    second = result.script.replay(case.workload)
+    assert case.oracle.satisfied(first)
+    assert case.oracle.satisfied(second)
+    assert first.log.to_text() == second.log.to_text()

@@ -1,0 +1,123 @@
+"""Unit tests for fault-site identity, plans, and the FIR runtime."""
+
+import pytest
+
+from repro.injection.fir import FIR, InjectionPlan, is_injected
+from repro.injection.sites import (
+    FaultCandidate,
+    FaultInstance,
+    SiteRef,
+    normalize_path,
+)
+from repro.sim.errors import IOException, SocketException
+
+
+def make_site(line=10, function="write", op="disk_write"):
+    return SiteRef(file="repro/systems/x/y.py", line=line, function=function, op=op)
+
+
+class TestSiteIdentity:
+    def test_site_id_shape(self):
+        site = make_site()
+        assert site.site_id == "repro/systems/x/y.py:10:write:disk_write"
+
+    def test_normalize_strips_install_prefix(self):
+        path = "/opt/venv/lib/python3.11/site-packages/repro/systems/m/a.py"
+        assert normalize_path(path) == "repro/systems/m/a.py"
+
+    def test_normalize_handles_src_layout(self):
+        path = "/root/repo/src/repro/sim/env.py"
+        assert normalize_path(path) == "repro/sim/env.py"
+
+    def test_normalize_fallback_is_basename(self):
+        assert normalize_path("/somewhere/else/mod.py") == "mod.py"
+
+    def test_instance_and_candidate_strings(self):
+        instance = FaultInstance("s", "IOException", 3)
+        assert str(instance) == "s!IOException@3"
+        assert instance.candidate == FaultCandidate("s", "IOException")
+
+
+class TestInjectionPlan:
+    def test_match_by_site_and_occurrence(self):
+        plan = InjectionPlan.single(FaultInstance("a", "IOException", 2))
+        assert plan.match("a", 2) is not None
+        assert plan.match("a", 1) is None
+        assert plan.match("b", 2) is None
+
+    def test_window_plan_matches_any(self):
+        plan = InjectionPlan.of(
+            [
+                FaultInstance("a", "IOException", 1),
+                FaultInstance("b", "SocketException", 4),
+            ]
+        )
+        assert plan.match("b", 4).exception == "SocketException"
+
+
+class TestFir:
+    def make_fir(self, plan=None):
+        fir = FIR()
+        fir.bind(log_index_fn=lambda: 7, clock=lambda: 1.5)
+        fir.set_plan(plan)
+        return fir
+
+    def test_occurrence_counting(self):
+        fir = self.make_fir()
+        site = make_site()
+        for _ in range(3):
+            fir.on_site(site)
+        assert fir.occurrences_of(site.site_id) == 3
+        assert [event.occurrence for event in fir.trace] == [1, 2, 3]
+
+    def test_trace_carries_time_and_log_index(self):
+        fir = self.make_fir()
+        fir.on_site(make_site())
+        event = fir.trace[0]
+        assert event.time == 1.5
+        assert event.log_index == 7
+
+    def test_injection_fires_once(self):
+        site = make_site()
+        plan = InjectionPlan.single(FaultInstance(site.site_id, "IOException", 2))
+        fir = self.make_fir(plan)
+        fir.on_site(site)  # occurrence 1: no injection
+        with pytest.raises(IOException) as excinfo:
+            fir.on_site(site)
+        assert is_injected(excinfo.value)
+        assert fir.fired is not None
+        # Later occurrences do not fire again.
+        fir.on_site(site)
+        assert fir.occurrences_of(site.site_id) == 3
+
+    def test_injected_exception_type(self):
+        site = make_site(op="sock_send")
+        plan = InjectionPlan.single(
+            FaultInstance(site.site_id, "SocketException", 1)
+        )
+        fir = self.make_fir(plan)
+        with pytest.raises(SocketException):
+            fir.on_site(site)
+
+    def test_unknown_exception_name_rejected(self):
+        site = make_site()
+        plan = InjectionPlan.single(FaultInstance(site.site_id, "NoSuch", 1))
+        fir = self.make_fir(plan)
+        with pytest.raises(ValueError):
+            fir.on_site(site)
+
+    def test_request_counting_and_latency(self):
+        fir = self.make_fir()
+        for _ in range(5):
+            fir.on_site(make_site())
+        assert fir.request_count == 5
+        assert fir.dynamic_instance_count() == 5
+        assert fir.mean_decision_latency >= 0.0
+
+    def test_different_sites_count_independently(self):
+        fir = self.make_fir()
+        fir.on_site(make_site(line=1))
+        fir.on_site(make_site(line=2))
+        fir.on_site(make_site(line=1))
+        assert fir.occurrences_of("repro/systems/x/y.py:1:write:disk_write") == 2
+        assert fir.occurrences_of("repro/systems/x/y.py:2:write:disk_write") == 1

@@ -1,0 +1,130 @@
+"""Tests for the per-thread log comparison (§5.1.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.diff import LogComparator, quick_canonical_diff, sanitize_thread_name
+from repro.logs.record import Level, LogFile, LogRecord
+from repro.logs.sanitize import TemplateMatcher
+
+
+def make_log(entries):
+    """Build a LogFile from (thread, message) pairs with synthetic times."""
+    log = LogFile()
+    for index, (thread, message) in enumerate(entries):
+        log.append(LogRecord(index * 0.01, thread, Level.INFO, message))
+    return log
+
+
+class TestThreadNameSanitizer:
+    def test_small_indices_preserved(self):
+        assert sanitize_thread_name("follower-1") == "follower-1"
+
+    def test_large_ids_stripped(self):
+        assert sanitize_thread_name("SyncThread-48151623") == sanitize_thread_name(
+            "SyncThread-99887766"
+        )
+
+    def test_mixed(self):
+        a = sanitize_thread_name("rs-2-handler-55511")
+        b = sanitize_thread_name("rs-2-handler-77222")
+        assert a == b
+        assert "rs-2" in a
+
+
+class TestCompare:
+    def test_identical_logs_have_no_failure_only(self):
+        log = make_log([("main", "start"), ("main", "stop")])
+        result = LogComparator().compare(log, log)
+        assert result.failure_only == []
+        assert len(result.matched) == 2
+
+    def test_extra_failure_message_detected(self):
+        normal = make_log([("main", "start"), ("main", "stop")])
+        failure = make_log(
+            [("main", "start"), ("main", "disk write failed"), ("main", "stop")]
+        )
+        result = LogComparator().compare(normal, failure)
+        assert [occ.record.message for occ in result.failure_only] == [
+            "disk write failed"
+        ]
+        assert result.failure_only[0].failure_index == 1
+
+    def test_timestampy_variants_match(self):
+        normal = make_log([("main", "committed txn 101 in 5 ms")])
+        failure = make_log([("main", "committed txn 999 in 9 ms")])
+        result = LogComparator().compare(normal, failure)
+        assert result.failure_only == []
+
+    def test_new_thread_contributes_all_messages(self):
+        normal = make_log([("main", "start")])
+        failure = make_log(
+            [("main", "start"), ("repair-9999", "a"), ("repair-8888", "b")]
+        )
+        result = LogComparator().compare(normal, failure)
+        messages = sorted(occ.record.message for occ in result.failure_only)
+        assert messages == ["a", "b"]
+
+    def test_interleaving_across_threads_tolerated(self):
+        normal = make_log(
+            [("a", "a1"), ("b", "b1"), ("a", "a2"), ("b", "b2")]
+        )
+        failure = make_log(
+            [("b", "b1"), ("a", "a1"), ("b", "b2"), ("a", "a2")]
+        )
+        result = LogComparator().compare(normal, failure)
+        assert result.failure_only == []
+
+    def test_missing_from_failure_is_not_reported(self):
+        # Messages only in the normal log are not observables.
+        normal = make_log([("main", "start"), ("main", "extra"), ("main", "stop")])
+        failure = make_log([("main", "start"), ("main", "stop")])
+        result = LogComparator().compare(normal, failure)
+        assert result.failure_only == []
+
+    def test_matched_pairs_sorted_by_failure_index(self):
+        normal = make_log([("a", "x"), ("b", "y")])
+        failure = make_log([("b", "y"), ("a", "x")])
+        result = LogComparator().compare(normal, failure)
+        rights = [right for _, right in result.matched]
+        assert rights == sorted(rights)
+
+    def test_quick_canonical_diff(self):
+        normal = make_log([("m", "ok 1")])
+        failure = make_log([("m", "ok 2"), ("m", "fatal error 3")])
+        only = quick_canonical_diff(normal, failure)
+        assert len(only) == 1
+        assert "fatal error" in next(iter(only))
+
+
+MESSAGES = st.sampled_from(
+    ["start", "stop", "sync ok", "retry", "fault seen", "commit applied"]
+)
+THREADS = st.sampled_from(["main", "worker", "sync"])
+ENTRIES = st.lists(st.tuples(THREADS, MESSAGES), max_size=25)
+
+
+@given(normal_entries=ENTRIES, extra=st.lists(st.tuples(THREADS, MESSAGES), max_size=5))
+@settings(max_examples=100)
+def test_superset_property(normal_entries, extra):
+    """Messages present in both logs are never reported as failure-only.
+
+    Mirrors the §5.1.2 superset property: the failure-only set shrinks (or
+    stays equal) as the run log gains more of the failure log's messages.
+    """
+    failure_entries = normal_entries + extra
+    normal = make_log(normal_entries)
+    failure = make_log(failure_entries)
+    comparator = LogComparator(TemplateMatcher())
+    sparse = comparator.compare(make_log([]), failure)
+    rich = comparator.compare(normal, failure)
+    assert rich.failure_only_keys() <= sparse.failure_only_keys()
+
+
+@given(entries=ENTRIES)
+@settings(max_examples=100)
+def test_self_compare_is_empty(entries):
+    log = make_log(entries)
+    result = LogComparator().compare(log, log)
+    assert result.failure_only == []
+    assert len(result.matched) == len(entries)

@@ -1,0 +1,80 @@
+"""Property tests for log rendering, parsing, and template matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs.parser import KAFKA_FORMAT, LOG4J_FORMAT, LogParser
+from repro.logs.record import Level, LogFile, LogRecord
+from repro.logs.sanitize import LogTemplate, TemplateMatcher
+
+WORDS = st.sampled_from(
+    ["sync", "roll", "commit", "replica", "expired", "queue", "leader"]
+)
+MESSAGES = st.lists(WORDS, min_size=1, max_size=6).map(" ".join)
+THREADS = st.sampled_from(["main", "worker-1", "rs1-flusher", "dfs-service"])
+LEVELS = st.sampled_from([Level.DEBUG, Level.INFO, Level.WARN, Level.ERROR])
+TIMES = st.floats(0, 3599.9)
+
+
+def make_log(entries):
+    log = LogFile()
+    for time_s, thread, level, message in entries:
+        log.append(LogRecord(round(time_s, 3), thread, level, message))
+    return log
+
+
+ENTRIES = st.lists(
+    st.tuples(TIMES, THREADS, LEVELS, MESSAGES), min_size=1, max_size=20
+)
+
+
+@given(entries=ENTRIES)
+@settings(max_examples=80)
+def test_log4j_round_trip(entries):
+    log = make_log(entries)
+    parsed = LogParser([LOG4J_FORMAT]).parse_text(log.to_text("log4j"))
+    assert [r.message for r in parsed] == [r.message for r in log]
+    assert [r.thread for r in parsed] == [r.thread for r in log]
+    assert [r.level for r in parsed] == [r.level for r in log]
+
+
+@given(entries=ENTRIES)
+@settings(max_examples=80)
+def test_kafka_round_trip(entries):
+    log = make_log(entries)
+    parsed = LogParser([KAFKA_FORMAT]).parse_text(log.to_text("kafka"))
+    assert [r.message for r in parsed] == [r.message for r in log]
+    assert [r.thread for r in parsed] == [r.thread for r in log]
+
+
+@given(entries=ENTRIES)
+@settings(max_examples=50)
+def test_wrong_format_parses_nothing(entries):
+    log = make_log(entries)
+    parsed = LogParser([KAFKA_FORMAT]).parse_text(log.to_text("log4j"))
+    assert len(parsed) == 0
+
+
+ARGS = st.sampled_from(["wal-1", "region-7", "10.0.0.3:50010", "0xdeadbeef", "42"])
+
+
+@given(arg=ARGS, noise=ARGS)
+@settings(max_examples=60)
+def test_template_identity_is_stable_across_arguments(arg, noise):
+    templates = [
+        LogTemplate("t1", "Synced %s to quorum", "INFO", "m.py", 1, "f"),
+        LogTemplate("t2", "Dropped packet from %s", "WARN", "m.py", 2, "g"),
+    ]
+    matcher = TemplateMatcher(templates)
+    assert matcher.key_for(f"Synced {arg} to quorum") == "t1"
+    assert matcher.key_for(f"Synced {noise} to quorum") == "t1"
+    assert matcher.key_for(f"Dropped packet from {arg}") == "t2"
+
+
+@given(arg=ARGS)
+@settings(max_examples=40)
+def test_stack_trace_suffix_does_not_break_matching(arg):
+    templates = [LogTemplate("t1", "Sync failed for %s", "ERROR", "m.py", 1, "f")]
+    matcher = TemplateMatcher(templates)
+    message = f"Sync failed for {arg}\nIOException: boom\n\tat frame(file.py:1)"
+    assert matcher.key_for(message) == "t1"

@@ -1,0 +1,126 @@
+"""Unit and property tests for the Myers diff implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import myers
+from repro.logs.myers import Op
+
+
+def apply_script(left, right, edits):
+    """Replay an edit script and return the reconstructed left and right."""
+    rebuilt_left = []
+    rebuilt_right = []
+    for edit in edits:
+        if edit.op is Op.KEEP:
+            rebuilt_left.append(edit.item)
+            rebuilt_right.append(edit.item)
+        elif edit.op is Op.DELETE:
+            rebuilt_left.append(edit.item)
+        else:
+            rebuilt_right.append(edit.item)
+    return rebuilt_left, rebuilt_right
+
+
+class TestDiffBasics:
+    def test_equal_sequences_all_keep(self):
+        edits = myers.diff("abc", "abc")
+        assert all(edit.op is Op.KEEP for edit in edits)
+        assert [edit.item for edit in edits] == list("abc")
+
+    def test_empty_left(self):
+        edits = myers.diff([], [1, 2])
+        assert [edit.op for edit in edits] == [Op.INSERT, Op.INSERT]
+        assert [edit.right_index for edit in edits] == [0, 1]
+
+    def test_empty_right(self):
+        edits = myers.diff([1, 2], [])
+        assert [edit.op for edit in edits] == [Op.DELETE, Op.DELETE]
+
+    def test_both_empty(self):
+        assert myers.diff([], []) == []
+
+    def test_classic_example(self):
+        # Myers' paper example: ABCABBA -> CBABAC has edit distance 5.
+        edits = myers.diff("ABCABBA", "CBABAC")
+        cost = sum(1 for edit in edits if edit.op is not Op.KEEP)
+        assert cost == 5
+
+    def test_single_insertion_in_middle(self):
+        edits = myers.diff("ac", "abc")
+        inserts = [edit for edit in edits if edit.op is Op.INSERT]
+        assert len(inserts) == 1
+        assert inserts[0].item == "b"
+        assert inserts[0].right_index == 1
+
+    def test_disjoint_sequences(self):
+        edits = myers.diff("abc", "xyz")
+        cost = sum(1 for edit in edits if edit.op is not Op.KEEP)
+        assert cost == 6
+
+    def test_indices_are_consistent(self):
+        left, right = list("kitten"), list("sitting")
+        for edit in myers.diff(left, right):
+            if edit.left_index is not None:
+                assert left[edit.left_index] == edit.item
+            if edit.right_index is not None:
+                assert right[edit.right_index] == edit.item
+
+
+class TestLcsHelpers:
+    def test_lcs_pairs_monotonic(self):
+        pairs = myers.lcs_pairs(list("abcde"), list("ace"))
+        lefts = [left for left, _ in pairs]
+        rights = [right for _, right in pairs]
+        assert lefts == sorted(lefts)
+        assert rights == sorted(rights)
+        assert len(pairs) == 3
+
+    def test_only_in_right(self):
+        indices = myers.only_in_right(list("ace"), list("abcde"))
+        assert indices == [1, 3]
+
+
+@given(
+    left=st.lists(st.integers(0, 5), max_size=30),
+    right=st.lists(st.integers(0, 5), max_size=30),
+)
+@settings(max_examples=200)
+def test_script_reconstructs_both_sides(left, right):
+    edits = myers.diff(left, right)
+    rebuilt_left, rebuilt_right = apply_script(left, right, edits)
+    assert rebuilt_left == left
+    assert rebuilt_right == right
+
+
+@given(
+    left=st.lists(st.integers(0, 3), max_size=20),
+    right=st.lists(st.integers(0, 3), max_size=20),
+)
+@settings(max_examples=200)
+def test_cost_bounds(left, right):
+    edits = myers.diff(left, right)
+    cost = sum(1 for edit in edits if edit.op is not Op.KEEP)
+    # Edit distance is at most the trivial delete-all+insert-all script and
+    # at least the length difference.
+    assert abs(len(left) - len(right)) <= cost <= len(left) + len(right)
+
+
+@given(common=st.lists(st.integers(0, 9), max_size=25))
+@settings(max_examples=100)
+def test_identical_sequences_cost_zero(common):
+    edits = myers.diff(common, common)
+    assert all(edit.op is Op.KEEP for edit in edits)
+
+
+@given(
+    base=st.lists(st.integers(0, 9), max_size=15),
+    extra=st.lists(st.integers(0, 9), max_size=5),
+)
+@settings(max_examples=100)
+def test_subsequence_only_inserts(base, extra):
+    # Appending items yields a script with no deletions.
+    edits = myers.diff(base, base + extra)
+    assert all(edit.op is not Op.DELETE for edit in edits)
+    inserts = [edit for edit in edits if edit.op is Op.INSERT]
+    assert len(inserts) == len(extra)

@@ -1,0 +1,99 @@
+"""Tests for LogRecord formatting and the text log parser."""
+
+import pytest
+
+from repro.logs.parser import KAFKA_FORMAT, LogParser
+from repro.logs.record import Level, LogFile, LogRecord, format_timestamp
+
+
+class TestLevel:
+    def test_parse_aliases(self):
+        assert Level.parse("warning") is Level.WARN
+        assert Level.parse("ERROR") is Level.ERROR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Level.parse("noise")
+
+    def test_ordering(self):
+        assert Level.DEBUG < Level.INFO < Level.WARN < Level.ERROR
+
+
+class TestTimestamp:
+    def test_zero(self):
+        assert format_timestamp(0.0).endswith("10:00:00,000")
+
+    def test_fractional(self):
+        assert format_timestamp(1.5).endswith("10:00:01,500")
+
+    def test_hours_roll(self):
+        assert format_timestamp(3600.25).endswith("11:00:00,250")
+
+
+class TestLogFile:
+    def make_log(self):
+        log = LogFile()
+        log.append(LogRecord(0.0, "main", Level.INFO, "starting"))
+        log.append(LogRecord(0.1, "worker-1", Level.WARN, "retrying"))
+        log.append(LogRecord(0.2, "main", Level.INFO, "ready"))
+        return log
+
+    def test_threads_in_order(self):
+        assert self.make_log().threads() == ["main", "worker-1"]
+
+    def test_by_thread_preserves_order(self):
+        groups = self.make_log().by_thread()
+        assert [r.message for r in groups["main"]] == ["starting", "ready"]
+
+    def test_round_trip_through_text(self):
+        log = self.make_log()
+        parsed = LogParser().parse_text(log.to_text())
+        assert [r.message for r in parsed] == [r.message for r in log]
+        assert [r.thread for r in parsed] == [r.thread for r in log]
+        assert [r.level for r in parsed] == [r.level for r in log]
+        assert [pytest.approx(r.time) for r in parsed] == [r.time for r in log]
+
+
+class TestParser:
+    def test_continuation_lines_merge(self):
+        text = (
+            "2024-03-01 10:00:00,000 [main] ERROR - boom\n"
+            "  at frame one\n"
+            "  at frame two\n"
+            "2024-03-01 10:00:01,000 [main] INFO - ok\n"
+        )
+        log = LogParser().parse_text(text)
+        assert len(log) == 2
+        assert "frame two" in log[0].message
+        assert log[1].message == "ok"
+
+    def test_garbage_before_first_record_ignored(self):
+        text = "not a log line\n2024-03-01 10:00:00,000 [m] INFO - hi\n"
+        log = LogParser().parse_text(text)
+        assert len(log) == 1
+
+    def test_kafka_format(self):
+        text = "[2024-03-01 10:00:02,500] WARN [broker-0] replica lagging\n"
+        log = LogParser([KAFKA_FORMAT]).parse_text(text)
+        assert len(log) == 1
+        assert log[0].thread == "broker-0"
+        assert log[0].level is Level.WARN
+        assert log[0].message == "replica lagging"
+
+    def test_multi_format_parser(self):
+        text = (
+            "2024-03-01 10:00:00,000 [m] INFO - a\n"
+            "[2024-03-01 10:00:01,000] INFO [k] b\n"
+        )
+        parser = LogParser([KAFKA_FORMAT])
+        # Only kafka lines parse with the kafka-only parser...
+        assert len(parser.parse_text(text)) == 1
+        # ...both parse when both formats are configured.
+        from repro.logs.parser import LOG4J_FORMAT
+
+        both = LogParser([LOG4J_FORMAT, KAFKA_FORMAT])
+        assert len(both.parse_text(text)) == 2
+
+    def test_empty_format_list_rejected(self):
+        with pytest.raises(ValueError):
+            LogParser([])

@@ -1,0 +1,92 @@
+"""Tests for message canonicalization and template matching."""
+
+from repro.logs.sanitize import (
+    LogTemplate,
+    TemplateMatcher,
+    canonicalize,
+    template_to_regex,
+)
+
+
+def make_template(template_id, template, level="INFO"):
+    return LogTemplate(
+        template_id=template_id,
+        template=template,
+        level=level,
+        file="mod.py",
+        line=1,
+        function="f",
+    )
+
+
+class TestCanonicalize:
+    def test_strips_numbers(self):
+        assert canonicalize("retry 3 of 10") == canonicalize("retry 7 of 10")
+
+    def test_strips_endpoints(self):
+        a = canonicalize("Accepted connection from 10.0.0.1:2181")
+        b = canonicalize("Accepted connection from 10.0.0.9:2190")
+        assert a == b
+        assert "Accepted connection from" in a
+
+    def test_strips_paths(self):
+        a = canonicalize("opening /data/wal/000123.log now")
+        b = canonicalize("opening /data/wal/000999.log now")
+        assert a == b
+
+    def test_strips_embedded_timestamps(self):
+        a = canonicalize("snapshot at 2024-03-01 10:00:01,123 done")
+        b = canonicalize("snapshot at 2024-03-01 11:59:59,999 done")
+        assert a == b
+
+    def test_strips_hex_ids(self):
+        a = canonicalize("session 0xdeadbeef01 expired")
+        b = canonicalize("session 0xcafebabe99 expired")
+        assert a == b
+
+    def test_preserves_fixed_words(self):
+        text = canonicalize("WAL consumer stuck waiting for safe point")
+        assert text == "WAL consumer stuck waiting for safe point"
+
+    def test_different_messages_stay_different(self):
+        assert canonicalize("node started") != canonicalize("node stopped")
+
+
+class TestTemplateRegex:
+    def test_exact_literal(self):
+        regex = template_to_regex("leader elected")
+        assert regex.match("leader elected")
+        assert not regex.match("leader elected twice")
+
+    def test_placeholder_in_middle(self):
+        regex = template_to_regex("append %s failed after %d tries")
+        assert regex.match("append entry-7 failed after 3 tries")
+        assert not regex.match("append entry-7 failed")
+
+    def test_trailing_placeholder_matches_rest(self):
+        regex = template_to_regex("caught exception: %s")
+        assert regex.match("caught exception: IOError: disk gone\n  at frame")
+
+
+class TestTemplateMatcher:
+    def test_most_specific_template_wins(self):
+        generic = make_template("t.generic", "error: %s")
+        specific = make_template("t.specific", "error: disk write failed on %s")
+        matcher = TemplateMatcher([generic, specific])
+        match = matcher.match("error: disk write failed on /data/blk1")
+        assert match is not None and match.template_id == "t.specific"
+
+    def test_key_for_uses_template_id(self):
+        matcher = TemplateMatcher([make_template("t1", "commit %d applied")])
+        assert matcher.key_for("commit 42 applied") == "t1"
+        assert matcher.key_for("commit 43 applied") == "t1"
+
+    def test_key_for_falls_back_to_canonical(self):
+        matcher = TemplateMatcher([])
+        key_a = matcher.key_for("unmatched message 17")
+        key_b = matcher.key_for("unmatched message 39")
+        assert key_a == key_b
+
+    def test_key_is_cached_and_stable(self):
+        matcher = TemplateMatcher([make_template("t1", "x %s y")])
+        assert matcher.key_for("x q y") == matcher.key_for("x q y")

@@ -1,0 +1,213 @@
+"""Tests for the cluster harness, env boundary, network, and FIR wiring."""
+
+import pytest
+
+from repro.injection.fir import InjectionPlan, is_injected
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import Cluster, execute_workload
+from repro.sim.errors import (
+    ConnectException,
+    FileNotFoundException,
+    IOException,
+    SocketException,
+)
+
+
+def find_site(result, op):
+    """The first traced site id for a given env op."""
+    for event in result.trace:
+        if event.site_id.endswith(f":{op}"):
+            return event.site_id
+    raise AssertionError(f"no trace for op {op}")
+
+
+def disk_workload(cluster):
+    log = cluster.logger()
+    env = cluster.env
+
+    def writer():
+        for i in range(3):
+            try:
+                env.disk_write(f"/data/file{i}", b"payload")
+                log.info("wrote file %d", i)
+            except IOException as error:
+                log.exception("write %d failed", i, exc=error)
+            yield cluster.sleep(0.1)
+        cluster.state["writes_ok"] = True
+
+    cluster.spawn("writer", writer())
+
+
+class TestClusterRuns:
+    def test_plain_run_collects_logs_and_trace(self):
+        result = execute_workload(disk_workload, horizon=10.0)
+        assert result.state.get("writes_ok") is True
+        assert not result.injected
+        messages = result.log.messages()
+        assert "wrote file 0" in messages and "wrote file 2" in messages
+        # Three disk_write executions of the same static site.
+        sites = {event.site_id for event in result.trace}
+        assert len(sites) == 1
+        assert [event.occurrence for event in result.trace] == [1, 2, 3]
+
+    def test_determinism(self):
+        a = execute_workload(disk_workload, horizon=10.0, seed=3)
+        b = execute_workload(disk_workload, horizon=10.0, seed=3)
+        assert a.log.to_text() == b.log.to_text()
+        assert a.trace == b.trace
+
+    def test_injection_at_second_occurrence(self):
+        probe = execute_workload(disk_workload, horizon=10.0)
+        site = find_site(probe, "disk_write")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 2))
+        result = execute_workload(disk_workload, horizon=10.0, plan=plan)
+        assert result.injected
+        assert result.injected_instance.occurrence == 2
+        messages = result.log.messages()
+        assert "wrote file 0" in messages
+        assert any("write 1 failed" in m for m in messages)
+        assert "wrote file 2" in messages  # later occurrence unaffected
+
+    def test_injection_site_occurrence_mismatch_does_not_fire(self):
+        probe = execute_workload(disk_workload, horizon=10.0)
+        site = find_site(probe, "disk_write")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 99))
+        result = execute_workload(disk_workload, horizon=10.0, plan=plan)
+        assert not result.injected
+
+    def test_at_most_one_injection_per_run(self):
+        probe = execute_workload(disk_workload, horizon=10.0)
+        site = find_site(probe, "disk_write")
+        plan = InjectionPlan.of(
+            [
+                FaultInstance(site, "IOException", 1),
+                FaultInstance(site, "IOException", 2),
+            ]
+        )
+        result = execute_workload(disk_workload, horizon=10.0, plan=plan)
+        failures = [m for m in result.log.messages() if "failed" in m]
+        assert len(failures) == 1
+
+    def test_trace_log_index_tracks_log_growth(self):
+        result = execute_workload(disk_workload, horizon=10.0)
+        indices = [event.log_index for event in result.trace]
+        assert indices == sorted(indices)
+        assert indices[0] == 0  # first write precedes any log line
+        assert indices[1] >= 1
+
+    def test_unhandled_crash_is_logged_with_stack(self):
+        def workload(cluster):
+            env = cluster.env
+
+            def bad():
+                env.disk_read("/missing")
+                yield cluster.sleep(1)
+
+            cluster.spawn("bad", bad())
+
+        result = execute_workload(workload, horizon=5.0)
+        assert len(result.crashed) == 1
+        assert result.crashed[0].error_type == "FileNotFoundException"
+        assert any(
+            "Unhandled exception in thread bad" in m for m in result.log.messages()
+        )
+        assert any("FileNotFoundException" in m for m in result.log.messages())
+
+
+class TestEnvOps:
+    def test_disk_round_trip(self):
+        cluster = Cluster()
+        cluster.env.disk_write("/a", b"1")
+        cluster.env.disk_append("/a", b"2")
+        assert cluster.env.disk_read("/a") == b"12"
+        assert cluster.env.disk_list("/") == ["/a"]
+        cluster.env.disk_delete("/a")
+        with pytest.raises(FileNotFoundException):
+            cluster.env.disk_read("/a")
+
+    def test_injected_exception_is_marked(self):
+        probe = execute_workload(disk_workload, horizon=10.0)
+        site = find_site(probe, "disk_write")
+
+        caught = []
+
+        def workload(cluster):
+            env = cluster.env
+
+            def writer():
+                for i in range(3):
+                    try:
+                        env.disk_write(f"/data/file{i}", b"x")
+                    except IOException as error:
+                        caught.append(error)
+                    yield cluster.sleep(0.1)
+
+            cluster.spawn("writer", writer())
+
+        # Note: the workload here has a different site (different file/line)
+        # so re-probe it.
+        probe2 = execute_workload(workload, horizon=10.0)
+        site = find_site(probe2, "disk_write")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        execute_workload(workload, horizon=10.0, plan=plan)
+        assert len(caught) == 1
+        assert is_injected(caught[0])
+
+    def test_sock_send_and_recv(self):
+        got = []
+
+        def workload(cluster):
+            env = cluster.env
+            inbox = cluster.net.register("nodeB")
+
+            def sender():
+                env.sock_send("nodeA", "nodeB", "ping", payload=1)
+                yield cluster.sleep(0.01)
+
+            def receiver():
+                raw = yield inbox.get(timeout=5.0)
+                message = env.sock_recv(raw)
+                got.append((message.kind, message.payload))
+
+            cluster.spawn("sender", sender())
+            cluster.spawn("receiver", receiver())
+
+        execute_workload(workload, horizon=10.0)
+        assert got == [("ping", 1)]
+
+    def test_send_to_unknown_node_raises_connect(self):
+        cluster = Cluster()
+        with pytest.raises(ConnectException):
+            cluster.env.sock_send("a", "ghost", "ping")
+
+    def test_partition_raises_socket_exception(self):
+        cluster = Cluster()
+        cluster.net.register("b")
+        cluster.net.partition("a", "b")
+        with pytest.raises(SocketException):
+            cluster.env.sock_send("a", "b", "ping")
+        cluster.net.heal("a", "b")
+        cluster.env.sock_send("a", "b", "ping")  # no raise
+
+    def test_site_identity_contains_caller_function(self):
+        result = execute_workload(disk_workload, horizon=10.0)
+        site = find_site(result, "disk_write")
+        assert ":writer:" in site
+        assert site.startswith("repro/") or "test" in site
+
+
+class TestFirAccounting:
+    def test_request_count_and_latency(self):
+        cluster = Cluster()
+        for _ in range(10):
+            cluster.env.disk_write("/x", b"")
+        assert cluster.fir.request_count == 10
+        assert cluster.fir.mean_decision_latency >= 0.0
+        assert cluster.fir.dynamic_instance_count() == 10
+
+    def test_tracing_can_be_disabled(self):
+        cluster = Cluster()
+        cluster.fir.tracing = False
+        cluster.env.disk_write("/x", b"")
+        assert cluster.fir.trace == []
+        assert cluster.fir.request_count == 1

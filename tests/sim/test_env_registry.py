@@ -1,0 +1,90 @@
+"""Consistency between the env-op registry and the Env surface.
+
+The static analyzer and the FIR must agree on the fault space; these
+tests pin the contract.
+"""
+
+import inspect
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.env import ENV_OPS, Env
+from repro.sim.errors import (
+    EXCEPTION_TYPES,
+    SimException,
+    TimeoutIOException,
+    exception_from_name,
+    is_subtype,
+)
+
+
+class TestRegistry:
+    def test_every_op_has_an_env_method(self):
+        for op in ENV_OPS:
+            assert hasattr(Env, op), f"Env lacks method for op {op}"
+            assert callable(getattr(Env, op))
+
+    def test_every_declared_exception_is_instantiable(self):
+        for op, exception_names in ENV_OPS.items():
+            for name in exception_names:
+                exc = exception_from_name(name)
+                assert isinstance(exc, SimException), (op, name)
+
+    def test_ops_cover_disk_network_codec(self):
+        prefixes = {op.split("_")[0] for op in ENV_OPS}
+        assert {"disk", "sock", "codec", "net"} <= prefixes
+
+    def test_env_methods_report_caller_site(self):
+        cluster = Cluster()
+
+        def call_from_here():
+            cluster.env.disk_write("/x", b"")
+
+        call_from_here()
+        (site_id,) = cluster.fir.counts
+        assert ":call_from_here:disk_write" in site_id
+
+
+class TestExceptionHierarchy:
+    def test_io_family(self):
+        for name in ("SocketException", "TimeoutIOException",
+                     "FileNotFoundException", "EOFException",
+                     "ConnectException"):
+            assert is_subtype(name, "IOException"), name
+
+    def test_non_io_types(self):
+        assert not is_subtype("InterruptedException", "IOException")
+        assert not is_subtype("IllegalStateException", "IOException")
+
+    def test_everything_is_sim_exception(self):
+        for name in EXCEPTION_TYPES:
+            assert is_subtype(name, "SimException")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            exception_from_name("TotallyMadeUp")
+
+    def test_message_threading(self):
+        exc = exception_from_name("IOException", "disk on fire")
+        assert "disk on fire" in str(exc)
+
+
+class TestOrganicFaults:
+    def test_disk_sync_of_missing_file_times_out(self):
+        cluster = Cluster()
+        with pytest.raises(TimeoutIOException):
+            cluster.env.disk_sync("/never-written")
+
+    def test_net_transfer_requires_registered_target(self):
+        cluster = Cluster()
+        from repro.sim.errors import SocketException
+
+        with pytest.raises(SocketException):
+            cluster.env.net_transfer("a", "nowhere", size=1)
+        cluster.net.register("somewhere")
+        assert cluster.env.net_transfer("a", "somewhere", size=8) == 8
+
+    def test_codec_decode_is_identity(self):
+        cluster = Cluster()
+        assert cluster.env.codec_decode(b"abc") == b"abc"

@@ -1,0 +1,96 @@
+"""Behavioral tests for the MiniDFS system."""
+
+from repro.failures.hdfs import (
+    balancer_workload,
+    dfs_workload,
+    dying_client_workload,
+)
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import execute_workload
+
+
+def run(workload=dfs_workload, plan=None, horizon=12.0, seed=0):
+    return execute_workload(workload, horizon=horizon, seed=seed, plan=plan)
+
+
+def site_of(result, fragment):
+    for site_id in result.site_counts:
+        if fragment in site_id:
+            return site_id
+    raise AssertionError(f"no site matching {fragment}")
+
+
+class TestHealthyCluster:
+    def test_all_datanodes_start(self):
+        result = run()
+        assert sorted(result.state.get("datanodes_started", [])) == [
+            "dn1", "dn2", "dn3",
+        ]
+
+    def test_files_written_and_closed(self):
+        result = run()
+        assert len(result.state.get("files_written", [])) == 4
+        assert result.state.get("open_files") == []
+
+    def test_reads_are_fast(self):
+        # A transient drop can cost one 2 s timeout+retry, but healthy
+        # reads never approach the f9 slow-read territory (> 3 s).
+        result = run(horizon=16.0)
+        assert result.state.get("client_done") is True
+        assert result.state.get("slowest_read", 0.0) < 3.0
+
+    def test_checkpointing_uploads_images(self):
+        result = run()
+        assert result.state.get("checkpoint_rounds", 0) >= 1
+        assert result.state.get("nn_backup_txid", -1) >= 0
+
+    def test_no_socket_leaks(self):
+        result = run()
+        assert result.state.get("leaked_sockets", 0) == 0
+
+    def test_lease_recovery_closes_abandoned_files(self):
+        result = run(dying_client_workload)
+        assert result.state.get("open_files") == []
+        assert any(
+            "Block recovery for /data/tmp completed" in m
+            for m in result.log.messages()
+        )
+
+    def test_balancer_iterates(self):
+        result = run(balancer_workload)
+        assert result.state.get("balancer_iterations", 0) >= 3
+        assert result.crashed == []
+
+
+class TestFaultBehavior:
+    def test_write_block_fault_is_retried(self):
+        probe = run()
+        site = site_of(probe, "handle_write_block:disk_write")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        result = run(plan=plan)
+        # The client retries and all files still complete.
+        assert len(result.state.get("files_written", [])) == 4
+
+    def test_mirror_connect_fault_leaks_socket(self):
+        probe = run()
+        sites = sorted(s for s in probe.site_counts if "write_block:sock_connect" in s)
+        assert len(sites) == 2
+        mirror_site = sites[1]
+        plan = InjectionPlan.single(FaultInstance(mirror_site, "ConnectException", 1))
+        result = run(plan=plan)
+        assert result.state.get("leaked_sockets", 0) > 0
+
+    def test_token_fetch_fault_slows_reads(self):
+        probe = run(horizon=16.0)
+        site = site_of(probe, "fetch_token:sock_recv")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        result = run(plan=plan, horizon=16.0)
+        assert result.state.get("slowest_read", 0.0) > 3.0
+
+    def test_balancer_namenode_fault_crashes_it(self):
+        probe = run(balancer_workload)
+        site = site_of(probe, "run:sock_connect")
+        plan = InjectionPlan.single(FaultInstance(site, "SocketException", 2))
+        result = run(balancer_workload, plan=plan)
+        assert any(s.name == "balancer" for s in result.crashed)

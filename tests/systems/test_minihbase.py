@@ -1,0 +1,108 @@
+"""Behavioral tests for the MiniHBase WAL machinery and subsystems."""
+
+from repro.failures.hbase import (
+    claim_workload,
+    multi_workload,
+    procedure_workload,
+    split_workload,
+    wal_workload,
+)
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import execute_workload
+
+
+def run(workload, plan=None, horizon=15.0, seed=0):
+    return execute_workload(workload, horizon=horizon, seed=seed, plan=plan)
+
+
+def site_of(result, fragment):
+    for site_id in result.site_counts:
+        if fragment in site_id:
+            return site_id
+    raise AssertionError(f"no site matching {fragment}")
+
+
+class TestHealthyWal:
+    def test_appends_are_synced(self):
+        result = run(wal_workload)
+        assert result.state.get("wal_synced", 0) > 100
+
+    def test_rolls_complete(self):
+        result = run(wal_workload)
+        rolls = [m for m in result.log.messages() if "Rolled WAL writer" in m]
+        assert len(rolls) >= 4
+
+    def test_replication_keeps_up(self):
+        result = run(wal_workload)
+        synced = result.state.get("wal_synced", 0)
+        replicated = result.state.get("replicated", 0)
+        assert replicated >= synced - 30  # small tail lag allowed
+
+    def test_roller_not_stuck(self):
+        result = run(wal_workload)
+        assert not result.stuck_in("wait_for_safe_point")
+
+    def test_no_flush_timeouts(self):
+        result = run(wal_workload)
+        assert result.state.get("flush_timeouts", 0) == 0
+
+
+class TestWalRecovery:
+    def test_single_broken_stream_recovers(self):
+        """A pipeline fault away from any roll is tolerated: the stream
+        rolls, the backlog drains, and syncing continues."""
+        probe = run(wal_workload)
+        site = site_of(probe, "read_ack:sock_recv")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 20))
+        result = run(wal_workload, plan=plan)
+        assert any("recovering" in m for m in result.log.messages())
+        assert not result.stuck_in("wait_for_safe_point")
+        assert result.state.get("wal_synced", 0) > 100
+
+    def test_ack_watchdog_breaks_silent_streams(self):
+        """A dropped packet (no ack) must not wedge the WAL."""
+        probe = run(wal_workload)
+        site = site_of(probe, "serve:sock_recv")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 30))
+        result = run(wal_workload, plan=plan)
+        assert result.state.get("wal_synced", 0) > 100
+
+
+class TestSubsystems:
+    def test_procedures_complete(self):
+        result = run(procedure_workload, horizon=10.0)
+        assert result.state.get("procedures_completed") == 3
+
+    def test_split_completes(self):
+        result = run(split_workload, horizon=12.0)
+        assert result.state.get("split_complete") is True
+
+    def test_batches_apply_cleanly(self):
+        result = run(multi_workload, horizon=10.0)
+        expected = result.state.get("expected_data", {})
+        data = result.state.get("region_data", {})
+        for key, value in expected.items():
+            assert data.get(key) == value
+
+    def test_queue_claims_succeed(self):
+        result = run(claim_workload, horizon=14.0)
+        claimed = result.state.get("queues_claimed", [])
+        assert "rs1" in claimed and "rs2" in claimed
+
+    def test_cell_scanner_misalignment_under_fault(self):
+        probe = run(multi_workload, horizon=10.0)
+        site = site_of(probe, "apply_batch:codec_decode")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 6))
+        result = run(multi_workload, plan=plan, horizon=10.0)
+        expected = result.state.get("expected_data", {})
+        data = result.state.get("region_data", {})
+        assert any(data.get(k) != v for k, v in expected.items() if k in data)
+
+    def test_abort_holds_lock_forever(self):
+        probe = run(claim_workload, horizon=14.0)
+        site = site_of(probe, "process_queue:disk_read")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        result = run(claim_workload, plan=plan, horizon=14.0)
+        assert result.state.get("rs1_aborted") is True
+        assert result.stuck_in("claim_queue", task_prefix="rs2")

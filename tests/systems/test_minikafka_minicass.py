@@ -1,0 +1,107 @@
+"""Behavioral tests for MiniKafka and MiniCassandra."""
+
+from repro.failures.cassandra import repair_workload, streaming_workload
+from repro.failures.kafka import (
+    TABLE_EXPECTED_EMITS,
+    connect_workload,
+    mirror_workload,
+    table_workload,
+)
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import execute_workload
+
+
+def run(workload, plan=None, horizon=14.0, seed=0):
+    return execute_workload(workload, horizon=horizon, seed=seed, plan=plan)
+
+
+def site_of(result, fragment):
+    for site_id in result.site_counts:
+        if fragment in site_id:
+            return site_id
+    raise AssertionError(f"no site matching {fragment}")
+
+
+class TestKafkaHealthy:
+    def test_emit_on_change_suppresses_duplicates(self):
+        result = run(table_workload, horizon=12.0)
+        assert result.state.get("table_emitted") == TABLE_EXPECTED_EMITS
+        suppressed = [
+            m for m in result.log.messages() if "Suppressing unchanged" in m
+        ]
+        assert suppressed
+
+    def test_connectors_all_start(self):
+        result = run(connect_workload, horizon=12.0)
+        assert sorted(result.state.get("connectors_running", [])) == [
+            "sink-a", "sink-b", "sink-c",
+        ]
+
+    def test_mirroring_is_complete(self):
+        result = run(mirror_workload)
+        assert result.state.get("topic:brokerA:payments") == 24
+        assert result.state.get("topic:brokerB:payments") == 24
+        assert result.state.get("consumer_done") is True
+
+    def test_failover_consumer_sees_all_records(self):
+        result = run(mirror_workload)
+        assert result.state.get("consumed", 0) >= 24
+
+
+class TestKafkaFaults:
+    def test_flush_fault_loses_one_change(self):
+        probe = run(table_workload, horizon=12.0)
+        site = site_of(probe, "flush_change:disk_append")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 4))
+        result = run(table_workload, plan=plan, horizon=12.0)
+        assert result.state.get("table_restarts", 0) == 1
+        assert result.state.get("table_emitted") == TABLE_EXPECTED_EMITS - 1
+
+    def test_blocked_connector_starves_worker(self):
+        probe = run(connect_workload, horizon=12.0)
+        site = site_of(probe, "start_connector:sock_recv")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        result = run(connect_workload, plan=plan, horizon=12.0)
+        running = result.state.get("connectors_running", [])
+        assert len(running) < 3
+        assert result.stuck_in("start_connector", task_prefix="connect-worker")
+
+
+class TestCassandraHealthy:
+    def test_repair_completes(self):
+        result = run(repair_workload, horizon=12.0)
+        assert result.state.get("repair_done") is True
+        acks = [m for m in result.log.messages() if "Snapshot ack" in m]
+        assert len(acks) == 3
+
+    def test_streams_complete(self):
+        result = run(streaming_workload, horizon=12.0)
+        assert result.state.get("streams_completed") == 4
+        assert result.crashed == []
+
+
+class TestCassandraFaults:
+    def test_lost_snapshot_request_blocks_repair(self):
+        probe = run(repair_workload, horizon=12.0)
+        site = site_of(probe, "snapshot_phase:sock_send")
+        plan = InjectionPlan.single(FaultInstance(site, "SocketException", 2))
+        result = run(repair_workload, plan=plan, horizon=12.0)
+        assert result.state.get("repair_done") is None
+        assert result.stuck_in("await_snapshots")
+
+    def test_interrupted_stream_compromises_proxy(self):
+        probe = run(streaming_workload, horizon=12.0)
+        site = site_of(probe, "stream_file:net_transfer")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 2))
+        result = run(streaming_workload, plan=plan, horizon=12.0)
+        assert any(
+            s.error_type == "IllegalStateException" for s in result.crashed
+        )
+
+    def test_cf_creation_fault_blocks_repair_deeply(self):
+        probe = run(repair_workload, horizon=12.0)
+        site = site_of(probe, "create_column_family:disk_write")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 2))
+        result = run(repair_workload, plan=plan, horizon=12.0)
+        assert result.stuck_in("await_snapshots")

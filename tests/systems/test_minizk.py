@@ -1,0 +1,98 @@
+"""Behavioral tests for the MiniZK system (fault-free and under faults)."""
+
+from repro.failures.zk import restart_workload, write_workload
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import execute_workload
+
+
+def run(workload=write_workload, plan=None, horizon=12.0, seed=0):
+    return execute_workload(workload, horizon=horizon, seed=seed, plan=plan)
+
+
+def site_of(result, fragment):
+    for site_id in result.site_counts:
+        if fragment in site_id:
+            return site_id
+    raise AssertionError(f"no site matching {fragment}")
+
+
+class TestHealthyCluster:
+    def test_leader_elected_and_serving(self):
+        result = run()
+        assert result.state.get("zk_serving") is True
+        messages = result.log.messages()
+        assert any("LEADING" in m for m in messages)
+        assert sum("FOLLOWING" in m for m in messages) == 2
+
+    def test_followers_join_quorum(self):
+        result = run()
+        joined = [m for m in result.log.messages() if "joined the quorum" in m]
+        assert len(joined) == 2
+
+    def test_clients_complete_operations(self):
+        result = run()
+        assert result.state.get("cli1_done") == 5
+        assert result.state.get("cli2_done") == 5
+
+    def test_no_crashes_without_faults(self):
+        result = run()
+        assert result.crashed == []
+
+    def test_deterministic_logs(self):
+        a = run(seed=3)
+        b = run(seed=3)
+        assert a.log.to_text() == b.log.to_text()
+
+    def test_different_seeds_differ(self):
+        a = run(seed=1)
+        b = run(seed=2)
+        assert a.log.to_text() != b.log.to_text()
+
+    def test_snapshots_written(self):
+        result = run()
+        snapshots = [s for s in result.site_counts if "save_snapshot" in s]
+        assert snapshots
+
+
+class TestFaultBehavior:
+    def test_txnlog_fault_stops_service(self):
+        probe = run()
+        site = site_of(probe, ":append:disk_append")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        result = run(plan=plan)
+        assert result.state.get("zk_serving") is False
+        assert any(
+            "not available anymore" in m for m in result.log.messages()
+        )
+
+    def test_election_vote_fault_is_tolerated(self):
+        probe = run()
+        site = site_of(probe, "_broadcast_vote:sock_send")
+        plan = InjectionPlan.single(FaultInstance(site, "SocketException", 1))
+        result = run(plan=plan)
+        # One lost vote must not prevent the election.
+        assert result.state.get("zk_serving") is True
+
+    def test_snapshot_fault_is_tolerated(self):
+        probe = run()
+        site = site_of(probe, "save_snapshot:disk_write")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 2))
+        result = run(plan=plan)
+        assert result.state.get("zk_serving") is True
+        assert any("Snapshot" in m and "failed" in m for m in result.log.messages())
+
+    def test_listener_fault_strands_followers(self):
+        probe = run()
+        site = site_of(probe, "accept_loop:sock_recv")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        result = run(plan=plan)
+        assert result.state.get("listener_alive") is False
+        assert result.stuck_in("wait_for_join", task_prefix="zk")
+
+    def test_epoch_corruption_crashes_boot(self):
+        probe = run(workload=restart_workload)
+        site = site_of(probe, "load_epoch:disk_read")
+        plan = InjectionPlan.single(FaultInstance(site, "IOException", 1))
+        result = run(workload=restart_workload, plan=plan)
+        assert any(s.error_type == "TypeError" for s in result.crashed)

@@ -1,0 +1,69 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestList:
+    def test_lists_all_cases(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for case_id in ("f1", "f17", "f22"):
+            assert case_id in out
+        assert "HBase-25905" in out
+
+
+class TestInspect:
+    def test_shows_candidates(self, capsys):
+        code, out = run_cli(capsys, "inspect", "f3")
+        assert code == 0
+        assert "causal graph" in out
+        assert "accept_loop:sock_recv" in out
+
+    def test_top_limits_window(self, capsys):
+        code, out = run_cli(capsys, "inspect", "f3", "--top", "1")
+        assert code == 0
+        assert out.count("F=") == 1
+
+
+class TestReproduceAndReplay:
+    def test_reproduce_writes_script(self, capsys, tmp_path):
+        script_path = tmp_path / "f4.json"
+        code, out = run_cli(
+            capsys, "reproduce", "f4", "--output", str(script_path)
+        )
+        assert code == 0
+        assert "reproduced in" in out
+        data = json.loads(script_path.read_text())
+        assert data["case_id"] == "f4"
+        assert data["exception"]
+
+    def test_replay_round_trip(self, capsys, tmp_path):
+        script_path = tmp_path / "f4.json"
+        run_cli(capsys, "reproduce", "f4", "--output", str(script_path))
+        code, out = run_cli(capsys, "replay", "f4", str(script_path))
+        assert code == 0
+        assert "oracle satisfied: True" in out
+
+    def test_unknown_case_raises(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "inspect", "f99")
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,45 @@
+"""Scan a failure case's ground-truth site for oracle-satisfying occurrences.
+
+Usage: python tools/calibrate_occurrences.py f17 [max_occurrence]
+
+For timing-sensitive failures (f12, f17 style) only a few dynamic
+instances of the root-cause site satisfy the oracle; this tool reports
+which ones, so the catalog can pin a calibrated occurrence.
+"""
+
+import sys
+
+from repro.failures import get_case
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import execute_workload
+
+
+def main() -> None:
+    case_id = sys.argv[1]
+    case = get_case(case_id)
+    model = case.model()
+    site = case.ground_truth.resolve_site(model)
+    probe = execute_workload(case.workload, horizon=case.horizon, seed=case.seed)
+    total = probe.site_counts.get(site, 0)
+    limit = int(sys.argv[2]) if len(sys.argv) > 2 else total
+    print(f"{case_id}: site {site}")
+    print(f"  occurrences in fault-free run: {total} (scanning 1..{min(limit, total)})")
+    satisfying = []
+    for occurrence in range(1, min(limit, total) + 1):
+        plan = InjectionPlan.single(
+            FaultInstance(site, case.ground_truth.exception, occurrence)
+        )
+        result = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed, plan=plan
+        )
+        fired = result.injected
+        ok = case.oracle.satisfied(result)
+        if ok:
+            satisfying.append(occurrence)
+        print(f"  occ {occurrence:4d}: fired={fired} oracle={ok}")
+    print(f"satisfying occurrences: {satisfying}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Verify every failure case's invariants; recalibrate where needed.
+
+For each case: the fault-free run must not satisfy the oracle; the
+ground-truth injection (under the production/failure seed) must fire and
+satisfy it; alternates likewise.  On a ground-truth miss, scan the site's
+occurrences for satisfying ones and report them.
+"""
+
+import sys
+
+from repro.failures import all_cases
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import execute_workload
+
+
+def production_seed(case) -> int:
+    return case.failure_seed if case.failure_seed is not None else case.seed
+
+
+def scan(case, site: str, exception: str, limit: int = 10**9) -> list[int]:
+    seed = production_seed(case)
+    probe = execute_workload(case.workload, horizon=case.horizon, seed=seed)
+    total = min(probe.site_counts.get(site, 0), limit)
+    satisfying = []
+    for occurrence in range(1, total + 1):
+        plan = InjectionPlan.single(FaultInstance(site, exception, occurrence))
+        result = execute_workload(
+            case.workload, horizon=case.horizon, seed=seed, plan=plan
+        )
+        if result.injected and case.oracle.satisfied(result):
+            satisfying.append(occurrence)
+        if len(satisfying) >= 8:
+            break
+    return satisfying
+
+
+def main() -> int:
+    failures = 0
+    only = sys.argv[1:] or None
+    for case in all_cases():
+        if only and case.case_id not in only:
+            continue
+        normal = case.run_without_fault()
+        if case.oracle.satisfied(normal):
+            print(f"{case.case_id}: FAIL oracle satisfied without any fault")
+            failures += 1
+            continue
+        result = case.run_with_ground_truth()
+        ok = result.injected and case.oracle.satisfied(result)
+        line = f"{case.case_id:4s} gt_ok={ok}"
+        if not ok:
+            failures += 1
+            site = case.ground_truth.resolve_site(case.model())
+            line += f"  RECAL satisfying={scan(case, site, case.ground_truth.exception)}"
+        for alt in case.alternates:
+            plan = InjectionPlan.single(alt.resolve_instance(case.model()))
+            alt_run = execute_workload(
+                case.workload,
+                horizon=case.horizon,
+                seed=production_seed(case),
+                plan=plan,
+            )
+            alt_ok = alt_run.injected and case.oracle.satisfied(alt_run)
+            line += f" alt_ok={alt_ok}"
+            if not alt_ok:
+                failures += 1
+        print(line, flush=True)
+    print("FAILURES:", failures)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
