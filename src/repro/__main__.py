@@ -9,6 +9,8 @@ Commands:
 * ``compare <case_id>`` — run every strategy on a case (Table-2 row).
 * ``inspect <case_id>`` — show the prepared search state (observables,
   causal graph, top candidates) without searching.
+* ``lint <package>`` — run the fault-handling defect detector over an
+  importable package and print the findings (text or JSON).
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .analysis import lint_package, registered_rules
 from .baselines import ALL_STRATEGIES, StrategyRunner
 from .bench import format_table, run_anduril
 from .core.report import ReproductionScript
@@ -95,6 +98,31 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    rules = None
+    if args.rules:
+        rules = [rule_id.strip() for rule_id in args.rules.split(",") if rule_id.strip()]
+    try:
+        report = lint_package(args.package, rules=rules)
+    except ImportError as error:
+        print(f"error: cannot import {args.package!r}: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.min_severity:
+        report = report.min_severity(args.min_severity)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    if args.strict and any(
+        finding.severity == "error" for finding in report.findings
+    ):
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="feedback-driven failure reproduction"
@@ -119,6 +147,27 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser("inspect", help="show the prepared search")
     inspect.add_argument("case_id")
     inspect.add_argument("--top", type=int, default=10)
+
+    lint = commands.add_parser(
+        "lint", help="detect fault-handling defects in a package"
+    )
+    lint.add_argument("package", help="importable package, e.g. repro.systems.minizk")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run "
+        f"(default: all of {', '.join(sorted(registered_rules()))})",
+    )
+    lint.add_argument(
+        "--min-severity",
+        choices=("info", "warning", "error"),
+        help="drop findings below this severity",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any error-severity finding remains",
+    )
     return parser
 
 
@@ -130,6 +179,7 @@ def main(argv=None) -> int:
         "replay": cmd_replay,
         "compare": cmd_compare,
         "inspect": cmd_inspect,
+        "lint": cmd_lint,
     }[args.command]
     return handler(args)
 

@@ -22,6 +22,8 @@ from .ast_facts import (
 )
 from .causal import AnalysisTimings, CausalGraphBuilder, DistanceIndex
 from .exceptions import ExceptionAnalysis, ThrowPoint
+from .lint import LintReport, lint_package, run_lint
+from .rules import Finding, LintContext, registered_rules
 from .model import (
     CausalGraph,
     Node,
@@ -42,8 +44,11 @@ __all__ = [
     "DistanceIndex",
     "EnvCallFact",
     "ExceptionAnalysis",
+    "Finding",
     "FunctionFact",
     "HandlerFact",
+    "LintContext",
+    "LintReport",
     "LogFact",
     "ModuleFacts",
     "Node",
@@ -57,4 +62,7 @@ __all__ = [
     "analyze_package",
     "extract_module_facts",
     "graph_fault_candidates",
+    "lint_package",
+    "registered_rules",
+    "run_lint",
 ]

@@ -145,6 +145,19 @@ class AssignFact:
 
 
 @dataclasses.dataclass(frozen=True)
+class ReturnFact:
+    file: str
+    line: int
+    function: str
+    #: The return hands back a trivially-constant value: a bare ``return``,
+    #: a literal constant, or an empty container.  These are the sentinel
+    #: shapes a defective handler uses to paper over a fault (PyResBugs'
+    #: "swallow by default value").
+    is_sentinel: bool
+    value_repr: str = ""      # "None", "0", "[]", ... ("" when non-constant)
+
+
+@dataclasses.dataclass(frozen=True)
 class ClassFact:
     name: str
     bases: tuple[str, ...]
@@ -162,6 +175,7 @@ class ModuleFacts:
     trys: list[TryFact] = dataclasses.field(default_factory=list)
     conditions: list[ConditionFact] = dataclasses.field(default_factory=list)
     assigns: list[AssignFact] = dataclasses.field(default_factory=list)
+    returns: list[ReturnFact] = dataclasses.field(default_factory=list)
     classes: list[ClassFact] = dataclasses.field(default_factory=list)
 
 
@@ -416,6 +430,32 @@ class _FactVisitor(ast.NodeVisitor):
 
     visit_If = _visit_branch
     visit_While = _visit_branch
+
+    # ----------------------------------------------------------------- returns
+
+    def visit_Return(self, node: ast.Return) -> None:
+        is_sentinel = False
+        value_repr = ""
+        value = node.value
+        if value is None:
+            is_sentinel, value_repr = True, "None"
+        elif isinstance(value, ast.Constant):
+            is_sentinel, value_repr = True, repr(value.value)
+        elif isinstance(value, (ast.List, ast.Tuple)) and not value.elts:
+            is_sentinel = True
+            value_repr = "[]" if isinstance(value, ast.List) else "()"
+        elif isinstance(value, ast.Dict) and not value.keys:
+            is_sentinel, value_repr = True, "{}"
+        self.facts.returns.append(
+            ReturnFact(
+                file=self.file,
+                line=node.lineno,
+                function=self._function,
+                is_sentinel=is_sentinel,
+                value_repr=value_repr,
+            )
+        )
+        self.generic_visit(node)
 
     # ----------------------------------------------------------------- assigns
 

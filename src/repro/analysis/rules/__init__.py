@@ -1,0 +1,43 @@
+"""Rule catalog for the fault-handling lint pass.
+
+Importing this package registers every built-in rule; the registry maps
+stable rule ids to their check functions.  Rules are grounded in the
+residual-bug shapes of the seeded failure dataset (see each module's
+docstring for the representative issue).
+"""
+
+from .base import (
+    ABORT_CALLEES,
+    BENIGN_CALLEES,
+    BROAD_TYPES,
+    Finding,
+    LintContext,
+    RuleInfo,
+    SEVERITIES,
+    registered_rules,
+    rule,
+    severity_rank,
+)
+
+# Importing the modules registers their rules.
+from . import abort  # noqa: F401
+from . import blocking  # noqa: F401
+from . import broad_catch  # noqa: F401
+from . import escape  # noqa: F401
+from . import latch  # noqa: F401
+from . import lock_boundary  # noqa: F401
+from . import retry  # noqa: F401
+from . import swallowed  # noqa: F401
+
+__all__ = [
+    "ABORT_CALLEES",
+    "BENIGN_CALLEES",
+    "BROAD_TYPES",
+    "Finding",
+    "LintContext",
+    "RuleInfo",
+    "SEVERITIES",
+    "registered_rules",
+    "rule",
+    "severity_rank",
+]

@@ -1,0 +1,83 @@
+"""Rule: abort on a fault a sibling path tolerates.
+
+A handler that escalates a caught env-boundary fault — into a node
+abort, a wrap-and-re-raise, or a "severe unrecoverable error" log
+followed by giving up — while some other handler in the same system
+absorbs the very same exception type: the system has decided the fault
+is survivable elsewhere, so treating it as fatal here is suspicious.
+The ZK-2247 "severe unrecoverable error" and the HB-16144 claim-queue
+abort are this shape.  The fault may reach the handler through a call
+chain, so the guarded sites are resolved interprocedurally via the
+exception analysis.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import KIND_ASYNC, KIND_CALL, KIND_EXTERNAL
+from .base import Finding, HandlerFact, LintContext, rule
+
+_ENV_KINDS = (KIND_EXTERNAL, KIND_CALL, KIND_ASYNC)
+
+
+@rule(
+    "abort-on-handled",
+    "handler escalates a fault another handler tolerates",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    # Handlers that absorb faults, for the sibling-tolerance check.
+    absorbing: list[HandlerFact] = [
+        handler
+        for try_fact in ctx.model.trys
+        for handler in try_fact.handlers
+        if ctx.handler_escalation(handler) is None
+    ]
+
+    findings: list[Finding] = []
+    for try_fact in ctx.model.trys:
+        for handler in try_fact.handlers:
+            action = ctx.handler_escalation(handler)
+            if action is None:
+                continue
+            sites = ctx.handler_guarded_sites(try_fact, handler)
+            if not sites:
+                continue  # no env-boundary fault reaches this handler
+            caught = {
+                exc_type
+                for env_call in ctx.guarded_env_calls(try_fact, handler)
+                for exc_type in env_call.exception_types
+                if ctx.model.handler_catches(handler, exc_type)
+            }
+            caught.update(
+                point.exc_type
+                for point in ctx.analysis.caught.get(
+                    (handler.file, handler.line), []
+                )
+                if point.kind in _ENV_KINDS
+            )
+            tolerated = sorted(
+                exc_type
+                for exc_type in caught
+                if any(
+                    other is not handler
+                    and ctx.model.handler_catches(other, exc_type)
+                    for other in absorbing
+                )
+            )
+            if not tolerated:
+                continue
+            findings.append(
+                Finding(
+                    rule="abort-on-handled",
+                    severity="warning",
+                    file=handler.file,
+                    line=handler.line,
+                    function=handler.function,
+                    message=(
+                        f"handler {action} for {', '.join(tolerated)}, which "
+                        f"a sibling handler elsewhere tolerates"
+                    ),
+                    site_ids=sites,
+                    exception=tolerated[0],
+                )
+            )
+    return findings

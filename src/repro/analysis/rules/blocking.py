@@ -1,0 +1,54 @@
+"""Rule: handler parks the task on a wait after catching an env fault.
+
+A handler that absorbs an env-boundary fault and then blocks on a
+condition-variable ``wait`` (or a ``join``) can hang forever: the
+notifier is often the very path that just faulted, so nobody ever
+signals — the KAFKA-9374 connector start pins its only worker thread
+exactly this way.
+"""
+
+from __future__ import annotations
+
+from .base import Finding, LintContext, rule
+
+#: Callee names that park the current task until someone else acts.
+WAIT_CALLEES = frozenset({"wait", "wait_for", "join"})
+
+
+@rule(
+    "blocking-handler",
+    "handler blocks on a wait/join after catching an env fault",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for try_fact in ctx.model.trys:
+        for handler in try_fact.handlers:
+            sites = ctx.handler_guarded_sites(try_fact, handler)
+            if not sites:
+                continue
+            span = ctx.handler_span(handler)
+            waits = [
+                call
+                for call in ctx.calls_in_span(*span)
+                if call.callee in WAIT_CALLEES
+            ]
+            if not waits:
+                continue
+            caught = ", ".join(handler.exceptions)
+            findings.append(
+                Finding(
+                    rule="blocking-handler",
+                    severity="error",
+                    file=handler.file,
+                    line=handler.line,
+                    function=handler.function,
+                    message=(
+                        f"except {caught} blocks on {waits[0].callee}() "
+                        f"(line {waits[0].line}); if the notifier is the "
+                        f"faulted path the task hangs forever"
+                    ),
+                    site_ids=sites,
+                    exception=handler.exceptions[0] if handler.exceptions else "",
+                )
+            )
+    return findings

@@ -1,0 +1,61 @@
+"""Rule: over-broad catch around an env boundary.
+
+``except Exception`` (or the simulator's root ``SimException``) guarding
+an env call traps every typed fault the boundary can raise — including
+ones the handler was never written for, which then take the generic
+recovery path.  A broad catch that immediately re-raises is exempt: it
+is the log-then-rethrow idiom, not suppression.
+"""
+
+from __future__ import annotations
+
+from .base import BROAD_TYPES, Finding, LintContext, rule
+
+
+@rule(
+    "over-broad-catch",
+    "except Exception/SimException guards a typed env-boundary call",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for try_fact in ctx.model.trys:
+        for handler in try_fact.handlers:
+            broad = sorted(set(handler.exceptions) & BROAD_TYPES)
+            if not broad:
+                continue
+            env_calls = ctx.try_env_calls(try_fact)
+            if not env_calls:
+                continue
+            span = ctx.handler_span(handler)
+            if any(
+                raise_fact.exception == ""
+                for raise_fact in ctx.raises_in_span(*span)
+            ):
+                continue  # bare re-raise: broad catch only for logging
+            typed = sorted(
+                {
+                    exc_type
+                    for env_call in env_calls
+                    for exc_type in env_call.exception_types
+                }
+            )
+            ops = ", ".join(sorted({env_call.op for env_call in env_calls}))
+            sites = {env_call.site_id: None for env_call in env_calls}
+            for site_id in ctx.handler_site_ids(handler):
+                sites.setdefault(site_id, None)
+            findings.append(
+                Finding(
+                    rule="over-broad-catch",
+                    severity="warning",
+                    file=handler.file,
+                    line=handler.line,
+                    function=handler.function,
+                    message=(
+                        f"except {', '.join(broad)} guards {ops} which raises "
+                        f"typed faults ({', '.join(typed)}); narrow the catch"
+                    ),
+                    site_ids=tuple(sites),
+                    exception=broad[0],
+                )
+            )
+    return findings

@@ -1,0 +1,45 @@
+"""Rule: env-boundary fault that no handler catches on any path.
+
+Reuses the interprocedural exception analysis: a fault type thrown at
+an env call that escapes its function and then — following synchronous
+callers upward — reaches a task entry uncaught will crash the task (the
+ZK-4203 listener death).  Executor submissions are not escapes (the pool
+converts the fault into an ``ExecutionException`` on the future).
+"""
+
+from __future__ import annotations
+
+from .base import Finding, LintContext, rule
+
+
+@rule(
+    "unhandled-escape",
+    "env-call fault escapes every enclosing handler to a task top",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for env_call in ctx.model.env_calls:
+        escaped = [
+            exc_type
+            for exc_type in env_call.exception_types
+            if ctx.escapes_to_top(env_call, exc_type)
+        ]
+        if not escaped:
+            continue
+        findings.append(
+            Finding(
+                rule="unhandled-escape",
+                severity="error",
+                file=env_call.file,
+                line=env_call.line,
+                function=env_call.function,
+                message=(
+                    f"{', '.join(escaped)} from {env_call.op} is caught by "
+                    f"no handler on any interprocedural path; a fault here "
+                    f"kills the task"
+                ),
+                site_ids=(env_call.site_id,),
+                exception=escaped[0],
+            )
+        )
+    return findings

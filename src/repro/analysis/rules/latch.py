@@ -1,0 +1,69 @@
+"""Rule: handler sets a latch that is never cleared on recovery.
+
+A handler that flips a flag which conditions *elsewhere* read, with no
+later statement in the same function ever resetting it, poisons every
+future decision that consults the flag — even when the guarded
+operation is retried successfully.  The HB-19608 procedure-executor
+latch refuses healthy procedures this way.
+"""
+
+from __future__ import annotations
+
+from .base import Finding, LintContext, rule
+
+
+@rule(
+    "sticky-latch",
+    "handler sets a flag read elsewhere and never cleared afterwards",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for try_fact in ctx.model.trys:
+        for handler in try_fact.handlers:
+            sites = ctx.handler_guarded_sites(try_fact, handler)
+            if not sites:
+                continue
+            span = ctx.handler_span(handler)
+            flagged: list[tuple[str, str, int]] = []
+            for assign in ctx.assigns_in_span(*span):
+                for target in assign.targets:
+                    readers = [
+                        cond
+                        for cond in ctx.model.conditions
+                        if target in cond.variables
+                        and cond.function != handler.function
+                    ]
+                    if not readers:
+                        continue
+                    cleared_later = any(
+                        later.file == handler.file
+                        and later.function == handler.function
+                        and later.line > handler.body_end
+                        and target in later.targets
+                        for later in ctx.model.assigns
+                    )
+                    if cleared_later:
+                        continue
+                    reader = readers[0]
+                    flagged.append((target, reader.function, reader.line))
+            if not flagged:
+                continue
+            target, reader_fn, reader_line = flagged[0]
+            findings.append(
+                Finding(
+                    rule="sticky-latch",
+                    severity="warning",
+                    file=handler.file,
+                    line=handler.line,
+                    function=handler.function,
+                    message=(
+                        f"handler sets {target!r}, which {reader_fn} reads "
+                        f"(line {reader_line}), and nothing later in "
+                        f"{handler.function} clears it; the latch outlives "
+                        f"recovery"
+                    ),
+                    site_ids=sites,
+                    exception=handler.exceptions[0] if handler.exceptions else "",
+                )
+            )
+    return findings

@@ -1,0 +1,63 @@
+"""Rule: env-boundary call while a lock is held.
+
+An env call between an ``acquire()`` and the matching ``release()`` in
+the same function means a fault at the boundary can exit the function
+with the lock still held — the CASSANDRA-17663 shared-channel-proxy
+leak.  Matching is name-based (any ``acquire``/``release`` callee), so
+it covers both :mod:`repro.sim.sync` locks and system-defined proxies.
+"""
+
+from __future__ import annotations
+
+from .base import Finding, LintContext, rule
+
+RELEASE_CALLEES = frozenset({"release", "force_release"})
+
+
+@rule(
+    "lock-across-boundary",
+    "env call made between acquire() and release()",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in ctx.model.functions:
+        calls = ctx.model.calls_in(fn.qualname)
+        acquires = sorted(
+            (call for call in calls if call.callee == "acquire"),
+            key=lambda call: call.line,
+        )
+        if not acquires:
+            continue
+        release_lines = sorted(
+            call.line for call in calls if call.callee in RELEASE_CALLEES
+        )
+        for env_call in ctx.model.env_calls_in(fn.qualname):
+            holding = None
+            for acquire in acquires:
+                if acquire.line >= env_call.line:
+                    break
+                released = any(
+                    acquire.line < line < env_call.line
+                    for line in release_lines
+                )
+                if not released:
+                    holding = acquire
+            if holding is None:
+                continue
+            findings.append(
+                Finding(
+                    rule="lock-across-boundary",
+                    severity="error",
+                    file=env_call.file,
+                    line=env_call.line,
+                    function=env_call.function,
+                    message=(
+                        f"{env_call.op} runs while the lock acquired at "
+                        f"line {holding.line} is held; a fault here can "
+                        f"leak the lock"
+                    ),
+                    site_ids=(env_call.site_id,),
+                    exception=env_call.exception_types[0],
+                )
+            )
+    return findings

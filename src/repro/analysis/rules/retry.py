@@ -1,0 +1,78 @@
+"""Rule: unbounded retry of an env-boundary call.
+
+A ``while True`` loop re-invoking an env call whose failures a handler
+inside the loop absorbs retries forever: there is no attempt cap (the
+loop condition reads no variable that could encode one).  Tight spins —
+no sleep in the handler — are errors; paced retries are still unbounded
+but only warned.
+"""
+
+from __future__ import annotations
+
+from .base import BENIGN_CALLEES, Finding, LintContext, rule
+
+
+@rule(
+    "unbounded-retry",
+    "while-True loop retries an env call with no attempt cap",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for cond in ctx.model.conditions:
+        if not cond.is_loop or cond.variables:
+            continue  # not a loop, or the condition can encode a cap
+        loop_env_calls = [
+            env_call
+            for env_call in ctx.env_calls_in_span(
+                cond.file, cond.scope_start, cond.scope_end
+            )
+            if env_call.function == cond.function
+        ]
+        if not loop_env_calls:
+            continue
+        for try_fact in ctx.model.trys:
+            if (
+                try_fact.function != cond.function
+                or try_fact.file != cond.file
+                or try_fact.body_start <= cond.scope_start
+                or try_fact.body_end > cond.scope_end
+            ):
+                continue
+            for handler in try_fact.handlers:
+                guarded = [
+                    env_call
+                    for env_call in ctx.guarded_env_calls(try_fact, handler)
+                    if env_call in loop_env_calls
+                ]
+                if not guarded or not ctx.handler_is_tolerant(handler):
+                    continue
+                span = ctx.handler_span(handler)
+                backoff = any(
+                    call.callee in BENIGN_CALLEES
+                    for call in ctx.calls_in_span(*span)
+                )
+                ops = ", ".join(sorted({env.op for env in guarded}))
+                sites = tuple({env.site_id: None for env in guarded})
+                findings.append(
+                    Finding(
+                        rule="unbounded-retry",
+                        severity="warning" if backoff else "error",
+                        file=handler.file,
+                        line=handler.line,
+                        function=handler.function,
+                        message=(
+                            f"while-True loop retries {ops} forever on "
+                            f"{', '.join(handler.exceptions)}"
+                            + (
+                                " (paced, but no attempt cap)"
+                                if backoff
+                                else " with no backoff and no attempt cap"
+                            )
+                        ),
+                        site_ids=sites,
+                        exception=(
+                            handler.exceptions[0] if handler.exceptions else ""
+                        ),
+                    )
+                )
+    return findings

@@ -1,0 +1,79 @@
+"""Rule: swallowed exception (the PyResBugs "silent pass" shape).
+
+A handler guarding an env-boundary call that does no recovery work —
+its body is ``pass`` or log-only, or it papers over the fault with a
+sentinel ``return`` — while the enclosing function (or its caller, via
+the sentinel) continues as if the operation had succeeded.  The ZK-3006
+epoch load and the CASSANDRA-17663 stream task are this shape.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    ABORT_CALLEES,
+    BENIGN_CALLEES,
+    Finding,
+    LintContext,
+    rule,
+)
+
+
+@rule(
+    "swallowed-exception",
+    "handler guarding an env call does pass/log-only or returns a sentinel",
+)
+def check(ctx: LintContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for try_fact in ctx.model.trys:
+        for handler in try_fact.handlers:
+            guarded = ctx.guarded_env_calls(try_fact, handler)
+            if not guarded:
+                continue
+            span = ctx.handler_span(handler)
+            if ctx.raises_in_span(*span):
+                continue
+            calls = [
+                call
+                for call in ctx.calls_in_span(*span)
+                if call.callee not in BENIGN_CALLEES
+            ]
+            if any(call.callee in ABORT_CALLEES for call in calls):
+                continue
+            sentinels = [
+                ret for ret in ctx.returns_in_span(*span) if ret.is_sentinel
+            ]
+            inert = not calls and not ctx.assigns_in_span(*span)
+            if sentinels:
+                shape = f"returns sentinel {sentinels[0].value_repr}"
+            elif inert and ctx.continues_after(try_fact):
+                shape = (
+                    "is pass-only"
+                    if not ctx.logs_in_span(*span)
+                    else "only logs"
+                )
+                shape += " and the function continues"
+            else:
+                continue
+            caught = ", ".join(handler.exceptions)
+            ops = ", ".join(
+                sorted({env_call.op for env_call in guarded})
+            )
+            sites = {env_call.site_id: None for env_call in guarded}
+            for site_id in ctx.handler_site_ids(handler):
+                sites.setdefault(site_id, None)
+            findings.append(
+                Finding(
+                    rule="swallowed-exception",
+                    severity="error",
+                    file=handler.file,
+                    line=handler.line,
+                    function=handler.function,
+                    message=(
+                        f"except {caught} guarding {ops} {shape}; "
+                        f"the fault is silently absorbed"
+                    ),
+                    site_ids=tuple(sites),
+                    exception=handler.exceptions[0] if handler.exceptions else "",
+                )
+            )
+    return findings

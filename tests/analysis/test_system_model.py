@@ -1,9 +1,18 @@
 """Tests for SystemModel lookups and the subtype relation."""
 
+import sys
 import textwrap
+import types
+
+import pytest
 
 from repro.analysis.ast_facts import extract_module_facts
-from repro.analysis.system_model import SystemModel, analyze_package
+from repro.analysis.system_model import (
+    SystemModel,
+    _facts_for_module,
+    analyze_package,
+    clear_facts_cache,
+)
 
 
 def build(source, module="m", path="m.py"):
@@ -160,6 +169,37 @@ class TestSubtypes:
         assert model.is_subtype("WalError", "IOException")
         assert not model.is_subtype("IOException", "WalError")
 
+    def test_cyclic_class_bases_terminate(self):
+        model = build(
+            """
+            class AError(BError):
+                pass
+
+            class BError(AError):
+                pass
+            """
+        )
+        assert not model.is_subtype("AError", "IOException")
+        assert model.is_subtype("AError", "BError")
+        assert model.is_subtype("BError", "AError")
+
+    def test_mixed_hierarchy_resolves_through_both_layers(self):
+        model = build(
+            """
+            class WalError(IOException):
+                pass
+            """
+        )
+        # System class -> sim base -> sim super-base.
+        assert model.is_subtype("WalError", "SimException")
+        # Pure sim pair still resolves even with system classes present.
+        assert model.is_subtype("ConnectException", "IOException")
+
+    def test_unknown_names_are_not_subtypes(self):
+        model = build("x = 1")
+        assert not model.is_subtype("NoSuchError", "IOException")
+        assert not model.is_subtype("IOException", "NoSuchError")
+
     def test_handler_catches_tuple(self):
         model = build(
             """
@@ -191,3 +231,48 @@ class TestAnalyzePackage:
         key = matcher.key_for("Follower zk2 joined the quorum")
         template = next(t for t in matcher.templates if t.template_id == key)
         assert template.template == "Follower %s joined the quorum"
+
+
+class TestFactsCache:
+    def test_repeat_analysis_reuses_cached_facts(self):
+        clear_facts_cache()
+        first = analyze_package("repro.systems.minizk")
+        second = analyze_package("repro.systems.minizk")
+        # Same ModuleFacts objects: the second walk was pure cache hits.
+        assert [id(m) for m in first.modules] == [id(m) for m in second.modules]
+
+    def test_source_edit_invalidates_cache(self, tmp_path, monkeypatch):
+        module_path = tmp_path / "cached_mod_under_test.py"
+        module_path.write_text(
+            "class A:\n    def run(self):\n        self.env.disk_read('/a')\n"
+        )
+        monkeypatch.syspath_prepend(str(tmp_path))
+        clear_facts_cache()
+        try:
+            first = _facts_for_module("cached_mod_under_test")
+            assert len(first.env_calls) == 1
+            again = _facts_for_module("cached_mod_under_test")
+            assert again is first
+
+            module_path.write_text(
+                "class A:\n"
+                "    def run(self):\n"
+                "        self.env.disk_read('/a')\n"
+                "        self.env.disk_write('/b', b'x')\n"
+            )
+            edited = _facts_for_module("cached_mod_under_test")
+            assert edited is not first
+            assert len(edited.env_calls) == 2
+        finally:
+            clear_facts_cache()
+            sys.modules.pop("cached_mod_under_test", None)
+
+    def test_sourceless_module_skipped_with_warning(self, monkeypatch):
+        fake = types.ModuleType("sourceless_mod_under_test")
+        assert getattr(fake, "__file__", None) is None
+        monkeypatch.setitem(
+            sys.modules, "sourceless_mod_under_test", fake
+        )
+        with pytest.warns(UserWarning, match="no source file"):
+            facts = _facts_for_module("sourceless_mod_under_test")
+        assert facts is None

@@ -23,6 +23,26 @@ class TestFormatTable:
         table = format_table(["a", "b"], [])
         assert "a" in table and "b" in table
 
+    def test_right_alignment(self):
+        table = format_table(
+            ["name", "count"], [("a", 1), ("b", 1234)], align="lr"
+        )
+        lines = table.splitlines()
+        # Header stays left-aligned; numeric cells are right-aligned.
+        assert lines[0].startswith("name")
+        assert lines[2].endswith("    1")
+        assert lines[3].endswith(" 1234")
+
+    def test_align_shorter_than_headers_defaults_left(self):
+        table = format_table(["a", "b"], [("x", "y")], align="r")
+        assert "x" in table and "y" in table
+
+    def test_invalid_align_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="align"):
+            format_table(["a"], [("x",)], align="c")
+
     def test_write_table_persists(self, tmp_path, monkeypatch):
         import repro.bench.tables as tables
 

@@ -59,6 +59,73 @@ class TestReproduceAndReplay:
             run_cli(capsys, "inspect", "f99")
 
 
+class TestLint:
+    def test_text_report_exits_zero(self, capsys):
+        code, out = run_cli(capsys, "lint", "repro.systems.minihbase")
+        assert code == 0
+        assert "repro.systems.minihbase" in out
+        assert "findings" in out
+        assert "swallowed-exception" in out
+
+    def test_json_report_is_structured(self, capsys):
+        code, out = run_cli(
+            capsys, "lint", "repro.systems.minihbase", "--format", "json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["package"] == "repro.systems.minihbase"
+        assert payload["finding_count"] == len(payload["findings"])
+        first = payload["findings"][0]
+        assert {"rule", "severity", "file", "line", "site_ids"} <= set(first)
+
+    def test_rule_selection(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lint",
+            "repro.systems.minizk",
+            "--rules",
+            "unbounded-retry",
+            "--format",
+            "json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["rules"] == ["unbounded-retry"]
+        assert all(f["rule"] == "unbounded-retry" for f in payload["findings"])
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code = main(["lint", "repro.systems.minizk", "--rules", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown lint rule" in captured.err
+
+    def test_unknown_package_exits_two(self, capsys):
+        code = main(["lint", "no.such.package"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot import" in captured.err
+
+    def test_min_severity_filters(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lint",
+            "repro.systems.minizk",
+            "--min-severity",
+            "error",
+            "--format",
+            "json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert all(f["severity"] == "error" for f in payload["findings"])
+
+    def test_strict_mode_fails_on_errors(self, capsys):
+        code, _out = run_cli(
+            capsys, "lint", "repro.systems.minihbase", "--strict"
+        )
+        assert code == 1
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
