@@ -2,12 +2,16 @@
 
 Each benchmark regenerates one table or figure of the paper; expensive
 shared artifacts (the ANDURIL runs over all 22 cases) are computed once
-per session and reused.
+per session and reused.  The campaign fans out across worker processes
+(``REPRO_JOBS`` overrides the default of one per CPU), and its per-case
+outcomes are written to ``benchmarks/out/bench_summary.json`` at session
+end for the CI regression gate.
 """
 
 import pytest
 
-from repro.bench import run_anduril
+from repro.bench import run_anduril_many
+from repro.bench import summary as bench_summary
 from repro.failures import all_cases
 
 
@@ -23,9 +27,17 @@ _ANDURIL_CACHE = {}
 def anduril_outcomes(cases):
     """ANDURIL (full feedback) outcome per case, computed once."""
     if not _ANDURIL_CACHE:
-        for case in cases:
-            _ANDURIL_CACHE[case.case_id] = run_anduril(case)
+        for outcome in run_anduril_many(cases):
+            _ANDURIL_CACHE[outcome.case_id] = outcome
+            bench_summary.record_outcome(outcome)
     return dict(_ANDURIL_CACHE)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the campaign summary for tools/check_bench_regression.py."""
+    if bench_summary.collected_case_count():
+        path = bench_summary.write_bench_summary()
+        print(f"\n[bench summary saved to {path}]")
 
 
 def emit(name: str, content: str) -> None:

@@ -1,0 +1,88 @@
+"""Parallel campaign engine: speedup curve and determinism invariant.
+
+Runs the full 22-case ANDURIL campaign at ``jobs`` ∈ {1, 2, 4, 8} (capped
+at twice the host's CPU count — oversubscription beyond that only adds
+scheduler noise), asserts the per-case outcomes are identical at every
+worker count, and writes the measured speedup curve to
+``benchmarks/out/BENCH_parallel.json``.
+
+Wall-clock speedup is hardware-dependent (a single-core runner shows
+≈1x or below), so the *assertions* here cover determinism only; the JSON
+artifact is the measurement of record.
+"""
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.bench import format_table, run_anduril_many
+from repro.bench.tables import OUT_DIR
+from repro.failures import all_cases
+
+JOBS_LADDER = (1, 2, 4, 8)
+
+
+def campaign_signature(outcomes):
+    """Wall-clock-free identity of a campaign result."""
+    return tuple(
+        (o.case_id, o.success, o.rounds, tuple(o.rank_trajectory))
+        for o in outcomes
+    )
+
+
+def test_parallel_campaign_speedup():
+    cases = all_cases()
+    cpus = os.cpu_count() or 1
+    ladder = [j for j in JOBS_LADDER if j == 1 or j <= 2 * cpus]
+
+    measurements = {}
+    signatures = {}
+    for jobs in ladder:
+        started = time.perf_counter()
+        outcomes = run_anduril_many(cases, jobs=jobs)
+        elapsed = time.perf_counter() - started
+        measurements[jobs] = elapsed
+        signatures[jobs] = campaign_signature(outcomes)
+
+    # Determinism invariant: identical tables at every worker count.
+    baseline_signature = signatures[1]
+    for jobs, signature in signatures.items():
+        assert signature == baseline_signature, (
+            f"campaign outcome at jobs={jobs} diverged from serial"
+        )
+    assert all(outcome[1] for outcome in baseline_signature), (
+        "campaign must reproduce every case"
+    )
+
+    serial = measurements[1]
+    rows = [
+        (jobs, f"{seconds:.2f}", f"{serial / seconds:.2f}x")
+        for jobs, seconds in measurements.items()
+    ]
+    emit(
+        "bench_parallel",
+        format_table(
+            ["jobs", "seconds", "speedup"],
+            rows,
+            title=f"22-case campaign speedup ({cpus} CPUs)",
+            align="rrr",
+        ),
+    )
+
+    artifact = {
+        "cpu_count": cpus,
+        "cases": len(cases),
+        "seconds_by_jobs": {str(j): round(s, 3) for j, s in measurements.items()},
+        "speedup_by_jobs": {
+            str(j): round(serial / s, 3) for j, s in measurements.items()
+        },
+        "deterministic": True,
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, "BENCH_parallel.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"[saved to {path}]")

@@ -6,7 +6,8 @@ Commands:
 * ``reproduce <case_id>`` — run the feedback-driven search on one case
   and print the reproduction script.
 * ``replay <case_id> <script.json>`` — replay a saved reproduction script.
-* ``compare <case_id>`` — run every strategy on a case (Table-2 row).
+* ``compare <case_id>|all`` — run every strategy on one case (Table-2
+  row) or the whole dataset, fanned out over ``--jobs`` worker processes.
 * ``inspect <case_id>`` — show the prepared search state (observables,
   causal graph, top candidates) without searching.
 * ``lint <package>`` — run the fault-handling defect detector over an
@@ -17,10 +18,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .analysis import lint_package, registered_rules
-from .baselines import ALL_STRATEGIES, StrategyRunner
-from .bench import format_table, run_anduril
+from .baselines import ALL_STRATEGIES
+from .bench import format_table, resolve_jobs, run_compare_campaign
 from .core.report import ReproductionScript
 from .failures import all_cases, get_case
 
@@ -38,7 +40,9 @@ def cmd_reproduce(args) -> int:
     case = get_case(args.case_id)
     print(f"{case.issue}: {case.title}")
     print(f"oracle: {case.oracle.description}")
-    explorer = case.explorer(max_rounds=args.max_rounds)
+    explorer = case.explorer(
+        max_rounds=args.max_rounds, jobs=resolve_jobs(args.jobs)
+    )
     result = explorer.explore()
     if not result.success:
         print(f"NOT reproduced: {result.message} ({result.rounds} rounds)")
@@ -67,16 +71,51 @@ def cmd_replay(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    case = get_case(args.case_id)
-    rows = []
-    anduril = run_anduril(case, max_rounds=args.max_rounds)
-    rows.append(("anduril", anduril.cell))
-    runner = StrategyRunner(max_rounds=args.max_rounds, max_seconds=60.0)
-    for name, factory in ALL_STRATEGIES.items():
-        outcome = runner.run(factory(), case, case_id=case.case_id)
-        rows.append((name, outcome.cell))
-    print(format_table(["strategy", "rounds/time"], rows,
-                       title=f"{case.case_id} ({case.issue})"))
+    jobs = resolve_jobs(args.jobs)
+    cases = all_cases() if args.case_id == "all" else [get_case(args.case_id)]
+    strategies = list(ALL_STRATEGIES)
+    started = time.perf_counter()
+    anduril_by_case, cells = run_compare_campaign(
+        cases,
+        strategies,
+        jobs=jobs,
+        anduril_options=dict(max_rounds=args.max_rounds),
+        strategy_options=dict(max_rounds=args.max_rounds, max_seconds=60.0),
+    )
+    elapsed = time.perf_counter() - started
+    if len(cases) == 1:
+        case = cases[0]
+        rows = [("anduril", anduril_by_case[case.case_id].cell)]
+        rows.extend(
+            (name, cells[(name, case.case_id)].cell) for name in strategies
+        )
+        print(format_table(["strategy", "rounds/time"], rows,
+                           title=f"{case.case_id} ({case.issue})"))
+    else:
+        # Campaign table cells show rounds only (no wall clock) so the
+        # stdout table is byte-identical regardless of --jobs; timing goes
+        # to stderr.
+        headers = ["case", "anduril", *strategies]
+        rows = [
+            [
+                f"{case.case_id} ({case.issue})",
+                anduril_by_case[case.case_id].deterministic_cell,
+                *(
+                    cells[(name, case.case_id)].deterministic_cell
+                    for name in strategies
+                ),
+            ]
+            for case in cases
+        ]
+        print(format_table(
+            headers, rows,
+            title="strategy comparison (rounds to reproduce; '-' = failed)",
+        ))
+    print(
+        f"[campaign: {len(cases)} case(s) x {1 + len(strategies)} strategies, "
+        f"jobs={jobs}, {elapsed:.1f}s]",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -135,14 +174,26 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("case_id")
     reproduce.add_argument("--max-rounds", type=int, default=800)
     reproduce.add_argument("--output", "-o", help="write the script to a file")
+    reproduce.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="speculative round workers (default 1 = serial; 0 = one per CPU)",
+    )
 
     replay = commands.add_parser("replay", help="replay a reproduction script")
     replay.add_argument("case_id")
     replay.add_argument("script")
 
     compare = commands.add_parser("compare", help="compare all strategies")
-    compare.add_argument("case_id")
+    compare.add_argument("case_id", help="failure case id, or 'all' for the dataset")
     compare.add_argument("--max-rounds", type=int, default=400)
+    compare.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the campaign (default: one per CPU)",
+    )
 
     inspect = commands.add_parser("inspect", help="show the prepared search")
     inspect.add_argument("case_id")

@@ -136,7 +136,16 @@ class StrategyRunner:
         self.max_rounds = max_rounds
         self.max_seconds = max_seconds
 
-    def run(self, strategy: Strategy, case: CaseLike, case_id: str = "") -> StrategyResult:
+    def run(
+        self,
+        strategy: Strategy,
+        case: CaseLike,
+        case_id: Optional[str] = None,
+    ) -> StrategyResult:
+        if case_id is None:
+            # Campaign workers address cases by id; default to the case's
+            # own id so parallel sweeps need not thread it separately.
+            case_id = getattr(case, "case_id", "")
         started = time.perf_counter()
         context = build_context(case)
         strategy.prepare(context)

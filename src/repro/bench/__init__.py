@@ -1,5 +1,5 @@
 """Experiment harness: run strategies over the failure dataset and format
-paper-style tables."""
+paper-style tables, serially or fanned out across worker processes."""
 
 from .harness import (
     AndurilOutcome,
@@ -7,13 +7,30 @@ from .harness import (
     run_anduril,
     run_baseline,
 )
+from .parallel import (
+    CampaignTask,
+    resolve_jobs,
+    run_anduril_many,
+    run_baseline_many,
+    run_compare_campaign,
+    run_tasks,
+)
+from .summary import record_outcome, write_bench_summary
 from .tables import format_table, write_table
 
 __all__ = [
     "AndurilOutcome",
+    "CampaignTask",
     "StrategyOutcome",
     "format_table",
+    "record_outcome",
+    "resolve_jobs",
     "run_anduril",
+    "run_anduril_many",
     "run_baseline",
+    "run_baseline_many",
+    "run_compare_campaign",
+    "run_tasks",
+    "write_bench_summary",
     "write_table",
 ]

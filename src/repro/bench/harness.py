@@ -26,10 +26,19 @@ class AndurilOutcome:
     mean_decision_us: float
     median_init_ms: float
     median_workload_ms: float
+    #: Parallel-engine accounting (defaults describe a serial search).
+    jobs: int = 1
+    speculation_hit_rate: float = 0.0
+    worker_utilization: float = 0.0
 
     @property
     def cell(self) -> str:
         return f"{self.rounds}/{self.seconds:.1f}s" if self.success else "-"
+
+    @property
+    def deterministic_cell(self) -> str:
+        """Wall-clock-free cell — byte-identical across runs and job counts."""
+        return str(self.rounds) if self.success else "-"
 
 
 @dataclasses.dataclass
@@ -44,15 +53,21 @@ class StrategyOutcome:
     def cell(self) -> str:
         return f"{self.rounds}/{self.seconds:.1f}s" if self.success else "-"
 
+    @property
+    def deterministic_cell(self) -> str:
+        """Wall-clock-free cell — byte-identical across runs and job counts."""
+        return str(self.rounds) if self.success else "-"
+
 
 def run_anduril(
     case: FailureCase,
     max_rounds: int = 600,
     max_seconds: Optional[float] = 60.0,
+    jobs: int = 1,
     **overrides,
 ) -> AndurilOutcome:
     explorer = case.explorer(
-        max_rounds=max_rounds, max_seconds=max_seconds, **overrides
+        max_rounds=max_rounds, max_seconds=max_seconds, jobs=jobs, **overrides
     )
     prepared = explorer.prepare()
     result = explorer.explore()
@@ -76,6 +91,9 @@ def run_anduril(
         mean_decision_us=statistics.mean(decisions) * 1e6,
         median_init_ms=statistics.median(inits) * 1e3,
         median_workload_ms=statistics.median(workloads) * 1e3,
+        jobs=result.jobs,
+        speculation_hit_rate=result.speculation_hit_rate,
+        worker_utilization=result.worker_utilization,
     )
 
 

@@ -1,0 +1,164 @@
+"""Campaign-level parallel fan-out over failure cases and strategies.
+
+The benchmark campaigns (the 22-case tables, the baseline comparisons,
+``python -m repro compare``) are embarrassingly parallel: every
+(strategy, case) cell is an independent deterministic computation.  This
+module distributes those cells over a :class:`ProcessPoolExecutor` and
+reassembles results **in submission order**, so every table a campaign
+renders is byte-identical regardless of worker count.
+
+Workers receive only case *ids* and primitive options; each worker
+process resolves the case from the registry and rebuilds its own model /
+failure-log caches.  Oracles (which may close over lambdas) and workload
+state therefore never cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Optional, Sequence
+
+from ..core.speculate import default_jobs
+from .harness import AndurilOutcome, StrategyOutcome, run_anduril, run_baseline
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs < 1:
+        return default_jobs()
+    return int(jobs)
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignTask:
+    """One independent cell of a campaign: a strategy applied to a case.
+
+    ``strategy`` is ``None`` for ANDURIL itself.  ``options`` holds the
+    keyword arguments as a sorted tuple of items so the task is hashable
+    and cheaply picklable.
+    """
+
+    case_id: str
+    strategy: Optional[str] = None
+    options: tuple = ()
+
+    @classmethod
+    def anduril(cls, case_id: str, **options) -> "CampaignTask":
+        return cls(case_id=case_id, options=tuple(sorted(options.items())))
+
+    @classmethod
+    def baseline(cls, name: str, case_id: str, **options) -> "CampaignTask":
+        return cls(
+            case_id=case_id,
+            strategy=name,
+            options=tuple(sorted(options.items())),
+        )
+
+
+def execute_task(task: CampaignTask):
+    """Run one campaign cell (also the process-pool entry point)."""
+    # Imported here, not at module top: workers started with the "spawn"
+    # method import this module before the failure registry is populated.
+    from ..failures import get_case
+
+    case = get_case(task.case_id)
+    options = dict(task.options)
+    if task.strategy is None:
+        return run_anduril(case, **options)
+    return run_baseline(task.strategy, case, **options)
+
+
+def run_tasks(
+    tasks: Sequence[CampaignTask], jobs: Optional[int] = None
+) -> list:
+    """Execute campaign tasks, fanning out across processes.
+
+    Results come back in task order (deterministic regardless of worker
+    count or completion order).  Any task whose worker fails — an
+    interpreter crash, a serialization problem — is transparently re-run
+    inline, so a campaign never loses cells to pool breakage.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        results = [execute_task(task) for task in tasks]
+    else:
+        results = [None] * len(tasks)
+        failed: list[int] = []
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                futures = {
+                    pool.submit(execute_task, task): index
+                    for index, task in enumerate(tasks)
+                }
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            results[index] = future.result()
+                        except Exception:
+                            failed.append(index)
+        except OSError:
+            # No subprocess support at all: fall back to a serial sweep.
+            failed = [i for i, result in enumerate(results) if result is None]
+        for index in failed:
+            results[index] = execute_task(tasks[index])
+    return results
+
+
+# --------------------------------------------------------------------- sweeps
+
+
+def run_anduril_many(
+    cases: Sequence, jobs: Optional[int] = None, **overrides
+) -> list[AndurilOutcome]:
+    """ANDURIL outcomes for many cases, in case order."""
+    tasks = [CampaignTask.anduril(case.case_id, **overrides) for case in cases]
+    return run_tasks(tasks, jobs=jobs)
+
+
+def run_baseline_many(
+    name: str, cases: Sequence, jobs: Optional[int] = None, **options
+) -> list[StrategyOutcome]:
+    """One baseline strategy's outcomes for many cases, in case order."""
+    tasks = [
+        CampaignTask.baseline(name, case.case_id, **options) for case in cases
+    ]
+    return run_tasks(tasks, jobs=jobs)
+
+
+def run_compare_campaign(
+    cases: Sequence,
+    strategies: Sequence[str],
+    jobs: Optional[int] = None,
+    anduril_options: Optional[dict] = None,
+    strategy_options: Optional[dict] = None,
+) -> tuple[dict, dict]:
+    """The full comparison sweep: ANDURIL plus every strategy on every case.
+
+    Returns ``(anduril_by_case, outcome_by_strategy_and_case)`` keyed by
+    ``case_id`` and ``(strategy, case_id)`` respectively.
+    """
+    anduril_options = dict(anduril_options or {})
+    strategy_options = dict(strategy_options or {})
+    tasks: list[CampaignTask] = [
+        CampaignTask.anduril(case.case_id, **anduril_options) for case in cases
+    ]
+    for name in strategies:
+        tasks.extend(
+            CampaignTask.baseline(name, case.case_id, **strategy_options)
+            for case in cases
+        )
+    results = run_tasks(tasks, jobs=jobs)
+    anduril_by_case: dict[str, AndurilOutcome] = {}
+    by_cell: dict[tuple[str, str], StrategyOutcome] = {}
+    for task, outcome in zip(tasks, results):
+        if task.strategy is None:
+            anduril_by_case[task.case_id] = outcome
+        else:
+            by_cell[(task.strategy, task.case_id)] = outcome
+    return anduril_by_case, by_cell

@@ -1,0 +1,68 @@
+"""Machine-readable campaign summaries for the CI regression gate.
+
+Every :func:`repro.bench.harness.run_anduril` outcome (serial or via the
+parallel campaign runner) is recorded here; the benchmark session writes
+the collected summary to ``benchmarks/out/bench_summary.json``, which
+``tools/check_bench_regression.py`` compares against the committed
+baseline (``benchmarks/bench_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+from typing import Optional
+
+from .tables import OUT_DIR
+
+SCHEMA_VERSION = 1
+
+_OUTCOMES: dict[str, dict] = {}
+
+
+def record_outcome(outcome) -> None:
+    """Record one per-case ANDURIL outcome (latest write wins)."""
+    _OUTCOMES[outcome.case_id] = {
+        "success": bool(outcome.success),
+        "rounds": int(outcome.rounds),
+        "seconds": round(float(outcome.seconds), 6),
+    }
+
+
+def clear() -> None:
+    _OUTCOMES.clear()
+
+
+def collected_case_count() -> int:
+    return len(_OUTCOMES)
+
+
+def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
+    """Aggregate per-case records into the bench-summary document."""
+    outcomes = _OUTCOMES if outcomes is None else outcomes
+    ordered = dict(
+        sorted(outcomes.items(), key=lambda item: (len(item[0]), item[0]))
+    )
+    seconds = [entry["seconds"] for entry in ordered.values()]
+    rounds = [entry["rounds"] for entry in ordered.values()]
+    return {
+        "schema": SCHEMA_VERSION,
+        "cases": ordered,
+        "case_count": len(ordered),
+        "successes": sum(1 for entry in ordered.values() if entry["success"]),
+        "median_seconds": round(statistics.median(seconds), 6) if seconds else 0.0,
+        "median_rounds": statistics.median(rounds) if rounds else 0,
+        "total_seconds": round(sum(seconds), 6),
+    }
+
+
+def write_bench_summary(path: Optional[str] = None) -> str:
+    """Write the summary JSON under ``benchmarks/out/`` and return its path."""
+    if path is None:
+        path = os.path.join(OUT_DIR, "bench_summary.json")
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summarize(), handle, indent=2)
+        handle.write("\n")
+    return path

@@ -35,6 +35,7 @@ from .observables import ObservableSet
 from .oracle import Oracle
 from .priority import FaultPriorityPool, WindowEntry
 from .report import ReproductionScript
+from .speculate import SpeculativeExecutor, default_jobs, run_key
 
 
 @dataclasses.dataclass
@@ -49,6 +50,8 @@ class RoundRecord:
     injection_requests: int
     decision_seconds: float
     present_observables: int = 0
+    #: Whether this round's run was served by a speculative worker.
+    speculative_hit: bool = False
 
 
 @dataclasses.dataclass
@@ -61,6 +64,11 @@ class ExplorationResult:
     round_records: list[RoundRecord]
     message: str = ""
     final_run: Optional[RunResult] = None
+    #: Parallelism accounting (all zero for a serial search).
+    jobs: int = 1
+    speculation_hits: int = 0
+    speculation_misses: int = 0
+    speculation_submitted: int = 0
 
     @property
     def rank_trajectory(self) -> list[tuple[int, int]]:
@@ -70,6 +78,44 @@ class ExplorationResult:
             for record in self.round_records
             if record.root_site_rank is not None
         ]
+
+    @property
+    def speculation_hit_rate(self) -> float:
+        total = self.speculation_hits + self.speculation_misses
+        return self.speculation_hits / total if total else 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Committed speculative runs over submitted speculative runs."""
+        if not self.speculation_submitted:
+            return 0.0
+        return self.speculation_hits / self.speculation_submitted
+
+    def signature(self) -> tuple:
+        """Semantic identity of the search outcome, excluding wall times.
+
+        ``explore`` with ``jobs=1`` and ``jobs=N`` must produce equal
+        signatures — the determinism invariant of the parallel engine.
+        """
+        return (
+            self.success,
+            self.rounds,
+            self.message,
+            self.injected,
+            self.script,
+            tuple(
+                (
+                    record.round_number,
+                    record.window_size,
+                    record.injected,
+                    record.satisfied,
+                    record.root_site_rank,
+                    record.injection_requests,
+                    record.present_observables,
+                )
+                for record in self.round_records
+            ),
+        )
 
 
 @dataclasses.dataclass
@@ -114,6 +160,7 @@ class Explorer:
         runs_per_round: int = 1,
         lint_prior: bool = False,
         lint_bonus: float = 2.0,
+        jobs: int = 1,
     ) -> None:
         if runs_per_round < 1:
             raise ValueError("runs_per_round must be at least 1")
@@ -150,7 +197,14 @@ class Explorer:
         #: of ``lint_bonus * weight`` (see ``LintReport.site_weights``).
         self.lint_prior = lint_prior
         self.lint_bonus = lint_bonus
+        #: Round-level speculation: with ``jobs > 1`` worker processes
+        #: pre-execute predicted future rounds while the committed round
+        #: runs inline.  ``jobs=0``/``None`` means "one per CPU".  The
+        #: search outcome is invariant in ``jobs`` (see §determinism in
+        #: DESIGN.md) — only wall-clock time changes.
+        self.jobs = default_jobs() if not jobs or jobs < 1 else int(jobs)
         self._prepared: Optional[PreparedSearch] = None
+        self._trace_order: dict[tuple[str, int], int] = {}
 
     # ----------------------------------------------------------------- prepare
 
@@ -206,6 +260,14 @@ class Explorer:
             prior_weights=prior_weights,
             prior_scale=self.lint_bonus,
         )
+        # Execution-order index of the probe trace: before any single-shot
+        # injection fires, a round's run replays the probe deterministically,
+        # so the armed instance executed *earliest in the probe* is the one
+        # that will fire.  This is the speculation engine's predictor.
+        self._trace_order = {
+            (event.site_id, event.occurrence): position
+            for position, event in enumerate(normal_run.trace)
+        }
         self._prepared = PreparedSearch(
             model=self.model,
             graph=graph,
@@ -220,7 +282,26 @@ class Explorer:
 
     # ----------------------------------------------------------------- explore
 
-    def explore(self) -> ExplorationResult:
+    def explore(self, jobs: Optional[int] = None) -> ExplorationResult:
+        """Run the search; ``jobs`` overrides the configured worker count.
+
+        With ``jobs > 1`` a :class:`SpeculativeExecutor` pre-executes
+        predicted future rounds in worker processes.  Speculative results
+        are committed only on an exact ``(seed, plan)`` match, so the
+        result's :meth:`ExplorationResult.signature` is identical for every
+        worker count.
+        """
+        jobs = self.jobs if jobs is None else max(int(jobs), 1)
+        engine: Optional[SpeculativeExecutor] = None
+        if jobs > 1:
+            engine = SpeculativeExecutor(self.workload, self.horizon, jobs)
+        try:
+            return self._explore(engine)
+        finally:
+            if engine is not None:
+                engine.shutdown()
+
+    def _explore(self, engine: Optional[SpeculativeExecutor]) -> ExplorationResult:
         started = time.perf_counter()
         prepared = self.prepare()
         pool = prepared.pool
@@ -234,7 +315,7 @@ class Explorer:
                 and time.perf_counter() - started > self.max_seconds
             ):
                 return self._finish(
-                    False, records, started, message="time budget exhausted"
+                    False, records, started, engine, message="time budget exhausted"
                 )
             init_started = time.perf_counter()
             window = pool.window(window_size)
@@ -246,7 +327,7 @@ class Explorer:
             init_seconds = time.perf_counter() - init_started
             if not window:
                 return self._finish(
-                    False, records, started, message="fault space exhausted"
+                    False, records, started, engine, message="fault space exhausted"
                 )
 
             run_seed = self.seed + round_number if self.vary_seed else self.seed
@@ -254,9 +335,20 @@ class Explorer:
                 [entry.instance for entry in window], always=self.base_faults
             )
             workload_started = time.perf_counter()
-            result = execute_workload(
-                self.workload, horizon=self.horizon, seed=run_seed, plan=plan
-            )
+            spec_hit = False
+            if engine is not None:
+                # Queue predicted future rounds (and retire speculations
+                # the search bypassed) before the committed run, so the
+                # workers overlap with it.
+                engine.sync(
+                    self._predict_plans(pool, round_number, window, engine.jobs),
+                    keep=run_key(run_seed, plan),
+                )
+                result, spec_hit = engine.run(run_seed, plan)
+            else:
+                result = execute_workload(
+                    self.workload, horizon=self.horizon, seed=run_seed, plan=plan
+                )
             # §6: retry the round under perturbed seeds when nothing in the
             # window occurred (only useful in nondeterministic setups).
             sub_run = 0
@@ -266,9 +358,12 @@ class Explorer:
             ):
                 sub_run += 1
                 run_seed = self.seed + round_number * 1009 + sub_run
-                result = execute_workload(
-                    self.workload, horizon=self.horizon, seed=run_seed, plan=plan
-                )
+                if engine is not None:
+                    result, _ = engine.run(run_seed, plan)
+                else:
+                    result = execute_workload(
+                        self.workload, horizon=self.horizon, seed=run_seed, plan=plan
+                    )
             workload_seconds = time.perf_counter() - workload_started
 
             satisfied = False
@@ -279,6 +374,10 @@ class Explorer:
                 satisfied = self.oracle.satisfied(result)
                 if not satisfied:
                     present_count = len(observables.apply_feedback(result.log))
+                # The feedback re-ranked the pool; the inflation that past
+                # dry rounds applied no longer matches the new ordering, so
+                # restore the configured window before the next round.
+                window_size = self.initial_window
             else:
                 window_size = min(window_size * 2, max(pool.candidate_count, 1))
 
@@ -294,6 +393,7 @@ class Explorer:
                     injection_requests=result.injection_requests,
                     decision_seconds=result.decision_seconds,
                     present_observables=present_count,
+                    speculative_hit=spec_hit,
                 )
             )
 
@@ -311,19 +411,91 @@ class Explorer:
                     True,
                     records,
                     started,
+                    engine,
                     script=script,
                     injected=injected,
                     final_run=result,
                     message="reproduced",
                 )
 
-        return self._finish(False, records, started, message="round budget exhausted")
+        return self._finish(
+            False, records, started, engine, message="round budget exhausted"
+        )
+
+    # -------------------------------------------------------------- speculation
+
+    def _predict_fired(self, window: list[WindowEntry]) -> Optional[FaultInstance]:
+        """The armed instance predicted to fire: earliest in the probe trace."""
+        best: Optional[FaultInstance] = None
+        best_position: Optional[int] = None
+        for entry in window:
+            instance = entry.instance
+            position = self._trace_order.get(
+                (instance.site_id, instance.occurrence)
+            )
+            if position is None:
+                continue
+            if best_position is None or position < best_position:
+                best, best_position = instance, position
+        return best
+
+    def _predict_plans(
+        self,
+        pool: FaultPriorityPool,
+        round_number: int,
+        window: list[WindowEntry],
+        depth: int,
+    ) -> list[tuple[int, InjectionPlan]]:
+        """Predict the next ``depth`` rounds' ``(seed, plan)`` pairs.
+
+        The prediction advances the pool along the serial algorithm's path
+        under one assumption: the committed rounds' feedback will not
+        re-order the ranking (``mark_tried`` is simulated, observable
+        priorities are frozen).  When the assumption holds the predicted
+        rounds become cache hits; when it breaks they are discarded as
+        misses.  Either way the committed search path is exactly serial.
+        """
+        predictions: list[tuple[int, InjectionPlan]] = []
+        snapshot = pool.snapshot()
+        try:
+            current_window = window
+            future_round = round_number
+            for _depth in range(max(depth, 1)):
+                fired = self._predict_fired(current_window)
+                if fired is None:
+                    # Predicted dry round: the serial path would double the
+                    # window and perturb seeds; stop speculating here.
+                    break
+                pool.mark_tried(fired)
+                future_round += 1
+                if future_round > self.max_rounds:
+                    break
+                # After a fired round the Explorer restores the configured
+                # window (see _explore), so predicted rounds use it too.
+                next_window = pool.window(self.initial_window)
+                if not next_window:
+                    break
+                seed = (
+                    self.seed + future_round if self.vary_seed else self.seed
+                )
+                plan = InjectionPlan.of(
+                    [entry.instance for entry in next_window],
+                    always=self.base_faults,
+                )
+                predictions.append((seed, plan))
+                current_window = next_window
+        finally:
+            pool.restore(snapshot)
+        return predictions
+
+    # ------------------------------------------------------------------ finish
 
     def _finish(
         self,
         success: bool,
         records: list[RoundRecord],
         started: float,
+        engine: Optional[SpeculativeExecutor] = None,
         script: Optional[ReproductionScript] = None,
         injected: Optional[FaultInstance] = None,
         final_run: Optional[RunResult] = None,
@@ -338,4 +510,8 @@ class Explorer:
             round_records=records,
             message=message,
             final_run=final_run,
+            jobs=engine.jobs if engine is not None else 1,
+            speculation_hits=engine.hits if engine is not None else 0,
+            speculation_misses=engine.misses if engine is not None else 0,
+            speculation_submitted=engine.submitted if engine is not None else 0,
         )

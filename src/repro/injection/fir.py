@@ -73,6 +73,54 @@ class InjectionPlan:
     ) -> "InjectionPlan":
         return cls(list(instances), list(always))
 
+    # ------------------------------------------------------------ serialization
+    #
+    # Plans cross process boundaries in the parallel engine: campaign
+    # workers and the Explorer's speculative round executors each receive
+    # a plan payload of plain tuples.  ``key()`` is the canonical identity
+    # used to index speculative run caches — two plans with equal keys
+    # drive byte-identical runs of the deterministic simulator.
+
+    def to_payload(self) -> dict:
+        return {
+            "instances": [
+                (inst.site_id, inst.exception, inst.occurrence)
+                for inst in self.instances
+            ],
+            "always": [
+                (inst.site_id, inst.exception, inst.occurrence)
+                for inst in self.always
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "InjectionPlan":
+        return cls(
+            [FaultInstance(*item) for item in payload["instances"]],
+            [FaultInstance(*item) for item in payload["always"]],
+        )
+
+    def key(self) -> tuple:
+        return (
+            tuple(
+                (inst.site_id, inst.exception, inst.occurrence)
+                for inst in self.instances
+            ),
+            tuple(
+                (inst.site_id, inst.exception, inst.occurrence)
+                for inst in self.always
+            ),
+        )
+
+    def __getstate__(self) -> dict:
+        # Drop the derived lookup dicts; rebuild them on the other side.
+        return {"instances": list(self.instances), "always": list(self.always)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.instances = state["instances"]
+        self.always = state["always"]
+        self.__post_init__()
+
 
 def is_injected(exc: BaseException) -> bool:
     """Whether ``exc`` was raised by the FIR rather than organically.

@@ -1,0 +1,147 @@
+"""Tests for the campaign-level parallel runner and the bench summary."""
+
+import json
+
+from repro.bench import parallel, summary
+from repro.bench.parallel import (
+    CampaignTask,
+    execute_task,
+    resolve_jobs,
+    run_anduril_many,
+    run_compare_campaign,
+    run_tasks,
+)
+from repro.failures import all_cases, get_case
+
+
+def campaign_signature(outcomes):
+    return [(o.case_id, o.success, o.rounds) for o in outcomes]
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+
+    def test_none_and_zero_mean_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+
+class TestCampaignTask:
+    def test_anduril_task_roundtrip(self):
+        task = CampaignTask.anduril("f1", max_rounds=50)
+        outcome = execute_task(task)
+        assert outcome.case_id == "f1"
+        assert outcome.success
+
+    def test_baseline_task_roundtrip(self):
+        task = CampaignTask.baseline("stacktrace", "f1", max_rounds=50)
+        outcome = execute_task(task)
+        assert outcome.strategy == "stacktrace"
+        assert outcome.case_id == "f1"
+
+    def test_tasks_are_hashable_and_picklable(self):
+        import pickle
+
+        task = CampaignTask.anduril("f3", max_rounds=10, max_seconds=2.0)
+        assert pickle.loads(pickle.dumps(task)) == task
+        assert hash(task) == hash(CampaignTask.anduril(
+            "f3", max_rounds=10, max_seconds=2.0
+        ))
+
+
+class TestRunTasksOrdering:
+    CASES = [get_case(cid) for cid in ("f1", "f3", "f13")]
+
+    def test_serial_results_follow_task_order(self):
+        outcomes = run_anduril_many(self.CASES, jobs=1, max_rounds=50)
+        assert [o.case_id for o in outcomes] == ["f1", "f3", "f13"]
+
+    def test_parallel_results_identical_to_serial(self):
+        serial = run_anduril_many(self.CASES, jobs=1, max_rounds=50)
+        fanned = run_anduril_many(self.CASES, jobs=2, max_rounds=50)
+        assert campaign_signature(fanned) == campaign_signature(serial)
+
+    def test_deterministic_cells_are_wall_clock_free(self):
+        serial = run_anduril_many(self.CASES, jobs=1, max_rounds=50)
+        fanned = run_anduril_many(self.CASES, jobs=2, max_rounds=50)
+        assert [o.deterministic_cell for o in fanned] == [
+            o.deterministic_cell for o in serial
+        ]
+
+    def test_worker_failure_falls_back_inline(self, monkeypatch):
+        calls = {"n": 0}
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no subprocesses here")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", ExplodingPool)
+        outcomes = run_anduril_many(self.CASES, jobs=4, max_rounds=50)
+        assert campaign_signature(outcomes) == [
+            ("f1", True, 1),
+            ("f3", True, 1),
+            ("f13", True, 1),
+        ]
+
+
+class TestCompareCampaign:
+    def test_grid_is_fully_populated(self):
+        cases = [get_case("f1"), get_case("f2")]
+        strategies = ["stacktrace", "random"]
+        anduril, cells = run_compare_campaign(
+            cases,
+            strategies,
+            jobs=1,
+            anduril_options=dict(max_rounds=50),
+            strategy_options=dict(max_rounds=50, max_seconds=5.0),
+        )
+        assert set(anduril) == {"f1", "f2"}
+        assert set(cells) == {
+            (name, case.case_id) for name in strategies for case in cases
+        }
+
+
+class TestBenchSummary:
+    def test_record_and_summarize(self):
+        summary.clear()
+        try:
+            outcome = execute_task(CampaignTask.anduril("f1", max_rounds=50))
+            summary.record_outcome(outcome)
+            document = summary.summarize()
+            assert document["case_count"] == 1
+            assert document["successes"] == 1
+            assert document["cases"]["f1"]["rounds"] == outcome.rounds
+            assert document["median_rounds"] == outcome.rounds
+        finally:
+            summary.clear()
+
+    def test_write_bench_summary_roundtrip(self, tmp_path):
+        summary.clear()
+        try:
+            outcome = execute_task(CampaignTask.anduril("f2", max_rounds=50))
+            summary.record_outcome(outcome)
+            path = summary.write_bench_summary(str(tmp_path / "summary.json"))
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            assert document["schema"] == summary.SCHEMA_VERSION
+            assert document["cases"]["f2"]["success"] is True
+            assert document["median_seconds"] >= 0.0
+        finally:
+            summary.clear()
+
+    def test_cases_sorted_numerically(self):
+        summary.clear()
+        try:
+            for cid in ("f10", "f2", "f1"):
+                summary.record_outcome(
+                    type("O", (), {
+                        "case_id": cid, "success": True,
+                        "rounds": 1, "seconds": 0.1,
+                    })()
+                )
+            document = summary.summarize()
+            assert list(document["cases"]) == ["f1", "f2", "f10"]
+        finally:
+            summary.clear()

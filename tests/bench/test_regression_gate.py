@@ -1,0 +1,178 @@
+"""Tests for tools/check_bench_regression.py — the CI benchmark gate.
+
+Runs the tool as a subprocess (exactly how CI invokes it) against
+synthetic summaries and the committed baseline, checking all three exit
+codes: 0 (no regression), 1 (regression), 2 (usage/IO error).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+TOOL = os.path.join(REPO_ROOT, "tools", "check_bench_regression.py")
+COMMITTED_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "bench_baseline.json")
+
+
+def make_summary(cases, median_seconds):
+    return {
+        "schema": 1,
+        "cases": cases,
+        "case_count": len(cases),
+        "successes": sum(1 for entry in cases.values() if entry["success"]),
+        "median_seconds": median_seconds,
+        "median_rounds": 1,
+        "total_seconds": median_seconds * max(len(cases), 1),
+    }
+
+
+def write_summary(path, document):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return str(path)
+
+
+def run_gate(*argv):
+    process = subprocess.run(
+        [sys.executable, TOOL, *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    return process.returncode, process.stdout, process.stderr
+
+
+BASE_CASES = {
+    "f1": {"success": True, "rounds": 1, "seconds": 1.0},
+    "f2": {"success": True, "rounds": 2, "seconds": 1.0},
+    "f3": {"success": True, "rounds": 3, "seconds": 1.0},
+}
+
+
+class TestExitZero:
+    def test_identical_summaries_pass(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        code, stdout, stderr = run_gate(baseline, baseline)
+        assert code == 0, stderr
+        assert "no benchmark regression" in stdout
+
+    def test_committed_baseline_passes_against_itself(self):
+        assert os.path.exists(COMMITTED_BASELINE)
+        code, stdout, stderr = run_gate(COMMITTED_BASELINE, COMMITTED_BASELINE)
+        assert code == 0, stderr
+
+    def test_slowdown_below_noise_floor_is_ignored(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 0.004)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(BASE_CASES, 0.040)
+        )
+        code, _, stderr = run_gate(baseline, current)
+        assert code == 0, stderr
+
+    def test_speedup_passes(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 2.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(BASE_CASES, 1.0)
+        )
+        code, _, stderr = run_gate(baseline, current)
+        assert code == 0, stderr
+
+
+class TestExitOne:
+    def test_success_count_drop_fails_and_names_the_case(self, tmp_path):
+        broken = {
+            **BASE_CASES,
+            "f2": {"success": False, "rounds": 40, "seconds": 1.0},
+        }
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(broken, 1.0)
+        )
+        code, _, stderr = run_gate(baseline, current)
+        assert code == 1
+        assert "success count dropped" in stderr
+        assert "f2 no longer reproduces" in stderr
+
+    def test_median_regression_above_floor_fails(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(BASE_CASES, 1.3)
+        )
+        code, _, stderr = run_gate(baseline, current)
+        assert code == 1
+        assert "median seconds regressed" in stderr
+
+    def test_slowdown_within_tolerance_passes(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(BASE_CASES, 1.2)
+        )
+        code, _, stderr = run_gate(baseline, current)
+        assert code == 0, stderr
+
+    def test_missing_case_fails(self, tmp_path):
+        shrunk = {k: v for k, v in BASE_CASES.items() if k != "f3"}
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(shrunk, 1.0)
+        )
+        code, _, stderr = run_gate(baseline, current)
+        assert code == 1
+        assert "missing from the current campaign" in stderr
+        assert "f3" in stderr
+
+    def test_custom_slowdown_threshold(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(BASE_CASES, 1.2)
+        )
+        code, _, stderr = run_gate(baseline, current, "--max-slowdown", "0.1")
+        assert code == 1
+        assert "median seconds regressed" in stderr
+
+
+class TestExitTwo:
+    def test_missing_file(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        code, _, stderr = run_gate(baseline, str(tmp_path / "missing.json"))
+        assert code == 2
+        assert "error:" in stderr
+
+    def test_malformed_json(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code, _, stderr = run_gate(baseline, str(bad))
+        assert code == 2
+
+    def test_wrong_schema(self, tmp_path):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        wrong = write_summary(tmp_path / "wrong.json", {"hello": "world"})
+        code, _, stderr = run_gate(baseline, wrong)
+        assert code == 2
+        assert "not a bench summary" in stderr

@@ -63,6 +63,50 @@ class TestWindowDoubling:
         assert all(record.injected is None for record in result.round_records)
 
 
+class TestWindowShrink:
+    """After a fired round re-ranks the pool, the window must return to
+    the configured size — one dry round must not inflate every later
+    window (the doubling is a probe for *this* ranking, not a ratchet)."""
+
+    def test_window_resets_after_fired_round(self, monkeypatch):
+        case = get_case("f1")
+        explorer = case.explorer(max_rounds=3, initial_window=1)
+        prepared = explorer.prepare()
+        fired_instance = prepared.pool.window(1)[0].instance
+
+        requested_sizes = []
+        real_window = prepared.pool.window
+
+        def spying_window(size):
+            requested_sizes.append(size)
+            return real_window(size)
+
+        monkeypatch.setattr(prepared.pool, "window", spying_window)
+
+        fired_result = dataclasses.replace(
+            empty_run_result(), injected=True, injected_instance=fired_instance
+        )
+        # Round 1: dry (window doubles).  Round 2: fires, oracle
+        # unsatisfied (feedback re-ranks).  Round 3: must be back at the
+        # configured window, not the doubled one.
+        script = iter([empty_run_result(), fired_result, empty_run_result()])
+
+        def stubbed_execute(workload, horizon, seed=0, plan=None, tracing=True):
+            return next(script)
+
+        monkeypatch.setattr(explorer_module, "execute_workload", stubbed_execute)
+        result = explorer.explore()
+        assert not result.success
+        assert requested_sizes == [1, 2, 1]
+
+    def test_consecutive_dry_rounds_still_double(self, no_injection_explorer):
+        result = no_injection_explorer.explore()
+        sizes = [record.window_size for record in result.round_records]
+        # Without any fired round the doubling ratchet is unchanged.
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+
 class TestTimeBudget:
     def test_zero_time_budget_stops_immediately(self):
         case = get_case("f1")

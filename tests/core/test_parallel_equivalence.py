@@ -1,0 +1,80 @@
+"""The parallel engine's hard invariant: ``explore(jobs=N) == explore(jobs=1)``.
+
+Speculative execution may only change wall-clock time, never the search:
+same rounds, same injections, same rank trajectory, same reproduction
+script.  Checked on three failure cases per mini system (cassandra has
+only two in the dataset).
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.failures import all_cases
+
+
+def representative_cases(per_system: int = 3):
+    by_system: dict[str, list] = {}
+    for case in all_cases():
+        by_system.setdefault(case.system, []).append(case)
+    chosen = []
+    for system in sorted(by_system):
+        chosen.extend(by_system[system][:per_system])
+    return chosen
+
+
+CASES = representative_cases()
+
+
+def subprocesses_available() -> bool:
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=1) as pool:
+            pool.submit(int, 1).result()
+        return True
+    except OSError:
+        return False
+
+
+def test_covers_three_cases_per_system():
+    systems = {case.system for case in all_cases()}
+    assert len(systems) == 5
+    for system in systems:
+        available = sum(1 for c in all_cases() if c.system == system)
+        chosen = sum(1 for c in CASES if c.system == system)
+        assert chosen == min(3, available), system
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.case_id)
+def test_explore_jobs4_equals_jobs1(case):
+    serial = case.explorer(max_rounds=40).explore(jobs=1)
+    parallel = case.explorer(max_rounds=40).explore(jobs=4)
+    assert parallel.signature() == serial.signature()
+    assert parallel.jobs == 4
+    assert serial.jobs == 1
+    # Wall-time-free fields agree one by one (clearer failure than the
+    # aggregate signature when something regresses).
+    assert parallel.success == serial.success
+    assert parallel.rounds == serial.rounds
+    assert parallel.rank_trajectory == serial.rank_trajectory
+    assert parallel.script == serial.script
+    assert parallel.injected == serial.injected
+
+
+def test_speculation_produces_hits_on_multi_round_search():
+    """A feedback-heavy case commits speculative results, not just misses."""
+    if not subprocesses_available():
+        pytest.skip("no subprocess support in this environment")
+    case = next(c for c in all_cases() if c.case_id == "f20")
+    result = case.explorer(max_rounds=40).explore(jobs=4)
+    assert result.success
+    assert result.rounds > 1
+    assert result.speculation_hits > 0
+    assert any(record.speculative_hit for record in result.round_records)
+    assert 0.0 < result.speculation_hit_rate <= 1.0
+    assert 0.0 < result.worker_utilization <= 1.0
+
+
+def test_jobs_zero_means_one_per_cpu():
+    case = CASES[0]
+    explorer = case.explorer(jobs=0)
+    assert explorer.jobs >= 1

@@ -121,3 +121,45 @@ class TestFir:
         fir.on_site(make_site(line=1))
         assert fir.occurrences_of("repro/systems/x/y.py:1:write:disk_write") == 2
         assert fir.occurrences_of("repro/systems/x/y.py:2:write:disk_write") == 1
+
+
+class TestPlanSerialization:
+    """Plans cross process boundaries in the parallel engine — both as
+    primitive payloads (worker submissions) and via pickle (campaign
+    fan-out) — and serve as run-cache keys."""
+
+    def _plan(self):
+        return InjectionPlan.single(
+            FaultInstance("repro/systems/x/y.py:7:write:disk_write",
+                          "IOException", 2)
+        )
+
+    def test_payload_roundtrip(self):
+        plan = self._plan()
+        rebuilt = InjectionPlan.from_payload(plan.to_payload())
+        assert rebuilt.instances == plan.instances
+        assert rebuilt.key() == plan.key()
+
+    def test_key_distinguishes_plans(self):
+        a = self._plan()
+        b = InjectionPlan.single(
+            FaultInstance("repro/systems/x/y.py:7:write:disk_write",
+                          "IOException", 3)
+        )
+        assert a.key() != b.key()
+        assert a.key() == InjectionPlan.from_payload(a.to_payload()).key()
+
+    def test_pickle_roundtrip_rebuilds_lookup(self):
+        import pickle
+
+        plan = self._plan()
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.instances == plan.instances
+        # The rebuilt lookup still resolves the armed instance.
+        site = make_site(line=7)
+        fir = FIR()
+        fir.bind(log_index_fn=lambda: 0, clock=lambda: 0.0)
+        fir.set_plan(clone)
+        fir.on_site(site)  # occurrence 1: armed but not yet due
+        with pytest.raises(IOException):
+            fir.on_site(site)

@@ -2,12 +2,20 @@
 
 Random mini-workloads are generated from a hypothesis-drawn spec; two
 executions with identical inputs must produce byte-identical logs and
-traces, and different seeds must be allowed to diverge.
+traces, and different seeds must be allowed to diverge.  The same must
+hold across a process boundary — a ``ProcessPoolExecutor`` worker's run
+is interchangeable with an inline run, which is what makes the parallel
+engine's speculative commits safe.
 """
 
+import concurrent.futures
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.speculate import _worker_run
+from repro.failures import get_case
 from repro.injection.fir import InjectionPlan
 from repro.injection.sites import FaultInstance
 from repro.sim.cluster import execute_workload
@@ -80,6 +88,7 @@ def test_same_inputs_same_outputs(spec, seed):
     assert a.log.to_text() == b.log.to_text()
     assert a.trace == b.trace
     assert a.site_counts == b.site_counts
+    assert a.injection_requests == b.injection_requests
 
 
 @given(spec=ACTIONS, seed=st.integers(0, 100), occurrence=st.integers(1, 5))
@@ -98,6 +107,7 @@ def test_injection_is_deterministic(spec, seed, occurrence):
     assert a.injected and b.injected
     assert a.injected_instance == b.injected_instance
     assert a.log.to_text() == b.log.to_text()
+    assert a.injection_requests == b.injection_requests
 
 
 @given(spec=ACTIONS)
@@ -117,3 +127,57 @@ def test_prefix_identical_until_injection(spec):
     # Every trace event before the injected one matches the probe run.
     prefix_length = len(injected.trace) - 1
     assert injected.trace[:prefix_length] == probe.trace[:prefix_length]
+
+
+# --------------------------------------------------------------------------
+# Across a process boundary: a ProcessPoolExecutor worker's run must be
+# interchangeable with an inline run.  The synthetic workloads above are
+# closures (not picklable), so these use a registry case whose workload is
+# a module-level function — exactly what the parallel engine ships to
+# workers.
+# --------------------------------------------------------------------------
+
+
+def run_signature(result):
+    """Everything a run produced, minus wall-clock measurements."""
+    return (
+        result.log.to_text(),
+        tuple(result.trace),
+        result.injected_instance,
+        result.injection_requests,
+        tuple(sorted(result.site_counts.items())),
+        tuple(result.stuck),
+        tuple(result.crashed),
+        result.end_time,
+    )
+
+
+def submit_to_worker(case, plan):
+    payload = plan.to_payload() if plan is not None else None
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(
+                _worker_run, case.workload, case.horizon, case.seed, payload
+            ).result()
+    except OSError:
+        pytest.skip("no subprocess support in this environment")
+
+
+class TestWorkerProcessEquivalence:
+    def test_worker_matches_inline_with_injection(self):
+        case = get_case("f2")
+        plan = InjectionPlan.single(case.ground_truth_instance())
+        inline = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed, plan=plan
+        )
+        remote = submit_to_worker(case, plan)
+        assert run_signature(remote) == run_signature(inline)
+        assert remote.injected_instance == plan.instances[0]
+
+    def test_worker_matches_inline_fault_free(self):
+        case = get_case("f2")
+        inline = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed
+        )
+        remote = submit_to_worker(case, None)
+        assert run_signature(remote) == run_signature(inline)

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI benchmark-regression gate.
+
+Compares a freshly generated ``benchmarks/out/bench_summary.json`` against
+the committed baseline (``benchmarks/bench_baseline.json``) and fails the
+build when the campaign got *worse*:
+
+* any drop in the number of reproduced cases (deterministic — a real
+  algorithmic regression), or
+* a median per-case wall-clock regression beyond ``--max-slowdown``
+  (default 25%), ignored while the baseline median sits below
+  ``--min-median-seconds`` so sub-millisecond campaigns don't flap on
+  runner noise.
+
+Exit codes: 0 = no regression, 1 = regression, 2 = usage/IO error.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        benchmarks/bench_baseline.json benchmarks/out/bench_summary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_summary(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if "cases" not in document:
+        raise ValueError(f"{path}: not a bench summary (missing 'cases')")
+    return document
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    max_slowdown: float,
+    min_median_seconds: float,
+) -> list[str]:
+    """Return a list of regression descriptions (empty = gate passes)."""
+    problems: list[str] = []
+
+    base_successes = int(baseline.get("successes", 0))
+    cur_successes = int(current.get("successes", 0))
+    if cur_successes < base_successes:
+        problems.append(
+            f"success count dropped: {cur_successes} < {base_successes}"
+        )
+        base_cases = baseline.get("cases", {})
+        for case_id, entry in sorted(current.get("cases", {}).items()):
+            was = base_cases.get(case_id, {}).get("success")
+            if was and not entry.get("success"):
+                problems.append(f"  case {case_id} no longer reproduces")
+
+    missing = set(baseline.get("cases", {})) - set(current.get("cases", {}))
+    if missing:
+        problems.append(
+            "cases missing from the current campaign: "
+            + ", ".join(sorted(missing))
+        )
+
+    base_median = float(baseline.get("median_seconds", 0.0))
+    cur_median = float(current.get("median_seconds", 0.0))
+    if base_median >= min_median_seconds:
+        limit = base_median * (1.0 + max_slowdown)
+        if cur_median > limit:
+            problems.append(
+                f"median seconds regressed: {cur_median:.3f}s > "
+                f"{base_median:.3f}s * {1.0 + max_slowdown:.2f} "
+                f"(= {limit:.3f}s)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline summary JSON")
+    parser.add_argument("current", help="freshly generated summary JSON")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.25,
+        help="tolerated median-seconds regression (fraction, default 0.25)",
+    )
+    parser.add_argument(
+        "--min-median-seconds",
+        type=float,
+        default=0.05,
+        help="skip the seconds check below this baseline median (noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_summary(args.baseline)
+        current = load_summary(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    problems = compare(
+        baseline, current, args.max_slowdown, args.min_median_seconds
+    )
+    print(
+        f"baseline: {baseline.get('successes')}/{baseline.get('case_count')} "
+        f"reproduced, median {baseline.get('median_seconds')}s, "
+        f"median rounds {baseline.get('median_rounds')}"
+    )
+    print(
+        f"current:  {current.get('successes')}/{current.get('case_count')} "
+        f"reproduced, median {current.get('median_seconds')}s, "
+        f"median rounds {current.get('median_rounds')}"
+    )
+    if problems:
+        print("BENCHMARK REGRESSION:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("no benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
