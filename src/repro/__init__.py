@@ -34,6 +34,7 @@ from .core.oracle import (
 from .core.report import ReproductionScript
 from .injection.fir import FIR, InjectionPlan
 from .injection.sites import FaultCandidate, FaultInstance, SiteRef
+from .obs import TraceRecorder
 from .sim.cluster import Cluster, RunResult, execute_workload
 
 __version__ = "1.0.0"
@@ -58,5 +59,6 @@ __all__ = [
     "SiteRef",
     "StatePredicateOracle",
     "StuckTaskOracle",
+    "TraceRecorder",
     "execute_workload",
 ]

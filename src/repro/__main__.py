@@ -10,21 +10,35 @@ Commands:
   row) or the whole dataset, fanned out over ``--jobs`` worker processes.
 * ``inspect <case_id>`` — show the prepared search state (observables,
   causal graph, top candidates) without searching.
+* ``trace <case_id>`` — run the search with the ``repro.obs`` recorder
+  attached and export the trace (Chrome ``trace_event`` JSON, structured
+  JSON, or a text summary).
 * ``lint <package>`` — run the fault-handling defect detector over an
   importable package and print the findings (text or JSON).
+
+``reproduce`` and ``compare`` accept ``--profile`` to sample run-level
+metrics (FIR decision latency, scheduler counters) without changing the
+search outcome.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from .analysis import lint_package, registered_rules
 from .baselines import ALL_STRATEGIES
-from .bench import format_table, resolve_jobs, run_compare_campaign
+from .bench import (
+    format_table,
+    inline_fallback_count,
+    resolve_jobs,
+    run_compare_campaign,
+)
 from .core.report import ReproductionScript
 from .failures import all_cases, get_case
+from .obs import TraceRecorder
 
 
 def cmd_list(_args) -> int:
@@ -36,14 +50,32 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _print_profile(recorder) -> None:
+    """Render the flat metrics dict of a profiled run to stderr."""
+    metrics = recorder.metrics()
+    if not metrics:
+        print("[profile: no metrics recorded]", file=sys.stderr)
+        return
+    print("[profile]", file=sys.stderr)
+    for key in sorted(metrics):
+        value = metrics[key]
+        rendered = f"{value:.6f}" if isinstance(value, float) else str(value)
+        print(f"  {key} = {rendered}", file=sys.stderr)
+
+
 def cmd_reproduce(args) -> int:
     case = get_case(args.case_id)
     print(f"{case.issue}: {case.title}")
     print(f"oracle: {case.oracle.description}")
+    recorder = TraceRecorder() if args.profile else None
     explorer = case.explorer(
-        max_rounds=args.max_rounds, jobs=resolve_jobs(args.jobs)
+        max_rounds=args.max_rounds,
+        jobs=resolve_jobs(args.jobs),
+        recorder=recorder,
     )
     result = explorer.explore()
+    if recorder is not None:
+        _print_profile(recorder)
     if not result.success:
         print(f"NOT reproduced: {result.message} ({result.rounds} rounds)")
         return 1
@@ -79,7 +111,7 @@ def cmd_compare(args) -> int:
         cases,
         strategies,
         jobs=jobs,
-        anduril_options=dict(max_rounds=args.max_rounds),
+        anduril_options=dict(max_rounds=args.max_rounds, profile=args.profile),
         strategy_options=dict(max_rounds=args.max_rounds, max_seconds=60.0),
     )
     elapsed = time.perf_counter() - started
@@ -114,6 +146,48 @@ def cmd_compare(args) -> int:
     print(
         f"[campaign: {len(cases)} case(s) x {1 + len(strategies)} strategies, "
         f"jobs={jobs}, {elapsed:.1f}s]",
+        file=sys.stderr,
+    )
+    fallbacks = inline_fallback_count()
+    if fallbacks:
+        print(
+            f"[campaign: {fallbacks} cell(s) re-run inline after worker "
+            f"failures]",
+            file=sys.stderr,
+        )
+    if args.profile:
+        for case in cases:
+            outcome = anduril_by_case[case.case_id]
+            decision = outcome.mean_decision_us
+            print(
+                f"[profile {case.case_id}: mean FIR decision "
+                f"{decision:.1f}us, {len(outcome.metrics)} metric(s)]",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    case = get_case(args.case_id)
+    recorder = TraceRecorder()
+    explorer = case.explorer(max_rounds=args.max_rounds, recorder=recorder)
+    result = explorer.explore()
+    if args.format == "chrome":
+        payload = json.dumps(recorder.to_chrome(), indent=2) + "\n"
+    elif args.format == "json":
+        payload = json.dumps(recorder.to_json(), indent=2) + "\n"
+    else:
+        payload = recorder.to_text() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"trace written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(payload)
+    status = "reproduced" if result.success else "not reproduced"
+    print(
+        f"[trace {case.case_id}: {status} in {result.rounds} round(s), "
+        f"{len(recorder.spans)} span(s), {len(recorder.events)} event(s)]",
         file=sys.stderr,
     )
     return 0
@@ -180,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="speculative round workers (default 1 = serial; 0 = one per CPU)",
     )
+    reproduce.add_argument(
+        "--profile",
+        action="store_true",
+        help="record run-level metrics and print them to stderr",
+    )
 
     replay = commands.add_parser("replay", help="replay a reproduction script")
     replay.add_argument("case_id")
@@ -194,6 +273,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the campaign (default: one per CPU)",
     )
+    compare.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-case run metrics and summarize them on stderr",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="run the search with tracing and export the trace"
+    )
+    trace.add_argument("case_id")
+    trace.add_argument("--max-rounds", type=int, default=800)
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "json", "text"),
+        default="chrome",
+        help="chrome = chrome://tracing trace_event JSON (default)",
+    )
+    trace.add_argument("--out", "-o", help="write the trace to a file")
 
     inspect = commands.add_parser("inspect", help="show the prepared search")
     inspect.add_argument("case_id")
@@ -229,6 +326,7 @@ def main(argv=None) -> int:
         "reproduce": cmd_reproduce,
         "replay": cmd_replay,
         "compare": cmd_compare,
+        "trace": cmd_trace,
         "inspect": cmd_inspect,
         "lint": cmd_lint,
     }[args.command]

@@ -23,7 +23,7 @@ from ..analysis.system_model import SystemModel
 from ..core.alignment import TimelineMap
 from ..core.observables import ObservableSet
 from ..core.oracle import Oracle
-from ..injection.fir import InjectionPlan, TraceEvent
+from ..injection.fir import InjectionPlan, TraceEvent, dedupe_instances
 from ..injection.sites import FaultInstance
 from ..logs.diff import LogComparator
 from ..logs.record import LogFile
@@ -172,7 +172,9 @@ class StrategyRunner:
                     time.perf_counter() - started, None, "fault space exhausted",
                 )
             rounds += 1
-            plan = InjectionPlan.of(window)
+            # A strategy's window may offer the same (site, occurrence)
+            # under two exceptions; only the first is armable per run.
+            plan = InjectionPlan.of(dedupe_instances(window))
             result = execute_workload(
                 case.workload, horizon=case.horizon, seed=case.seed, plan=plan
             )

@@ -9,6 +9,7 @@ from .harness import (
 )
 from .parallel import (
     CampaignTask,
+    inline_fallback_count,
     resolve_jobs,
     run_anduril_many,
     run_baseline_many,
@@ -23,6 +24,7 @@ __all__ = [
     "CampaignTask",
     "StrategyOutcome",
     "format_table",
+    "inline_fallback_count",
     "record_outcome",
     "resolve_jobs",
     "run_anduril",

@@ -12,6 +12,7 @@ from typing import Optional
 
 from ..baselines import ALL_STRATEGIES, StrategyRunner
 from ..failures.case import FailureCase
+from ..obs import TraceRecorder
 
 
 @dataclasses.dataclass
@@ -23,6 +24,8 @@ class AndurilOutcome:
     prepare_seconds: float
     rank_trajectory: list[tuple[int, int]]
     median_requests: int
+    #: Mean FIR decision latency in µs, reported by the ``repro.obs``
+    #: metrics layer; 0.0 unless the run was profiled (see ``profile``).
     mean_decision_us: float
     median_init_ms: float
     median_workload_ms: float
@@ -30,6 +33,8 @@ class AndurilOutcome:
     jobs: int = 1
     speculation_hit_rate: float = 0.0
     worker_utilization: float = 0.0
+    #: Flat ``repro.obs`` metrics dict (empty unless profiled).
+    metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -64,22 +69,37 @@ def run_anduril(
     max_rounds: int = 600,
     max_seconds: Optional[float] = 60.0,
     jobs: int = 1,
+    profile: bool = False,
     **overrides,
 ) -> AndurilOutcome:
+    """Run the feedback-driven search on one case under the table budgets.
+
+    ``profile=True`` attaches a ``repro.obs`` recorder: FIR decision
+    timing is sampled, per-round spans and rerank events are captured,
+    and the flat metrics dict lands in :attr:`AndurilOutcome.metrics`.
+    The search outcome itself is invariant in ``profile``.
+    """
+    recorder = TraceRecorder() if profile else None
     explorer = case.explorer(
-        max_rounds=max_rounds, max_seconds=max_seconds, jobs=jobs, **overrides
+        max_rounds=max_rounds,
+        max_seconds=max_seconds,
+        jobs=jobs,
+        recorder=recorder,
+        **overrides,
     )
     prepared = explorer.prepare()
     result = explorer.explore()
     records = result.round_records
     requests = [r.injection_requests for r in records] or [0]
-    decisions = [
-        r.decision_seconds / r.injection_requests
-        for r in records
-        if r.injection_requests
-    ] or [0.0]
     inits = [r.init_seconds for r in records] or [0.0]
     workloads = [r.workload_seconds for r in records] or [0.0]
+    metrics = recorder.metrics() if recorder is not None else {}
+    decision_requests = metrics.get("fir.requests", 0.0)
+    mean_decision_us = (
+        metrics.get("fir.decision_seconds", 0.0) / decision_requests * 1e6
+        if decision_requests
+        else 0.0
+    )
     return AndurilOutcome(
         case_id=case.case_id,
         success=result.success,
@@ -88,12 +108,13 @@ def run_anduril(
         prepare_seconds=prepared.prepare_seconds,
         rank_trajectory=result.rank_trajectory,
         median_requests=int(statistics.median(requests)),
-        mean_decision_us=statistics.mean(decisions) * 1e6,
+        mean_decision_us=mean_decision_us,
         median_init_ms=statistics.median(inits) * 1e3,
         median_workload_ms=statistics.median(workloads) * 1e3,
         jobs=result.jobs,
         speculation_hit_rate=result.speculation_hit_rate,
         worker_utilization=result.worker_utilization,
+        metrics=metrics,
     )
 
 

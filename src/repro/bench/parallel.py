@@ -17,11 +17,22 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Optional, Sequence
 
 from ..core.speculate import default_jobs
+from ..obs import metrics as obs_metrics
 from .harness import AndurilOutcome, StrategyOutcome, run_anduril, run_baseline
+
+#: ``repro.obs.metrics`` counter bumped once per campaign cell that had
+#: to be re-run inline because its worker failed (see :func:`run_tasks`).
+INLINE_FALLBACK_COUNTER = "campaign.inline_fallbacks"
+
+
+def inline_fallback_count() -> int:
+    """Campaign cells this process re-ran inline after worker failures."""
+    return int(obs_metrics.get(INLINE_FALLBACK_COUNTER))
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -77,8 +88,11 @@ def run_tasks(
 
     Results come back in task order (deterministic regardless of worker
     count or completion order).  Any task whose worker fails — an
-    interpreter crash, a serialization problem — is transparently re-run
-    inline, so a campaign never loses cells to pool breakage.
+    interpreter crash, a serialization problem — is re-run inline; the
+    degradation is *not* silent: each fallback emits a ``RuntimeWarning``
+    naming the task and the worker's exception, and bumps the
+    ``campaign.inline_fallbacks`` counter in ``repro.obs.metrics`` so
+    campaign output can surface how much of the sweep was serialized.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -100,11 +114,27 @@ def run_tasks(
                         index = futures[future]
                         try:
                             results[index] = future.result()
-                        except Exception:
+                        except Exception as error:
                             failed.append(index)
-        except OSError:
+                            warnings.warn(
+                                f"campaign worker failed on {tasks[index]}: "
+                                f"{type(error).__name__}: {error}; re-running "
+                                f"the cell inline",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+        except OSError as error:
             # No subprocess support at all: fall back to a serial sweep.
             failed = [i for i, result in enumerate(results) if result is None]
+            warnings.warn(
+                f"campaign process pool unavailable "
+                f"({type(error).__name__}: {error}); running all "
+                f"{len(failed)} remaining cell(s) inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if failed:
+            obs_metrics.increment(INLINE_FALLBACK_COUNTER, len(failed))
         for index in failed:
             results[index] = execute_task(tasks[index])
     return results

@@ -14,6 +14,7 @@ import os
 import statistics
 from typing import Optional
 
+from ..obs import metrics as obs_metrics
 from .tables import OUT_DIR
 
 SCHEMA_VERSION = 1
@@ -23,11 +24,20 @@ _OUTCOMES: dict[str, dict] = {}
 
 def record_outcome(outcome) -> None:
     """Record one per-case ANDURIL outcome (latest write wins)."""
-    _OUTCOMES[outcome.case_id] = {
+    entry = {
         "success": bool(outcome.success),
         "rounds": int(outcome.rounds),
         "seconds": round(float(outcome.seconds), 6),
     }
+    # Profiled campaigns carry the flat repro.obs metrics dict; persist
+    # it alongside the gate fields (the regression gate ignores it).
+    case_metrics = getattr(outcome, "metrics", None)
+    if case_metrics:
+        entry["metrics"] = {
+            key: round(value, 9) if isinstance(value, float) else value
+            for key, value in sorted(case_metrics.items())
+        }
+    _OUTCOMES[outcome.case_id] = entry
 
 
 def clear() -> None:
@@ -46,7 +56,7 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
     )
     seconds = [entry["seconds"] for entry in ordered.values()]
     rounds = [entry["rounds"] for entry in ordered.values()]
-    return {
+    document = {
         "schema": SCHEMA_VERSION,
         "cases": ordered,
         "case_count": len(ordered),
@@ -55,6 +65,12 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
         "median_rounds": statistics.median(rounds) if rounds else 0,
         "total_seconds": round(sum(seconds), 6),
     }
+    counters = obs_metrics.snapshot()
+    if counters:
+        # Operational counters (e.g. campaign.inline_fallbacks) for
+        # post-hoc inspection; not part of the regression gate.
+        document["counters"] = {key: counters[key] for key in sorted(counters)}
+    return document
 
 
 def write_bench_summary(path: Optional[str] = None) -> str:

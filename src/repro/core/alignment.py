@@ -11,6 +11,7 @@ the corresponding failure-log interval.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Sequence
 
 
@@ -34,22 +35,35 @@ class TimelineMap:
                 continue
             cleaned.append((normal_index, failure_index))
         # Virtual anchors at both ends so every position is in an interval.
-        self._anchors = (
-            [(-1, -1)] + cleaned + [(max(normal_len, 1), max(failure_len, 1))]
-        )
+        # The end anchor must land strictly beyond the last real anchor,
+        # or the anchor list would not be monotone (anchors normally sit
+        # inside the logs, but nothing upstream guarantees it).
+        end = (max(normal_len, 1), max(failure_len, 1))
+        if cleaned:
+            end = (
+                max(end[0], cleaned[-1][0] + 1),
+                max(end[1], cleaned[-1][1] + 1),
+            )
+        self._anchors = [(-1, -1)] + cleaned + [end]
+        # Normal-axis positions are strictly increasing, so interval
+        # lookup is a bisect instead of a linear scan over the anchors.
+        self._normal_positions = [anchor[0] for anchor in self._anchors]
 
     def to_failure(self, normal_index: float) -> float:
         """Map a (possibly fractional) normal-log index to failure-log axis."""
         anchors = self._anchors
-        for left, right in zip(anchors, anchors[1:]):
-            if left[0] <= normal_index <= right[0]:
-                span_n = right[0] - left[0]
-                span_f = right[1] - left[1]
-                if span_n == 0:
-                    return float(left[1])
-                fraction = (normal_index - left[0]) / span_n
-                return left[1] + fraction * span_f
-        # Beyond the last anchor: extrapolate by offset.
+        interval = bisect_right(self._normal_positions, normal_index) - 1
+        if 0 <= interval < len(anchors) - 1:
+            left = anchors[interval]
+            right = anchors[interval + 1]
+            span_n = right[0] - left[0]
+            span_f = right[1] - left[1]
+            if span_n == 0:
+                return float(left[1])
+            fraction = (normal_index - left[0]) / span_n
+            return left[1] + fraction * span_f
+        # Beyond the anchor range: extrapolate by offset from the last
+        # anchor (matching the historical linear-scan fallthrough).
         last = anchors[-1]
         return last[1] + (normal_index - last[0])
 

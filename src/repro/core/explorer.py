@@ -25,8 +25,9 @@ from ..analysis.causal import CausalGraphBuilder, DistanceIndex
 from ..analysis.lint import run_lint
 from ..analysis.model import CausalGraph, graph_fault_candidates
 from ..analysis.system_model import SystemModel, analyze_package
-from ..injection.fir import InjectionPlan
+from ..injection.fir import InjectionPlan, dedupe_instances
 from ..injection.sites import FaultInstance
+from ..obs import NULL_RECORDER, WALL
 from ..logs.diff import LogComparator
 from ..logs.record import LogFile
 from ..sim.cluster import RunResult, WorkloadFn, execute_workload
@@ -161,6 +162,7 @@ class Explorer:
         lint_prior: bool = False,
         lint_bonus: float = 2.0,
         jobs: int = 1,
+        recorder=None,
     ) -> None:
         if runs_per_round < 1:
             raise ValueError("runs_per_round must be at least 1")
@@ -203,15 +205,39 @@ class Explorer:
         #: search outcome is invariant in ``jobs`` (see §determinism in
         #: DESIGN.md) — only wall-clock time changes.
         self.jobs = default_jobs() if not jobs or jobs < 1 else int(jobs)
+        #: ``repro.obs`` recorder.  Default off: the NULL_RECORDER no-op
+        #: path records nothing, samples no clocks, and leaves the search
+        #: byte-identical to an untraced one (see the equivalence tests).
+        self._obs = recorder if recorder is not None else NULL_RECORDER
         self._prepared: Optional[PreparedSearch] = None
         self._trace_order: dict[tuple[str, int], int] = {}
 
     # ----------------------------------------------------------------- prepare
 
+    def _run_inline(self, seed: int, plan: Optional[InjectionPlan]) -> RunResult:
+        """One inline workload run; recorder attached only when tracing.
+
+        The ``recorder`` kwarg is passed only on the traced path so test
+        doubles of ``execute_workload`` (and the untraced hot path) keep
+        their historical signature.
+        """
+        if self._obs.enabled:
+            return execute_workload(
+                self.workload,
+                horizon=self.horizon,
+                seed=seed,
+                plan=plan,
+                recorder=self._obs,
+            )
+        return execute_workload(
+            self.workload, horizon=self.horizon, seed=seed, plan=plan
+        )
+
     def prepare(self) -> PreparedSearch:
         """Steps 1–2: probe run, observables, causal graph, priorities."""
         if self._prepared is not None:
             return self._prepared
+        obs = self._obs
         started = time.perf_counter()
         matcher = self.model.template_matcher()
         comparator = LogComparator(matcher)
@@ -224,9 +250,7 @@ class Explorer:
             if self.base_faults
             else None
         )
-        normal_run = execute_workload(
-            self.workload, horizon=self.horizon, seed=self.seed, plan=probe_plan
-        )
+        normal_run = self._run_inline(self.seed, probe_plan)
         normal_log = normal_run.log
 
         observables = ObservableSet(
@@ -234,6 +258,7 @@ class Explorer:
             self.failure_log,
             adjustment=self.adjustment,
             known_template_ids={t.template_id for t in matcher.templates},
+            recorder=obs,
         )
         initial_compare = observables.initialize(normal_log)
 
@@ -268,6 +293,16 @@ class Explorer:
             (event.site_id, event.occurrence): position
             for position, event in enumerate(normal_run.trace)
         }
+        prepare_seconds = time.perf_counter() - started
+        obs.add_span(
+            "prepare",
+            "explorer",
+            clock=WALL,
+            start=obs.rel(started),
+            duration=prepare_seconds,
+            observables=len(observables),
+            candidates=pool.candidate_count,
+        )
         self._prepared = PreparedSearch(
             model=self.model,
             graph=graph,
@@ -276,7 +311,7 @@ class Explorer:
             pool=pool,
             normal_log=normal_log,
             normal_run=normal_run,
-            prepare_seconds=time.perf_counter() - started,
+            prepare_seconds=prepare_seconds,
         )
         return self._prepared
 
@@ -306,6 +341,7 @@ class Explorer:
         prepared = self.prepare()
         pool = prepared.pool
         observables = prepared.observables
+        obs = self._obs
         records: list[RoundRecord] = []
         window_size = self.initial_window
 
@@ -319,20 +355,61 @@ class Explorer:
                 )
             init_started = time.perf_counter()
             window = pool.window(window_size)
+            rerank_started = time.perf_counter()
             rank = (
                 pool.rank_of_site(self.ground_truth_site)
                 if self.ground_truth_site
                 else None
             )
             init_seconds = time.perf_counter() - init_started
+            if obs.enabled:
+                obs.add_span(
+                    "round.prepare",
+                    "explorer",
+                    clock=WALL,
+                    start=obs.rel(init_started),
+                    duration=rerank_started - init_started,
+                    round=round_number,
+                    window=len(window),
+                )
+                obs.add_span(
+                    "round.rerank",
+                    "explorer",
+                    clock=WALL,
+                    start=obs.rel(rerank_started),
+                    duration=init_started + init_seconds - rerank_started,
+                    round=round_number,
+                )
+                # The per-round Figure 6 sample: where the ground-truth
+                # site sits in the ranking, and what the window offered.
+                obs.event(
+                    "explorer.rerank",
+                    "explorer",
+                    round=round_number,
+                    rank=rank,
+                    window_size=len(window),
+                    top=[
+                        [
+                            entry.instance.site_id,
+                            entry.instance.exception,
+                            entry.instance.occurrence,
+                            entry.site_priority,
+                        ]
+                        for entry in window[:10]
+                    ],
+                )
             if not window:
                 return self._finish(
                     False, records, started, engine, message="fault space exhausted"
                 )
 
             run_seed = self.seed + round_number if self.vary_seed else self.seed
+            # Distinct candidates can offer the same (site, occurrence)
+            # under different exceptions; only the highest-priority one is
+            # armable in a single-shot window (the plan rejects the rest).
             plan = InjectionPlan.of(
-                [entry.instance for entry in window], always=self.base_faults
+                dedupe_instances(entry.instance for entry in window),
+                always=self.base_faults,
             )
             workload_started = time.perf_counter()
             spec_hit = False
@@ -346,9 +423,7 @@ class Explorer:
                 )
                 result, spec_hit = engine.run(run_seed, plan)
             else:
-                result = execute_workload(
-                    self.workload, horizon=self.horizon, seed=run_seed, plan=plan
-                )
+                result = self._run_inline(run_seed, plan)
             # §6: retry the round under perturbed seeds when nothing in the
             # window occurred (only useful in nondeterministic setups).
             sub_run = 0
@@ -361,11 +436,21 @@ class Explorer:
                 if engine is not None:
                     result, _ = engine.run(run_seed, plan)
                 else:
-                    result = execute_workload(
-                        self.workload, horizon=self.horizon, seed=run_seed, plan=plan
-                    )
+                    result = self._run_inline(run_seed, plan)
             workload_seconds = time.perf_counter() - workload_started
+            if obs.enabled:
+                obs.add_span(
+                    "round.run",
+                    "explorer",
+                    clock=WALL,
+                    start=obs.rel(workload_started),
+                    duration=workload_seconds,
+                    round=round_number,
+                    seed=run_seed,
+                    speculative_hit=spec_hit,
+                )
 
+            feedback_started = time.perf_counter()
             satisfied = False
             present_count = 0
             injected = result.injected_instance
@@ -380,6 +465,18 @@ class Explorer:
                 window_size = self.initial_window
             else:
                 window_size = min(window_size * 2, max(pool.candidate_count, 1))
+            if obs.enabled:
+                obs.add_span(
+                    "round.feedback",
+                    "explorer",
+                    clock=WALL,
+                    start=obs.rel(feedback_started),
+                    duration=time.perf_counter() - feedback_started,
+                    round=round_number,
+                    injected=str(injected) if injected is not None else None,
+                    satisfied=satisfied,
+                    present_observables=present_count,
+                )
 
             records.append(
                 RoundRecord(
@@ -478,8 +575,10 @@ class Explorer:
                 seed = (
                     self.seed + future_round if self.vary_seed else self.seed
                 )
+                # Mirror the committed round's dedup exactly: speculative
+                # cache keys must match the plans _explore will build.
                 plan = InjectionPlan.of(
-                    [entry.instance for entry in next_window],
+                    dedupe_instances(entry.instance for entry in next_window),
                     always=self.base_faults,
                 )
                 predictions.append((seed, plan))

@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..logs.diff import CompareResult, LogComparator
 from ..logs.record import LogFile
+from ..obs import NULL_RECORDER
 
 
 @dataclasses.dataclass
@@ -36,6 +37,7 @@ class ObservableSet:
         failure_log: LogFile,
         adjustment: int = 1,
         known_template_ids: Optional[set[str]] = None,
+        recorder=None,
     ) -> None:
         self._comparator = comparator
         self._failure_log = failure_log
@@ -43,6 +45,10 @@ class ObservableSet:
         self._known = known_template_ids or set()
         self._observables: dict[str, Observable] = {}
         self.rounds_applied = 0
+        #: Bumped on every priority adjustment; consumers (the priority
+        #: pool's site-ranking cache) invalidate when it moves.
+        self.version = 0
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
 
     # ----------------------------------------------------------------- set up
 
@@ -90,6 +96,23 @@ class ObservableSet:
 
     # --------------------------------------------------------------- feedback
 
+    def adjust(self, key: str, delta: int) -> None:
+        """Shift one observable's ``I_k`` by ``delta`` (the only mutation
+        path — it bumps :attr:`version` and records the old/new values)."""
+        observable = self._observables[key]
+        old = observable.priority
+        observable.priority = old + delta
+        self.version += 1
+        recorder = self._recorder
+        if recorder.enabled:
+            recorder.event(
+                "observable.adjust",
+                "feedback",
+                key=key,
+                old=old,
+                new=observable.priority,
+            )
+
     def apply_feedback(self, run_log: LogFile) -> set[str]:
         """Algorithm 2: deprioritize observables present in the failed run.
 
@@ -100,7 +123,7 @@ class ObservableSet:
         comparison = self._comparator.compare(run_log, self._failure_log)
         missing = comparison.failure_only_keys()
         present = self.keys() - missing
-        for key in present:
-            self._observables[key].priority += self._adjustment
+        for key in sorted(present):
+            self.adjust(key, self._adjustment)
         self.rounds_applied += 1
         return present

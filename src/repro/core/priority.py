@@ -146,6 +146,23 @@ class FaultPriorityPool:
                 CandidateState(info=info, reachable=reachable, instances=instances)
             )
 
+        # Exact-match index for mark_tried: a fired instance identifies
+        # its candidate by (site_id, exception), so there is no need to
+        # scan every candidate per fired instance.
+        self._candidates_by_key: dict[tuple[str, str], list[CandidateState]] = {}
+        for candidate in self._candidates:
+            self._candidates_by_key.setdefault(
+                (candidate.site_id, candidate.exception), []
+            ).append(candidate)
+
+        # site_ranking() cache: site priorities depend only on observable
+        # priorities (plus static distances and the lint prior), so the
+        # ranking is recomputed only when the observable set's version
+        # moves — not on every per-round rank_of_site query.
+        self._ranking_version: Optional[int] = None
+        self._ranking: list[str] = []
+        self._rank_by_site: dict[str, int] = {}
+
     # ------------------------------------------------------------------ sizing
 
     @property
@@ -225,12 +242,10 @@ class FaultPriorityPool:
         return self.ranked_entries()[: max(size, 0)]
 
     def mark_tried(self, instance: FaultInstance) -> None:
-        for candidate in self._candidates:
-            if (
-                candidate.site_id == instance.site_id
-                and candidate.exception == instance.exception
-            ):
-                candidate.tried.add(instance.occurrence)
+        for candidate in self._candidates_by_key.get(
+            (instance.site_id, instance.exception), ()
+        ):
+            candidate.tried.add(instance.occurrence)
 
     # -------------------------------------------------------------- speculation
 
@@ -256,7 +271,28 @@ class FaultPriorityPool:
     # ------------------------------------------------------------------- ranks
 
     def site_ranking(self) -> list[str]:
-        """Distinct site ids ordered by their best candidate priority."""
+        """Distinct site ids ordered by their best candidate priority.
+
+        The result is cached against the observable set's version and
+        must not be mutated by callers.  Anything that changes priorities
+        outside :meth:`ObservableSet.adjust` (tests poking ``priority``
+        directly) must call :meth:`invalidate_ranking`.
+        """
+        version = self._observables.version
+        if version != self._ranking_version:
+            self._ranking = self._compute_site_ranking()
+            self._rank_by_site = {
+                site_id: position + 1
+                for position, site_id in enumerate(self._ranking)
+            }
+            self._ranking_version = version
+        return self._ranking
+
+    def invalidate_ranking(self) -> None:
+        """Drop the cached site ranking (next query recomputes it)."""
+        self._ranking_version = None
+
+    def _compute_site_ranking(self) -> list[str]:
         best_by_site: dict[str, float] = {}
         for candidate in self._candidates:
             priority, _ = self.site_priority(candidate)
@@ -268,8 +304,5 @@ class FaultPriorityPool:
 
     def rank_of_site(self, site_id: str) -> Optional[int]:
         """1-based rank of a site in the current ordering (Figure 6)."""
-        ranking = self.site_ranking()
-        try:
-            return ranking.index(site_id) + 1
-        except ValueError:
-            return None
+        self.site_ranking()
+        return self._rank_by_site.get(site_id)

@@ -20,7 +20,29 @@ import dataclasses
 import time
 from typing import Callable, Iterable, Optional
 
+from ..obs import VIRTUAL
 from .sites import FaultInstance, SiteRef
+
+
+def dedupe_instances(instances: Iterable[FaultInstance]) -> list[FaultInstance]:
+    """Drop instances whose ``(site_id, occurrence)`` was already seen.
+
+    A plan's single-shot window keys instances by ``(site_id,
+    occurrence)``, so two entries that differ only by exception cannot
+    coexist — :class:`InjectionPlan` rejects them.  Window assembly
+    filters with this helper instead, keeping the *first* (i.e. highest
+    priority) entry per key; the shadowed candidate stays untried and
+    gets its own round later.
+    """
+    seen: set[tuple[str, int]] = set()
+    unique: list[FaultInstance] = []
+    for instance in instances:
+        key = (instance.site_id, instance.occurrence)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(instance)
+    return unique
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,12 +70,32 @@ class InjectionPlan:
     always: list[FaultInstance] = dataclasses.field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self._by_key: dict[tuple[str, int], FaultInstance] = {
-            (inst.site_id, inst.occurrence): inst for inst in self.instances
-        }
-        self._always_by_key: dict[tuple[str, int], FaultInstance] = {
-            (inst.site_id, inst.occurrence): inst for inst in self.always
-        }
+        self._by_key = self._index("instances", self.instances)
+        self._always_by_key = self._index("always", self.always)
+
+    @staticmethod
+    def _index(
+        label: str, instances: list[FaultInstance]
+    ) -> dict[tuple[str, int], FaultInstance]:
+        """Key instances by ``(site_id, occurrence)``, rejecting collisions.
+
+        Silently collapsing duplicates would make every entry but the
+        last uninjectable; callers assembling windows from ranked
+        candidates must filter with :func:`dedupe_instances` first.
+        """
+        by_key: dict[tuple[str, int], FaultInstance] = {}
+        for inst in instances:
+            key = (inst.site_id, inst.occurrence)
+            previous = by_key.get(key)
+            if previous is not None:
+                raise ValueError(
+                    f"duplicate {label} instance for site {inst.site_id} "
+                    f"occurrence {inst.occurrence}: {previous.exception} vs "
+                    f"{inst.exception} (dedupe the window before building "
+                    f"the plan)"
+                )
+            by_key[key] = inst
+        return by_key
 
     def match(self, site_id: str, occurrence: int) -> Optional[FaultInstance]:
         return self._by_key.get((site_id, occurrence))
@@ -143,6 +185,9 @@ class FIR:
         self.always_fired: list[FaultInstance] = []
         self.request_count = 0
         self.decision_seconds = 0.0
+        #: ``repro.obs`` recorder; ``None`` keeps the hot path free of
+        #: timing calls and event allocations (profiling off).
+        self.recorder = None
         self._log_index_fn: Callable[[], int] = lambda: 0
         self._clock: Callable[[], float] = lambda: 0.0
 
@@ -161,8 +206,15 @@ class FIR:
         self.always_fired = []
 
     def on_site(self, site: SiteRef) -> None:
-        """Trace this execution of ``site`` and inject if the plan says so."""
-        started = time.perf_counter()
+        """Trace this execution of ``site`` and inject if the plan says so.
+
+        Decision timing is sampled only when a ``repro.obs`` recorder is
+        attached (profiling): the default path pays no ``perf_counter``
+        calls, which matters at millions of site executions per campaign
+        and keeps timing noise out of outcome comparisons.
+        """
+        recorder = self.recorder
+        started = time.perf_counter() if recorder is not None else 0.0
         site_id = site.site_id
         occurrence = self.counts.get(site_id, 0) + 1
         self.counts[site_id] = occurrence
@@ -184,7 +236,8 @@ class FIR:
                 is_base_fault = True
             elif self.fired is None:
                 instance = self.plan.match(site_id, occurrence)
-        self.decision_seconds += time.perf_counter() - started
+        if recorder is not None:
+            self.decision_seconds += time.perf_counter() - started
         if instance is not None:
             # Imported lazily: repro.sim imports this module at package
             # init time, so a top-level import would be circular.
@@ -194,6 +247,18 @@ class FIR:
                 self.always_fired.append(instance)
             else:
                 self.fired = instance
+            if recorder is not None:
+                recorder.event(
+                    "fir.inject",
+                    "fir",
+                    clock=VIRTUAL,
+                    ts=self._clock(),
+                    site=site_id,
+                    occurrence=occurrence,
+                    exception=instance.exception,
+                    base_fault=is_base_fault,
+                    log_index=self._log_index_fn(),
+                )
             exc = exception_from_name(
                 instance.exception,
                 f"injected {instance.exception} at {site_id} (occurrence "

@@ -1,0 +1,28 @@
+"""``repro.obs`` — run-level tracing and metrics.
+
+This package is imported by the simulator, the FIR, the Explorer, and
+the bench harness, so it must stay dependency-free within ``repro``
+(it imports nothing from sibling packages).
+"""
+
+from . import metrics
+from .trace import (
+    NULL_RECORDER,
+    VIRTUAL,
+    WALL,
+    Event,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+)
+
+__all__ = [
+    "Event",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "TraceRecorder",
+    "VIRTUAL",
+    "WALL",
+    "metrics",
+]

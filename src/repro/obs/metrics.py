@@ -1,0 +1,33 @@
+"""Process-wide operational counters.
+
+A tiny metrics registry for infrastructure-level signals that do not
+belong to any single run's :class:`~repro.obs.trace.TraceRecorder` —
+e.g. how often the campaign process pool degraded to inline execution.
+Counters are process-local (worker processes have their own registry;
+anything a worker counts stays in the worker) and cheap enough to bump
+unconditionally.
+"""
+
+from __future__ import annotations
+
+_counters: dict[str, float] = {}
+
+
+def increment(name: str, delta: float = 1.0) -> float:
+    """Add ``delta`` to counter ``name`` and return the new value."""
+    value = _counters.get(name, 0.0) + delta
+    _counters[name] = value
+    return value
+
+
+def get(name: str) -> float:
+    return _counters.get(name, 0.0)
+
+
+def snapshot() -> dict[str, float]:
+    """A copy of all counters (for summaries and tests)."""
+    return dict(_counters)
+
+
+def reset() -> None:
+    _counters.clear()

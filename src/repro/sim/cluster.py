@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, Optional
 
 from ..injection.fir import FIR, InjectionPlan, TraceEvent
 from ..logs.record import LogFile
+from ..obs import VIRTUAL
 from .env import Env
 from .network import Network
 from .scheduler import Simulator, Task, TaskState
@@ -68,6 +69,7 @@ class Cluster:
     """One simulated deployment plus its observation and injection plumbing."""
 
     def __init__(self, seed: int = 0, fir: Optional[FIR] = None) -> None:
+        self.seed = seed
         self.sim = Simulator(seed)
         self.collector = LogCollector()
         self.net = Network(self.sim)
@@ -119,6 +121,26 @@ class Cluster:
     def run(self, horizon: float) -> RunResult:
         """Run to the horizon and summarize."""
         self.sim.run(until=horizon)
+        recorder = self.fir.recorder
+        if recorder is not None and recorder.enabled:
+            # The whole run is one virtual-clock span (deterministic per
+            # (seed, plan)); scheduler/network/FIR totals become counters.
+            recorder.add_span(
+                "workload.run",
+                "sim",
+                clock=VIRTUAL,
+                start=0.0,
+                duration=self.sim.now,
+                seed=self.seed,
+            )
+            recorder.count("runs", 1)
+            recorder.count("sim.events_executed", self.sim.events_executed)
+            recorder.count("sim.virtual_seconds", self.sim.now)
+            recorder.count("net.messages_sent", self.net.sent_count)
+            recorder.count("net.messages_delivered", self.net.delivered_count)
+            recorder.count("fir.requests", self.fir.request_count)
+            recorder.count("fir.decision_seconds", self.fir.decision_seconds)
+            recorder.count("log.records", len(self.collector))
         stuck = [
             self._summarize(task)
             for task in self.sim.tasks
@@ -171,10 +193,19 @@ def execute_workload(
     seed: int = 0,
     plan: Optional[InjectionPlan] = None,
     tracing: bool = True,
+    recorder=None,
 ) -> RunResult:
-    """Run ``workload`` in a fresh cluster with an optional injection plan."""
+    """Run ``workload`` in a fresh cluster with an optional injection plan.
+
+    ``recorder`` (a ``repro.obs.TraceRecorder``) enables run-level
+    profiling: FIR decision timing, injection-decision events, and the
+    scheduler/network counters.  ``None`` (the default) keeps the run on
+    the timing-free path.
+    """
     cluster = Cluster(seed=seed)
     cluster.fir.tracing = tracing
+    if recorder is not None and recorder.enabled:
+        cluster.fir.recorder = recorder
     cluster.fir.set_plan(plan)
     workload(cluster)
     return cluster.run(horizon)

@@ -40,6 +40,9 @@ class Network:
         self._inboxes: dict[str, Queue] = {}
         self._partitioned: set[tuple[str, str]] = set()
         self.sent_count = 0
+        #: Messages that actually reached an inbox after the link latency
+        #: (a send counts as delivered only when its delayed callback ran).
+        self.delivered_count = 0
 
     def register(self, name: str) -> Queue:
         """Create (or return) the inbox for endpoint ``name``."""
@@ -75,7 +78,9 @@ class Network:
         if inbox is None:
             raise ConnectException(f"connection refused by {message.dst}")
         self.sent_count += 1
-        self._sim.call_at(
-            self._sim.now + self._latency,
-            lambda: inbox.put_nowait(message),
-        )
+
+        def deliver() -> None:
+            self.delivered_count += 1
+            inbox.put_nowait(message)
+
+        self._sim.call_at(self._sim.now + self._latency, deliver)

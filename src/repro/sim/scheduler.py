@@ -139,6 +139,9 @@ class Simulator:
         self.random = random.Random(seed)
         self.current_task: Optional[Task] = None
         self.tasks: list[Task] = []
+        #: Scheduler events popped off the heap (a run-level counter the
+        #: ``repro.obs`` layer reports; deterministic per ``(seed, plan)``).
+        self.events_executed = 0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._crash_handlers: list[Callable[[Task], None]] = []
@@ -208,6 +211,7 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             self.now = max(self.now, when)
+            self.events_executed += 1
             fn()
         self.now = max(self.now, until)
 

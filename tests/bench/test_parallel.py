@@ -2,7 +2,11 @@
 
 import json
 
+import pytest
+
 from repro.bench import parallel, summary
+from repro.bench.parallel import INLINE_FALLBACK_COUNTER, inline_fallback_count
+from repro.obs import metrics as obs_metrics
 from repro.bench.parallel import (
     CampaignTask,
     execute_task,
@@ -71,19 +75,71 @@ class TestRunTasksOrdering:
         ]
 
     def test_worker_failure_falls_back_inline(self, monkeypatch):
-        calls = {"n": 0}
-
         class ExplodingPool:
             def __init__(self, *args, **kwargs):
                 raise OSError("no subprocesses here")
 
         monkeypatch.setattr(parallel, "ProcessPoolExecutor", ExplodingPool)
-        outcomes = run_anduril_many(self.CASES, jobs=4, max_rounds=50)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            outcomes = run_anduril_many(self.CASES, jobs=4, max_rounds=50)
         assert campaign_signature(outcomes) == [
             ("f1", True, 1),
             ("f3", True, 1),
             ("f13", True, 1),
         ]
+
+    def test_worker_failure_is_not_silent(self, monkeypatch):
+        """A dying worker warns (naming the task and error) and counts."""
+
+        class DoomedFuture:
+            def result(self):
+                raise RuntimeError("worker exploded")
+
+        class DoomedPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, task):
+                return DoomedFuture()
+
+        def fake_wait(pending, return_when=None):
+            return set(pending), set()
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", DoomedPool)
+        monkeypatch.setattr(parallel, "wait", fake_wait)
+        obs_metrics.reset()
+        try:
+            with pytest.warns(RuntimeWarning) as warned:
+                outcomes = run_anduril_many(self.CASES, jobs=4, max_rounds=50)
+            # Every cell fell back inline, and still produced its result.
+            assert campaign_signature(outcomes) == [
+                ("f1", True, 1),
+                ("f3", True, 1),
+                ("f13", True, 1),
+            ]
+            assert inline_fallback_count() == len(self.CASES)
+            messages = [str(w.message) for w in warned]
+            per_task = [m for m in messages if "worker failed" in m]
+            assert len(per_task) == len(self.CASES)
+            assert any("f3" in m for m in per_task)
+            assert all("RuntimeError: worker exploded" in m for m in per_task)
+        finally:
+            obs_metrics.reset()
+
+    def test_fallback_counter_absent_on_clean_runs(self):
+        obs_metrics.reset()
+        try:
+            run_anduril_many(self.CASES[:1], jobs=1, max_rounds=50)
+            assert inline_fallback_count() == 0
+            assert INLINE_FALLBACK_COUNTER not in obs_metrics.snapshot()
+        finally:
+            obs_metrics.reset()
 
 
 class TestCompareCampaign:

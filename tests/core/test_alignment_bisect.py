@@ -1,0 +1,90 @@
+"""Property test: the bisect interval lookup in ``TimelineMap.to_failure``
+is exactly equivalent to the linear anchor scan it replaced.
+
+The reference below reimplements the historical linear scan (first
+interval whose bounds bracket the query, else extrapolate past the last
+anchor).  Anchors are integers, so the boundary arithmetic is exact and
+the two implementations must agree bit-for-bit — including on queries
+sitting exactly on an anchor, before the first anchor, and past the end.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import TimelineMap
+
+
+def linear_to_failure(timeline: TimelineMap, normal_index: float) -> float:
+    """The pre-bisect reference implementation over the same anchors."""
+    anchors = timeline._anchors
+    for i in range(len(anchors) - 1):
+        left = anchors[i]
+        right = anchors[i + 1]
+        if left[0] <= normal_index < right[0]:
+            span_n = right[0] - left[0]
+            span_f = right[1] - left[1]
+            if span_n == 0:
+                return float(left[1])
+            fraction = (normal_index - left[0]) / span_n
+            return left[1] + fraction * span_f
+    last = anchors[-1]
+    return last[1] + (normal_index - last[0])
+
+
+anchor_lists = st.lists(
+    st.tuples(st.integers(0, 80), st.integers(0, 80)), max_size=12
+)
+lengths = st.integers(1, 100)
+
+
+@given(
+    anchors=anchor_lists,
+    normal_len=lengths,
+    failure_len=lengths,
+    position=st.integers(-5, 120),
+)
+@settings(max_examples=300)
+def test_bisect_matches_linear_scan_on_integers(
+    anchors, normal_len, failure_len, position
+):
+    timeline = TimelineMap(anchors, normal_len, failure_len)
+    assert timeline.to_failure(position) == linear_to_failure(
+        timeline, position
+    )
+
+
+@given(
+    anchors=anchor_lists,
+    normal_len=lengths,
+    failure_len=lengths,
+    position=st.floats(-5.0, 120.0, allow_nan=False),
+)
+@settings(max_examples=300)
+def test_bisect_matches_linear_scan_on_floats(
+    anchors, normal_len, failure_len, position
+):
+    timeline = TimelineMap(anchors, normal_len, failure_len)
+    assert timeline.to_failure(position) == linear_to_failure(
+        timeline, position
+    )
+
+
+@given(anchors=anchor_lists, position=st.floats(0, 100, allow_nan=False))
+@settings(max_examples=200)
+def test_monotone_in_position(anchors, position):
+    timeline = TimelineMap(anchors, 100, 100)
+    assert timeline.to_failure(position + 0.5) >= (
+        timeline.to_failure(position) - 1e-9
+    )
+
+
+def test_query_exactly_on_anchor():
+    timeline = TimelineMap([(3, 7), (6, 20)], 10, 25)
+    assert timeline.to_failure(3) == 7.0
+    assert timeline.to_failure(6) == 20.0
+
+
+def test_query_before_first_real_anchor_uses_virtual_start():
+    timeline = TimelineMap([(5, 9)], 10, 12)
+    # Interval (-1,-1) .. (5,9): position 2 maps halfway.
+    assert timeline.to_failure(2) == -1 + (3 / 6) * 10

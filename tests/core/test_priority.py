@@ -200,6 +200,39 @@ class TestWindowAndRanks:
         assert pool.rank_of_site("s2") == 3
         assert pool.rank_of_site("missing") is None
 
+    def test_rank_cache_tracks_observable_feedback(self):
+        pool, observables = self._pool()
+        assert pool.rank_of_site("s1") == 1
+        # Deprioritize o1 through the versioned mutation path: s1 and s2
+        # both chase o1, so s3 (chasing o2) overtakes them.
+        observables.adjust("o1", 10)
+        assert pool.rank_of_site("s3") == 1
+        assert pool.rank_of_site("s1") == 2
+        # The cached ranking matches a from-scratch recomputation.
+        assert pool.site_ranking() == pool._compute_site_ranking()
+
+    def test_rank_cache_reused_between_queries(self):
+        pool, _ = self._pool()
+        first = pool.site_ranking()
+        assert pool.site_ranking() is first  # same list object: cache hit
+
+    def test_invalidate_ranking_covers_direct_mutation(self):
+        pool, observables = self._pool()
+        assert pool.rank_of_site("s1") == 1
+        # Direct pokes bypass the version counter; the escape hatch
+        # forces a recompute.
+        observables._observables["o1"].priority = 10
+        pool.invalidate_ranking()
+        assert pool.rank_of_site("s3") == 1
+
+    def test_apply_feedback_bumps_version(self):
+        _, observables = self._pool()
+        from repro.logs.record import LogFile
+
+        before = observables.version
+        observables.apply_feedback(LogFile())
+        assert observables.version > before
+
     def test_marks_exhaust_pool(self):
         pool, _ = self._pool()
         while True:

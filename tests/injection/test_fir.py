@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.injection.fir import FIR, InjectionPlan, is_injected
+from repro.injection.fir import FIR, InjectionPlan, dedupe_instances, is_injected
 from repro.injection.sites import (
     FaultCandidate,
     FaultInstance,
@@ -53,6 +53,71 @@ class TestInjectionPlan:
             ]
         )
         assert plan.match("b", 4).exception == "SocketException"
+
+    def test_duplicate_instance_key_rejected(self):
+        # Same (site, occurrence) with different exceptions: the old
+        # dict-backed lookup silently kept only the last one, making the
+        # first entry uninjectable.  Construction must fail instead.
+        with pytest.raises(ValueError, match="duplicate"):
+            InjectionPlan.of(
+                [
+                    FaultInstance("a", "IOException", 1),
+                    FaultInstance("a", "SocketException", 1),
+                ]
+            )
+
+    def test_duplicate_always_instance_rejected(self):
+        with pytest.raises(ValueError, match="duplicate always"):
+            InjectionPlan.of(
+                [FaultInstance("a", "IOException", 1)],
+                always=[
+                    FaultInstance("b", "IOException", 2),
+                    FaultInstance("b", "SocketException", 2),
+                ],
+            )
+
+    def test_same_site_different_occurrences_allowed(self):
+        plan = InjectionPlan.of(
+            [
+                FaultInstance("a", "IOException", 1),
+                FaultInstance("a", "IOException", 2),
+            ]
+        )
+        assert plan.match("a", 1) is not None
+        assert plan.match("a", 2) is not None
+
+
+class TestDedupeInstances:
+    def test_first_entry_wins(self):
+        # Windows are assembled highest-priority-first, so the kept
+        # duplicate must be the first one.
+        kept = dedupe_instances(
+            [
+                FaultInstance("a", "IOException", 1),
+                FaultInstance("a", "SocketException", 1),
+                FaultInstance("b", "IOException", 2),
+            ]
+        )
+        assert kept == [
+            FaultInstance("a", "IOException", 1),
+            FaultInstance("b", "IOException", 2),
+        ]
+
+    def test_no_duplicates_is_identity(self):
+        window = [
+            FaultInstance("a", "IOException", 1),
+            FaultInstance("a", "IOException", 2),
+            FaultInstance("b", "SocketException", 1),
+        ]
+        assert dedupe_instances(window) == window
+
+    def test_deduped_window_builds_a_plan(self):
+        window = [
+            FaultInstance("a", "IOException", 1),
+            FaultInstance("a", "SocketException", 1),
+        ]
+        plan = InjectionPlan.of(dedupe_instances(window))
+        assert plan.match("a", 1).exception == "IOException"
 
 
 class TestFir:
@@ -113,6 +178,32 @@ class TestFir:
         assert fir.request_count == 5
         assert fir.dynamic_instance_count() == 5
         assert fir.mean_decision_latency >= 0.0
+
+    def test_decision_timing_only_sampled_under_profiling(self):
+        from repro.obs import TraceRecorder
+
+        fir = self.make_fir()
+        fir.on_site(make_site())
+        assert fir.decision_seconds == 0.0  # hot path pays no clock reads
+        fir.recorder = TraceRecorder()
+        fir.on_site(make_site())
+        assert fir.decision_seconds > 0.0
+
+    def test_injection_decision_recorded_as_event(self):
+        from repro.obs import TraceRecorder
+
+        site = make_site()
+        plan = InjectionPlan.single(FaultInstance(site.site_id, "IOException", 1))
+        fir = self.make_fir(plan)
+        fir.recorder = recorder = TraceRecorder()
+        with pytest.raises(IOException):
+            fir.on_site(site)
+        (event,) = recorder.events
+        assert event.name == "fir.inject"
+        assert event.args["site"] == site.site_id
+        assert event.args["occurrence"] == 1
+        assert event.args["exception"] == "IOException"
+        assert event.time == 1.5  # virtual clock bound in make_fir
 
     def test_different_sites_count_independently(self):
         fir = self.make_fir()

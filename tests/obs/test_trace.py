@@ -1,0 +1,181 @@
+"""Unit tests for the run-level tracing layer (``repro.obs``)."""
+
+import json
+
+from repro.obs import (
+    NULL_RECORDER,
+    VIRTUAL,
+    WALL,
+    NullRecorder,
+    TraceRecorder,
+    metrics,
+)
+
+
+class TestTraceRecorder:
+    def test_span_context_manager_records_wall_span(self):
+        recorder = TraceRecorder()
+        with recorder.span("phase", "test", round=3):
+            pass
+        assert len(recorder.spans) == 1
+        span = recorder.spans[0]
+        assert span.name == "phase"
+        assert span.clock == WALL
+        assert span.duration >= 0.0
+        assert span.args == {"round": 3}
+
+    def test_add_span_virtual_clock(self):
+        recorder = TraceRecorder()
+        recorder.add_span(
+            "workload.run", "sim", clock=VIRTUAL, start=0.0, duration=12.5
+        )
+        span = recorder.spans[0]
+        assert span.clock == VIRTUAL
+        assert span.duration == 12.5
+
+    def test_event_defaults_to_wall_now(self):
+        recorder = TraceRecorder()
+        recorder.event("hello", "test", value=1)
+        event = recorder.events[0]
+        assert event.clock == WALL
+        assert event.time >= 0.0
+        assert event.args == {"value": 1}
+
+    def test_event_virtual_timestamp_passes_through(self):
+        recorder = TraceRecorder()
+        recorder.event("inject", "fir", clock=VIRTUAL, ts=7.25, site="s")
+        assert recorder.events[0].time == 7.25
+
+    def test_counters_accumulate(self):
+        recorder = TraceRecorder()
+        recorder.count("requests", 3)
+        recorder.count("requests", 2)
+        assert recorder.counters["requests"] == 5
+
+    def test_metrics_aggregates_spans_and_counters(self):
+        recorder = TraceRecorder()
+        recorder.count("runs", 2)
+        recorder.add_span("round.run", start=0.0, duration=0.5)
+        recorder.add_span("round.run", start=1.0, duration=0.25)
+        recorder.event("e")
+        out = recorder.metrics()
+        assert out["runs"] == 2
+        assert out["span.round.run.seconds"] == 0.75
+        assert out["span.round.run.count"] == 2
+        assert out["event_count"] == 1
+
+    def test_rel_converts_perf_counter_samples(self):
+        import time
+
+        recorder = TraceRecorder()
+        sample = time.perf_counter()
+        assert recorder.rel(sample) >= 0.0
+        assert recorder.rel(sample) <= recorder.wall_now()
+
+
+class TestChromeExport:
+    def _recorder(self):
+        recorder = TraceRecorder()
+        recorder.add_span("prepare", "explorer", start=0.0, duration=0.1)
+        recorder.add_span(
+            "workload.run", "sim", clock=VIRTUAL, start=0.0, duration=30.0
+        )
+        recorder.event("fir.inject", "fir", clock=VIRTUAL, ts=4.0, site="s1")
+        recorder.count("runs", 1)
+        return recorder
+
+    def test_document_shape(self):
+        doc = self._recorder().to_chrome()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        # The document must survive a JSON round trip.
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_clock_domains_map_to_process_lanes(self):
+        events = self._recorder().to_chrome()["traceEvents"]
+        lanes = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert lanes["host (wall clock)"] == 1
+        assert lanes["simulator (virtual clock)"] == 2
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert spans["prepare"]["pid"] == 1
+        assert spans["workload.run"]["pid"] == 2
+
+    def test_timestamps_are_microseconds(self):
+        events = self._recorder().to_chrome()["traceEvents"]
+        workload = next(e for e in events if e["name"] == "workload.run")
+        assert workload["dur"] == 30.0 * 1e6
+        inject = next(e for e in events if e["name"] == "fir.inject")
+        assert inject["ph"] == "i"
+        assert inject["ts"] == 4.0 * 1e6
+
+    def test_structured_json_export(self):
+        doc = self._recorder().to_json()
+        assert doc["schema"] == 1
+        assert len(doc["spans"]) == 2
+        assert len(doc["events"]) == 1
+        assert doc["metrics"]["runs"] == 1
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_text_export_mentions_counters_and_events(self):
+        text = self._recorder().to_text()
+        assert "runs" in text
+        assert "fir.inject" in text
+        assert "workload.run" in text
+
+    def test_non_jsonable_args_are_stringified(self):
+        recorder = TraceRecorder()
+        recorder.event("e", obj=object(), pair=(1, 2))
+        doc = recorder.to_chrome()
+        payload = json.dumps(doc)  # must not raise
+        assert "pair" in payload
+
+
+class TestNullRecorder:
+    def test_singleton_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_all_operations_are_noops(self):
+        NULL_RECORDER.add_span("s", start=0.0, duration=1.0)
+        NULL_RECORDER.event("e", value=1)
+        NULL_RECORDER.count("c", 5)
+        assert NULL_RECORDER.metrics() == {}
+        assert NULL_RECORDER.wall_now() == 0.0
+        assert NULL_RECORDER.rel(123.0) == 0.0
+
+    def test_span_reuses_one_shared_context(self):
+        first = NULL_RECORDER.span("a")
+        second = NULL_RECORDER.span("b", key="value")
+        assert first is second
+        with first:
+            pass
+
+
+class TestMetricsRegistry:
+    def test_increment_and_snapshot(self):
+        metrics.reset()
+        try:
+            metrics.increment("x")
+            metrics.increment("x", 2)
+            assert metrics.get("x") == 3
+            assert metrics.snapshot() == {"x": 3}
+        finally:
+            metrics.reset()
+
+    def test_missing_counter_reads_zero(self):
+        metrics.reset()
+        assert metrics.get("nope") == 0
+
+    def test_snapshot_is_a_copy(self):
+        metrics.reset()
+        try:
+            metrics.increment("y")
+            snap = metrics.snapshot()
+            snap["y"] = 99
+            assert metrics.get("y") == 1
+        finally:
+            metrics.reset()

@@ -5,12 +5,20 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.failures import all_cases
 
 
 def run_cli(capsys, *argv):
     code = main(list(argv))
     captured = capsys.readouterr()
     return code, captured.out
+
+
+def one_case_per_system():
+    chosen = {}
+    for case in all_cases():
+        chosen.setdefault(case.system, case)
+    return sorted(chosen.values(), key=lambda case: case.case_id)
 
 
 class TestList:
@@ -57,6 +65,75 @@ class TestReproduceAndReplay:
     def test_unknown_case_raises(self, capsys):
         with pytest.raises(KeyError):
             run_cli(capsys, "inspect", "f99")
+
+
+class TestTrace:
+    @pytest.mark.parametrize(
+        "case",
+        one_case_per_system(),
+        ids=lambda case: f"{case.case_id}-{case.system}",
+    )
+    def test_chrome_trace_carries_rank_trajectory(self, capsys, case):
+        """One case per mini system: the exported Chrome trace is valid
+        trace_event JSON whose per-round rerank events carry the
+        ground-truth site's rank (the Figure 6 trajectory)."""
+        code, out = run_cli(capsys, "trace", case.case_id)
+        assert code == 0
+        document = json.loads(out)
+        assert "traceEvents" in document
+        events = document["traceEvents"]
+        assert all({"name", "ph", "pid"} <= set(e) for e in events)
+        reranks = [e for e in events if e["name"] == "explorer.rerank"]
+        assert reranks, "every committed round emits a rerank event"
+        for event in reranks:
+            assert {"round", "rank", "window_size", "top"} <= set(
+                event["args"]
+            )
+        rounds = [e["args"]["round"] for e in reranks]
+        assert rounds == sorted(rounds)
+
+    def test_trace_writes_file(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys, "trace", "f1", "--out", str(out_path)
+        )
+        assert code == 0
+        assert out == ""  # the trace goes to the file, not stdout
+        document = json.loads(out_path.read_text())
+        assert any(
+            e["name"] == "workload.run" for e in document["traceEvents"]
+        )
+
+    def test_trace_json_format(self, capsys):
+        code, out = run_cli(capsys, "trace", "f1", "--format", "json")
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == 1
+        assert document["metrics"]["runs"] >= 1
+
+    def test_trace_text_format(self, capsys):
+        code, out = run_cli(capsys, "trace", "f1", "--format", "text")
+        assert code == 0
+        assert "== counters ==" in out
+        assert "fir.requests" in out
+
+
+class TestProfile:
+    def test_reproduce_profile_prints_metrics(self, capsys):
+        code = main(["reproduce", "f1", "--profile"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[profile]" in captured.err
+        assert "fir.requests" in captured.err
+        # The search itself is unchanged by profiling.
+        assert "reproduced in" in captured.out
+
+    def test_compare_profile_summarizes_decision_latency(self, capsys):
+        code = main(["compare", "f1", "--jobs", "1", "--profile"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "[profile f1:" in captured.err
+        assert "mean FIR decision" in captured.err
 
 
 class TestLint:
