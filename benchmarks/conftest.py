@@ -10,9 +10,10 @@ end for the CI regression gate.
 
 import pytest
 
-from repro.bench import run_anduril_many
+from repro.bench import resolve_jobs, run_anduril_many
 from repro.bench import summary as bench_summary
-from repro.failures import all_cases
+from repro.failures import all_cases, get_case
+from repro.obs import ledger
 
 
 @pytest.fixture(scope="session")
@@ -38,10 +39,24 @@ def anduril_outcomes(cases):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the campaign summary for tools/check_bench_regression.py."""
+    """Persist the campaign summary for tools/check_bench_regression.py,
+    and append the session's ANDURIL outcomes to the run ledger."""
     if bench_summary.collected_case_count():
         path = bench_summary.write_bench_summary()
         print(f"\n[bench summary saved to {path}]")
+    if _ANDURIL_CACHE:
+        jobs = resolve_jobs(None)
+        entries = [
+            ledger.entry_from_outcome(
+                outcome,
+                strategy="anduril",
+                seed=get_case(case_id).seed,
+                jobs=jobs,
+            )
+            for case_id, outcome in sorted(_ANDURIL_CACHE.items())
+        ]
+        ledger_path = ledger.append_entries(entries)
+        print(f"[run ledger: {len(entries)} entries appended to {ledger_path}]")
 
 
 def emit(name: str, content: str) -> None:

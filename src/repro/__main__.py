@@ -13,18 +13,25 @@ Commands:
 * ``trace <case_id>`` — run the search with the ``repro.obs`` recorder
   attached and export the trace (Chrome ``trace_event`` JSON, structured
   JSON, or a text summary).
+* ``explain <case_id>`` — reproduce the case with tracing on and print
+  the provenance chain (evidence → I_k adjustments → rank movement →
+  plan inclusion → injection) for every injected instance of the plan.
+* ``report`` — render the self-contained HTML campaign dashboard from
+  the artifacts under ``benchmarks/out/``.
 * ``lint <package>`` — run the fault-handling defect detector over an
   importable package and print the findings (text or JSON).
 
 ``reproduce`` and ``compare`` accept ``--profile`` to sample run-level
 metrics (FIR decision latency, scheduler counters) without changing the
-search outcome.
+search outcome.  Both append one entry per (strategy, case) cell to the
+run ledger (``benchmarks/out/ledger.jsonl``) unless ``--no-ledger``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -38,7 +45,39 @@ from .bench import (
 )
 from .core.report import ReproductionScript
 from .failures import all_cases, get_case
-from .obs import TraceRecorder
+from .obs import TraceRecorder, build_plan_provenance, ledger, write_report
+
+
+def _write_text(path: str, payload: str, what: str = "output") -> bool:
+    """Write ``payload`` to ``path``, creating missing parent directories.
+
+    Returns ``False`` (after a clear stderr message) instead of raising
+    when the path is unwritable, so commands can exit nonzero cleanly.
+    """
+    try:
+        directory = os.path.dirname(os.path.abspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+    except OSError as error:
+        print(f"error: cannot write {what} to {path}: {error}", file=sys.stderr)
+        return False
+    return True
+
+
+def _append_ledger(entries: list, args) -> None:
+    """Append run-ledger entries, honoring ``--no-ledger``/``--ledger``."""
+    if getattr(args, "no_ledger", False):
+        return
+    try:
+        path = ledger.append_entries(
+            entries, path=getattr(args, "ledger", None)
+        )
+    except OSError as error:
+        print(f"warning: could not append run ledger: {error}", file=sys.stderr)
+        return
+    print(f"[ledger: {len(entries)} entr(ies) -> {path}]", file=sys.stderr)
 
 
 def cmd_list(_args) -> int:
@@ -68,14 +107,41 @@ def cmd_reproduce(args) -> int:
     print(f"{case.issue}: {case.title}")
     print(f"oracle: {case.oracle.description}")
     recorder = TraceRecorder() if args.profile else None
+    jobs = resolve_jobs(args.jobs)
     explorer = case.explorer(
         max_rounds=args.max_rounds,
-        jobs=resolve_jobs(args.jobs),
+        jobs=jobs,
         recorder=recorder,
+        track_coverage=True,
     )
     result = explorer.explore()
     if recorder is not None:
         _print_profile(recorder)
+    coverage = result.coverage.to_dict() if result.coverage else None
+    if result.coverage is not None:
+        print(
+            f"[coverage: planned {result.coverage.planned}/"
+            f"{result.coverage.space_size} "
+            f"({result.coverage.planned_fraction:.1%}), "
+            f"fired {result.coverage.fired}]",
+            file=sys.stderr,
+        )
+    _append_ledger(
+        [
+            ledger.make_entry(
+                case_id=case.case_id,
+                strategy="anduril",
+                success=result.success,
+                rounds=result.rounds,
+                seconds=result.elapsed_seconds,
+                seed=case.seed,
+                jobs=jobs,
+                coverage=coverage,
+                metrics=recorder.metrics() if recorder is not None else None,
+            )
+        ],
+        args,
+    )
     if not result.success:
         print(f"NOT reproduced: {result.message} ({result.rounds} rounds)")
         return 1
@@ -86,8 +152,8 @@ def cmd_reproduce(args) -> int:
     script_json = result.script.to_json()
     print(script_json)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(script_json + "\n")
+        if not _write_text(args.output, script_json + "\n", what="script"):
+            return 2
         print(f"script written to {args.output}")
     return 0
 
@@ -155,6 +221,25 @@ def cmd_compare(args) -> int:
             f"failures]",
             file=sys.stderr,
         )
+    entries = [
+        ledger.entry_from_outcome(
+            anduril_by_case[case.case_id],
+            strategy="anduril",
+            seed=case.seed,
+            jobs=jobs,
+        )
+        for case in cases
+    ]
+    entries.extend(
+        ledger.entry_from_outcome(
+            cells[(name, case.case_id)],
+            strategy=name,
+            seed=case.seed,
+        )
+        for name in strategies
+        for case in cases
+    )
+    _append_ledger(entries, args)
     if args.profile:
         for case in cases:
             outcome = anduril_by_case[case.case_id]
@@ -179,8 +264,8 @@ def cmd_trace(args) -> int:
     else:
         payload = recorder.to_text() + "\n"
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(payload)
+        if not _write_text(args.out, payload, what="trace"):
+            return 2
         print(f"trace written to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(payload)
@@ -190,6 +275,51 @@ def cmd_trace(args) -> int:
         f"{len(recorder.spans)} span(s), {len(recorder.events)} event(s)]",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_explain(args) -> int:
+    case = get_case(args.case_id)
+    recorder = TraceRecorder()
+    explorer = case.explorer(
+        max_rounds=args.max_rounds, recorder=recorder, track_coverage=True
+    )
+    result = explorer.explore()
+    if not result.success:
+        print(
+            f"error: {case.case_id} not reproduced within {result.rounds} "
+            f"round(s) ({result.message}); nothing to explain",
+            file=sys.stderr,
+        )
+        return 1
+    provenance = build_plan_provenance(recorder, result)
+    if args.format == "json":
+        print(provenance.to_json())
+    else:
+        print(result.script.describe())
+        print()
+        print(provenance.to_text())
+        if result.coverage is not None:
+            print(
+                f"\nsearch touched {result.coverage.planned} of "
+                f"{result.coverage.space_size} injectable instances "
+                f"({result.coverage.planned_fraction:.1%}) over "
+                f"{result.rounds} round(s)"
+            )
+    return 0
+
+
+def cmd_report(args) -> int:
+    systems = {case.case_id: case.system for case in all_cases()}
+    try:
+        path = write_report(
+            path=args.out, out_dir=args.dir, systems=systems
+        )
+    except OSError as error:
+        target = args.out or "benchmarks/out/report.html"
+        print(f"error: cannot write report to {target}: {error}", file=sys.stderr)
+        return 2
+    print(f"report written to {path}")
     return 0
 
 
@@ -236,6 +366,18 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def _add_ledger_options(subparser) -> None:
+    subparser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip appending this run to the run ledger",
+    )
+    subparser.add_argument(
+        "--ledger",
+        help="run-ledger path (default benchmarks/out/ledger.jsonl)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="feedback-driven failure reproduction"
@@ -259,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record run-level metrics and print them to stderr",
     )
+    _add_ledger_options(reproduce)
 
     replay = commands.add_parser("replay", help="replay a reproduction script")
     replay.add_argument("case_id")
@@ -278,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record per-case run metrics and summarize them on stderr",
     )
+    _add_ledger_options(compare)
 
     trace = commands.add_parser(
         "trace", help="run the search with tracing and export the trace"
@@ -291,6 +435,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="chrome = chrome://tracing trace_event JSON (default)",
     )
     trace.add_argument("--out", "-o", help="write the trace to a file")
+
+    explain = commands.add_parser(
+        "explain",
+        help="reproduce a case and print why each injected instance "
+        "entered the plan",
+    )
+    explain.add_argument("case_id")
+    explain.add_argument("--max-rounds", type=int, default=800)
+    explain.add_argument("--format", choices=("text", "json"), default="text")
+
+    report = commands.add_parser(
+        "report", help="render the HTML campaign dashboard"
+    )
+    report.add_argument(
+        "--out",
+        "-o",
+        help="output path (default benchmarks/out/report.html)",
+    )
+    report.add_argument(
+        "--dir",
+        help="artifact directory to aggregate (default benchmarks/out)",
+    )
 
     inspect = commands.add_parser("inspect", help="show the prepared search")
     inspect.add_argument("case_id")
@@ -327,6 +493,8 @@ def main(argv=None) -> int:
         "replay": cmd_replay,
         "compare": cmd_compare,
         "trace": cmd_trace,
+        "explain": cmd_explain,
+        "report": cmd_report,
         "inspect": cmd_inspect,
         "lint": cmd_lint,
     }[args.command]

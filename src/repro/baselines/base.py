@@ -27,6 +27,13 @@ from ..injection.fir import InjectionPlan, TraceEvent, dedupe_instances
 from ..injection.sites import FaultInstance
 from ..logs.diff import LogComparator
 from ..logs.record import LogFile
+from ..obs.coverage import (
+    NULL_COVERAGE,
+    CoverageSummary,
+    CoverageTracker,
+    enumerate_fault_space,
+    occurrences_from_trace,
+)
 from ..sim.cluster import RunResult, WorkloadFn, execute_workload
 
 
@@ -125,6 +132,10 @@ class StrategyResult:
     elapsed_seconds: float
     injected: Optional[FaultInstance]
     message: str = ""
+    #: Fault-space coverage accounting (``None`` unless the runner was
+    #: built with ``track_coverage=True``).  The space is enumerated from
+    #: the same inputs ANDURIL's Explorer uses, so fractions compare.
+    coverage: Optional[CoverageSummary] = None
 
 
 class StrategyRunner:
@@ -132,9 +143,13 @@ class StrategyRunner:
         self,
         max_rounds: int = 400,
         max_seconds: Optional[float] = 60.0,
+        track_coverage: bool = False,
     ) -> None:
         self.max_rounds = max_rounds
         self.max_seconds = max_seconds
+        #: Fault-space coverage accounting (off by default; the shared
+        #: NULL_COVERAGE no-op tracker keeps the default path unchanged).
+        self.track_coverage = track_coverage
 
     def run(
         self,
@@ -149,17 +164,34 @@ class StrategyRunner:
         started = time.perf_counter()
         context = build_context(case)
         strategy.prepare(context)
+        coverage = NULL_COVERAGE
+        if self.track_coverage:
+            coverage = CoverageTracker(
+                enumerate_fault_space(
+                    context.candidates,
+                    occurrences_from_trace(context.normal_run.trace),
+                )
+            )
         tried: set[tuple[str, str, int]] = set()
         rounds = 0
+
+        def finish(
+            success: bool,
+            injected: Optional[FaultInstance],
+            message: str,
+        ) -> StrategyResult:
+            return StrategyResult(
+                strategy.name, case_id, success, rounds,
+                time.perf_counter() - started, injected, message,
+                coverage=coverage.summary(),
+            )
+
         while rounds < self.max_rounds:
             if (
                 self.max_seconds is not None
                 and time.perf_counter() - started > self.max_seconds
             ):
-                return StrategyResult(
-                    strategy.name, case_id, False, rounds,
-                    time.perf_counter() - started, None, "time budget exhausted",
-                )
+                return finish(False, None, "time budget exhausted")
             window = [
                 instance
                 for instance in strategy.next_window()
@@ -167,10 +199,7 @@ class StrategyRunner:
                 not in tried
             ]
             if not window:
-                return StrategyResult(
-                    strategy.name, case_id, False, rounds,
-                    time.perf_counter() - started, None, "fault space exhausted",
-                )
+                return finish(False, None, "fault space exhausted")
             rounds += 1
             # A strategy's window may offer the same (site, occurrence)
             # under two exceptions; only the first is armable per run.
@@ -191,13 +220,8 @@ class StrategyRunner:
                 tried.update(
                     (i.site_id, i.exception, i.occurrence) for i in window
                 )
+            coverage.record_round(rounds, plan.instances, injected)
             strategy.observe(result, injected, satisfied)
             if satisfied:
-                return StrategyResult(
-                    strategy.name, case_id, True, rounds,
-                    time.perf_counter() - started, injected, "reproduced",
-                )
-        return StrategyResult(
-            strategy.name, case_id, False, rounds,
-            time.perf_counter() - started, None, "round budget exhausted",
-        )
+                return finish(True, injected, "reproduced")
+        return finish(False, None, "round budget exhausted")

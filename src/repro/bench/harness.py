@@ -13,6 +13,7 @@ from typing import Optional
 from ..baselines import ALL_STRATEGIES, StrategyRunner
 from ..failures.case import FailureCase
 from ..obs import TraceRecorder
+from ..obs import metrics as obs_metrics
 
 
 @dataclasses.dataclass
@@ -35,6 +36,12 @@ class AndurilOutcome:
     worker_utilization: float = 0.0
     #: Flat ``repro.obs`` metrics dict (empty unless profiled).
     metrics: dict = dataclasses.field(default_factory=dict)
+    #: Fault-space coverage accounting dict (``None`` when disabled).
+    coverage: Optional[dict] = None
+    #: ``repro.obs.metrics`` counter movement attributable to this cell,
+    #: captured in whatever process ran it so campaign parents can merge
+    #: worker-side counters back into their own registry.
+    worker_counters: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -53,6 +60,10 @@ class StrategyOutcome:
     success: bool
     rounds: int
     seconds: float
+    #: Fault-space coverage accounting dict (``None`` when disabled).
+    coverage: Optional[dict] = None
+    #: See :attr:`AndurilOutcome.worker_counters`.
+    worker_counters: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -70,6 +81,7 @@ def run_anduril(
     max_seconds: Optional[float] = 60.0,
     jobs: int = 1,
     profile: bool = False,
+    coverage: bool = True,
     **overrides,
 ) -> AndurilOutcome:
     """Run the feedback-driven search on one case under the table budgets.
@@ -77,7 +89,9 @@ def run_anduril(
     ``profile=True`` attaches a ``repro.obs`` recorder: FIR decision
     timing is sampled, per-round spans and rerank events are captured,
     and the flat metrics dict lands in :attr:`AndurilOutcome.metrics`.
-    The search outcome itself is invariant in ``profile``.
+    ``coverage`` (default on — campaign accounting is this harness's
+    job) tracks fault-space coverage.  The search outcome itself is
+    invariant in both.
     """
     recorder = TraceRecorder() if profile else None
     explorer = case.explorer(
@@ -85,6 +99,7 @@ def run_anduril(
         max_seconds=max_seconds,
         jobs=jobs,
         recorder=recorder,
+        track_coverage=coverage,
         **overrides,
     )
     prepared = explorer.prepare()
@@ -100,6 +115,8 @@ def run_anduril(
         if decision_requests
         else 0.0
     )
+    obs_metrics.increment("campaign.anduril_runs")
+    obs_metrics.increment("campaign.rounds", result.rounds)
     return AndurilOutcome(
         case_id=case.case_id,
         success=result.success,
@@ -115,6 +132,7 @@ def run_anduril(
         speculation_hit_rate=result.speculation_hit_rate,
         worker_utilization=result.worker_utilization,
         metrics=metrics,
+        coverage=result.coverage.to_dict() if result.coverage else None,
     )
 
 
@@ -123,15 +141,23 @@ def run_baseline(
     case: FailureCase,
     max_rounds: int = 300,
     max_seconds: Optional[float] = 8.0,
+    coverage: bool = True,
     **strategy_kwargs,
 ) -> StrategyOutcome:
     strategy = ALL_STRATEGIES[name](**strategy_kwargs)
-    runner = StrategyRunner(max_rounds=max_rounds, max_seconds=max_seconds)
+    runner = StrategyRunner(
+        max_rounds=max_rounds,
+        max_seconds=max_seconds,
+        track_coverage=coverage,
+    )
     result = runner.run(strategy, case, case_id=case.case_id)
+    obs_metrics.increment("campaign.baseline_runs")
+    obs_metrics.increment("campaign.rounds", result.rounds)
     return StrategyOutcome(
         strategy=name,
         case_id=case.case_id,
         success=result.success,
         rounds=result.rounds,
         seconds=result.elapsed_seconds,
+        coverage=result.coverage.to_dict() if result.coverage else None,
     )

@@ -69,16 +69,28 @@ class CampaignTask:
 
 
 def execute_task(task: CampaignTask):
-    """Run one campaign cell (also the process-pool entry point)."""
+    """Run one campaign cell (also the process-pool entry point).
+
+    The cell's ``repro.obs.metrics`` counter movement is captured as a
+    delta and attached to the outcome (``worker_counters``), so a parent
+    process that receives the pickled result can merge worker-side
+    counters back into its own registry — without double counting when a
+    worker process runs several cells, and without losing anything when
+    the cell runs inline.
+    """
     # Imported here, not at module top: workers started with the "spawn"
     # method import this module before the failure registry is populated.
     from ..failures import get_case
 
     case = get_case(task.case_id)
     options = dict(task.options)
+    before = obs_metrics.snapshot()
     if task.strategy is None:
-        return run_anduril(case, **options)
-    return run_baseline(task.strategy, case, **options)
+        outcome = run_anduril(case, **options)
+    else:
+        outcome = run_baseline(task.strategy, case, **options)
+    outcome.worker_counters = obs_metrics.delta_since(before)
+    return outcome
 
 
 def run_tasks(
@@ -93,6 +105,12 @@ def run_tasks(
     naming the task and the worker's exception, and bumps the
     ``campaign.inline_fallbacks`` counter in ``repro.obs.metrics`` so
     campaign output can surface how much of the sweep was serialized.
+
+    Counters bumped *inside* worker processes are not dropped: every
+    result returned by a pool future carries its cell's counter delta
+    (see :func:`execute_task`), which is merged into this process's
+    ``repro.obs.metrics`` registry here.  Inline cells bump the registry
+    directly, so their deltas are deliberately not merged again.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -114,6 +132,9 @@ def run_tasks(
                         index = futures[future]
                         try:
                             results[index] = future.result()
+                            obs_metrics.merge(
+                                getattr(results[index], "worker_counters", {})
+                            )
                         except Exception as error:
                             failed.append(index)
                             warnings.warn(

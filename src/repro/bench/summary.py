@@ -11,15 +11,19 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import statistics
 from typing import Optional
 
 from ..obs import metrics as obs_metrics
 from .tables import OUT_DIR
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _OUTCOMES: dict[str, dict] = {}
+#: Per-(strategy, case) baseline records — coverage-focused, so the
+#: summary can show ANDURIL-vs-baseline fault-space coverage side by side.
+_STRATEGY_OUTCOMES: dict[tuple[str, str], dict] = {}
 
 
 def record_outcome(outcome) -> None:
@@ -37,11 +41,28 @@ def record_outcome(outcome) -> None:
             key: round(value, 9) if isinstance(value, float) else value
             for key, value in sorted(case_metrics.items())
         }
+    case_coverage = getattr(outcome, "coverage", None)
+    if case_coverage:
+        entry["coverage"] = case_coverage
     _OUTCOMES[outcome.case_id] = entry
+
+
+def record_strategy_outcome(outcome) -> None:
+    """Record one baseline-strategy outcome (latest write wins)."""
+    entry = {
+        "success": bool(outcome.success),
+        "rounds": int(outcome.rounds),
+        "seconds": round(float(outcome.seconds), 6),
+    }
+    case_coverage = getattr(outcome, "coverage", None)
+    if case_coverage:
+        entry["coverage"] = case_coverage
+    _STRATEGY_OUTCOMES[(outcome.strategy, outcome.case_id)] = entry
 
 
 def clear() -> None:
     _OUTCOMES.clear()
+    _STRATEGY_OUTCOMES.clear()
 
 
 def collected_case_count() -> int:
@@ -70,7 +91,54 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
         # Operational counters (e.g. campaign.inline_fallbacks) for
         # post-hoc inspection; not part of the regression gate.
         document["counters"] = {key: counters[key] for key in sorted(counters)}
+    coverage = coverage_section(ordered)
+    if coverage:
+        document["coverage"] = coverage
     return document
+
+
+def coverage_section(anduril_cases: Optional[dict[str, dict]] = None) -> dict:
+    """ANDURIL-vs-baseline fault-space coverage, keyed by strategy then case.
+
+    Shape: ``{"anduril": {case_id: coverage_dict}, "random": {...}, ...}``.
+    Strategies and cases appear only when their runs carried coverage
+    accounting, so an unprofiled campaign emits nothing here.
+    """
+    anduril_cases = _OUTCOMES if anduril_cases is None else anduril_cases
+    section: dict[str, dict] = {}
+    anduril = {
+        case_id: entry["coverage"]
+        for case_id, entry in sorted(
+            anduril_cases.items(), key=lambda item: (len(item[0]), item[0])
+        )
+        if entry.get("coverage")
+    }
+    if anduril:
+        section["anduril"] = anduril
+    for (strategy, case_id), entry in sorted(
+        _STRATEGY_OUTCOMES.items(),
+        key=lambda item: (item[0][0], len(item[0][1]), item[0][1]),
+    ):
+        if entry.get("coverage"):
+            section.setdefault(strategy, {})[case_id] = entry["coverage"]
+    return section
+
+
+# Pretty-printed JSON puts every array element on its own line, which
+# explodes the coverage rounds series (hundreds of 5-int records per
+# case x strategy) into tens of thousands of lines in the tracked
+# artifact.  Collapse integer-only arrays — and arrays of such arrays —
+# onto one line; float/string arrays keep the indented layout.
+_INT_ARRAY = re.compile(r"\[\s+(-?\d+(?:,\s+-?\d+)*)\s+\]")
+_INT_MATRIX = re.compile(r"\[\s+(\[[-0-9, ]*\](?:,\s+\[[-0-9, ]*\])*)\s+\]")
+
+
+def _compact_dumps(document) -> str:
+    text = json.dumps(document, indent=2)
+    joined = lambda match: "[" + re.sub(r",\s+", ", ", match.group(1)) + "]"
+    text = _INT_ARRAY.sub(joined, text)
+    text = _INT_MATRIX.sub(joined, text)
+    return text + "\n"
 
 
 def write_bench_summary(path: Optional[str] = None) -> str:
@@ -79,6 +147,5 @@ def write_bench_summary(path: Optional[str] = None) -> str:
         path = os.path.join(OUT_DIR, "bench_summary.json")
     os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(summarize(), handle, indent=2)
-        handle.write("\n")
+        handle.write(_compact_dumps(summarize()))
     return path

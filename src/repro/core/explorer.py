@@ -28,6 +28,13 @@ from ..analysis.system_model import SystemModel, analyze_package
 from ..injection.fir import InjectionPlan, dedupe_instances
 from ..injection.sites import FaultInstance
 from ..obs import NULL_RECORDER, WALL
+from ..obs.coverage import (
+    NULL_COVERAGE,
+    CoverageSummary,
+    CoverageTracker,
+    enumerate_fault_space,
+    occurrences_from_trace,
+)
 from ..logs.diff import LogComparator
 from ..logs.record import LogFile
 from ..sim.cluster import RunResult, WorkloadFn, execute_workload
@@ -70,6 +77,10 @@ class ExplorationResult:
     speculation_hits: int = 0
     speculation_misses: int = 0
     speculation_submitted: int = 0
+    #: Fault-space coverage accounting (``None`` unless the search ran
+    #: with ``track_coverage=True``).  Derived from the committed rounds
+    #: only, so it is byte-identical across ``jobs`` counts.
+    coverage: Optional[CoverageSummary] = None
 
     @property
     def rank_trajectory(self) -> list[tuple[int, int]]:
@@ -163,6 +174,7 @@ class Explorer:
         lint_bonus: float = 2.0,
         jobs: int = 1,
         recorder=None,
+        track_coverage: bool = False,
     ) -> None:
         if runs_per_round < 1:
             raise ValueError("runs_per_round must be at least 1")
@@ -209,6 +221,11 @@ class Explorer:
         #: path records nothing, samples no clocks, and leaves the search
         #: byte-identical to an untraced one (see the equivalence tests).
         self._obs = recorder if recorder is not None else NULL_RECORDER
+        #: Fault-space coverage accounting.  Off by default: the shared
+        #: NULL_COVERAGE no-op tracker keeps the untracked path free of
+        #: set bookkeeping (same pattern as NULL_RECORDER).
+        self.track_coverage = track_coverage
+        self._coverage = NULL_COVERAGE
         self._prepared: Optional[PreparedSearch] = None
         self._trace_order: dict[tuple[str, int], int] = {}
 
@@ -293,6 +310,17 @@ class Explorer:
             (event.site_id, event.occurrence): position
             for position, event in enumerate(normal_run.trace)
         }
+        if self.track_coverage:
+            # Enumerate the full injectable fault space from the same
+            # inputs the pool uses (graph candidates x probe occurrences),
+            # so coverage fractions are comparable across strategies.
+            self._coverage = CoverageTracker(
+                enumerate_fault_space(
+                    candidates,
+                    occurrences_from_trace(normal_run.trace),
+                    max_instances_per_site=self.max_instances_per_site,
+                )
+            )
         prepare_seconds = time.perf_counter() - started
         obs.add_span(
             "prepare",
@@ -394,6 +422,7 @@ class Explorer:
                             entry.instance.exception,
                             entry.instance.occurrence,
                             entry.site_priority,
+                            entry.chosen_observable,
                         ]
                         for entry in window[:10]
                     ],
@@ -477,6 +506,31 @@ class Explorer:
                     satisfied=satisfied,
                     present_observables=present_count,
                 )
+                if injected is not None:
+                    # Plan-inclusion provenance: where the fired instance
+                    # sat in this round's window, and via which observable
+                    # k* it earned that position (repro.obs.provenance).
+                    for position, entry in enumerate(window, start=1):
+                        if (
+                            entry.instance.site_id == injected.site_id
+                            and entry.instance.occurrence
+                            == injected.occurrence
+                        ):
+                            obs.event(
+                                "explorer.plan",
+                                "explorer",
+                                round=round_number,
+                                site=injected.site_id,
+                                exception=injected.exception,
+                                occurrence=injected.occurrence,
+                                window_position=position,
+                                window_size=len(window),
+                                priority=entry.site_priority,
+                                observable=entry.chosen_observable,
+                                satisfied=satisfied,
+                            )
+                            break
+            self._coverage.record_round(round_number, plan.instances, injected)
 
             records.append(
                 RoundRecord(
@@ -613,4 +667,5 @@ class Explorer:
             speculation_hits=engine.hits if engine is not None else 0,
             speculation_misses=engine.misses if engine is not None else 0,
             speculation_submitted=engine.submitted if engine is not None else 0,
+            coverage=self._coverage.summary(),
         )

@@ -30,6 +30,18 @@ class ReproductionScript:
     #: Additional always-fire faults for multi-fault reproductions.
     extra_instances: tuple = ()
 
+    def describe(self) -> str:
+        """One-line human summary (used by the ``explain`` command)."""
+        extras = (
+            f" + {len(self.extra_instances)} base fault(s)"
+            if self.extra_instances
+            else ""
+        )
+        return (
+            f"{self.case_id} ({self.system}): inject {self.instance}"
+            f"{extras} with seed={self.seed} over {self.horizon:g}s"
+        )
+
     def replay(self, workload: WorkloadFn) -> RunResult:
         """Re-run the workload injecting exactly the pinned fault(s)."""
         return execute_workload(

@@ -5,7 +5,23 @@ the bench harness, so it must stay dependency-free within ``repro``
 (it imports nothing from sibling packages).
 """
 
-from . import metrics
+from . import ledger, metrics
+from .coverage import (
+    NULL_COVERAGE,
+    CoverageSummary,
+    CoverageTracker,
+    NullCoverageTracker,
+    RoundCoverage,
+    enumerate_fault_space,
+    occurrences_from_trace,
+)
+from .provenance import (
+    PlanProvenance,
+    ProvenanceChain,
+    ProvenanceStep,
+    build_plan_provenance,
+)
+from .report import render_report, write_report
 from .trace import (
     NULL_RECORDER,
     VIRTUAL,
@@ -17,12 +33,26 @@ from .trace import (
 )
 
 __all__ = [
+    "CoverageSummary",
+    "CoverageTracker",
     "Event",
+    "NULL_COVERAGE",
     "NULL_RECORDER",
+    "NullCoverageTracker",
     "NullRecorder",
+    "PlanProvenance",
+    "ProvenanceChain",
+    "ProvenanceStep",
+    "RoundCoverage",
     "Span",
     "TraceRecorder",
     "VIRTUAL",
     "WALL",
+    "build_plan_provenance",
+    "enumerate_fault_space",
+    "ledger",
     "metrics",
+    "occurrences_from_trace",
+    "render_report",
+    "write_report",
 ]

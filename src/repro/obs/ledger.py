@@ -1,0 +1,195 @@
+"""The persistent run ledger: an append-only JSONL campaign history.
+
+Every ``reproduce`` / ``compare`` / bench run appends one JSON object per
+(strategy, case) cell to ``benchmarks/out/ledger.jsonl``.  Entries are
+schema-versioned and keyed by ``(git_sha, case_id, strategy, seed,
+jobs)`` so trends survive one-shot table files: the regression gate
+(``tools/check_bench_regression.py --history``) and the HTML report read
+them back to plot success and wall-clock trajectories across commits.
+
+Versioning rules (see DESIGN.md §7.2):
+
+* every entry carries ``schema``; writers always stamp the current
+  :data:`SCHEMA_VERSION`;
+* readers must *skip* (never fail on) blank lines, malformed JSON, and
+  entries whose ``schema`` is newer than they understand — an append-only
+  file shared across versions is only useful if old readers degrade
+  gracefully;
+* fields are only ever added, never renamed or repurposed, within one
+  schema version.
+
+Like the rest of ``repro.obs``, this module imports nothing from sibling
+``repro`` packages; entries are built from duck-typed outcome objects.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import subprocess
+import warnings
+from typing import Iterable, Optional
+
+SCHEMA_VERSION = 1
+
+#: Default ledger location, shared with the bench outputs.
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..")
+)
+DEFAULT_PATH = os.path.join(_REPO_ROOT, "benchmarks", "out", "ledger.jsonl")
+
+_GIT_SHA: Optional[str] = None
+
+
+def git_sha() -> str:
+    """Best-effort short SHA of the checked-out commit (cached).
+
+    Falls back to ``"unknown"`` outside a git checkout so the ledger
+    still works from an installed package or an exported tree.
+    """
+    global _GIT_SHA
+    if _GIT_SHA is None:
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=_REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = "unknown"
+    return _GIT_SHA
+
+
+def default_path() -> str:
+    return DEFAULT_PATH
+
+
+def make_entry(
+    *,
+    case_id: str,
+    strategy: str,
+    success: bool,
+    rounds: int,
+    seconds: float,
+    seed: int = 0,
+    jobs: int = 1,
+    coverage: Optional[dict] = None,
+    metrics: Optional[dict] = None,
+    sha: Optional[str] = None,
+) -> dict:
+    """One schema-versioned ledger entry (a plain JSON-able dict)."""
+    entry = {
+        "schema": SCHEMA_VERSION,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": git_sha() if sha is None else sha,
+        "case_id": case_id,
+        "strategy": strategy,
+        "seed": int(seed),
+        "jobs": int(jobs),
+        "success": bool(success),
+        "rounds": int(rounds),
+        "seconds": round(float(seconds), 6),
+    }
+    if coverage:
+        entry["coverage"] = coverage
+    if metrics:
+        entry["metrics"] = {
+            key: round(value, 9) if isinstance(value, float) else value
+            for key, value in sorted(metrics.items())
+        }
+    return entry
+
+
+def entry_from_outcome(
+    outcome,
+    *,
+    strategy: str,
+    seed: int = 0,
+    jobs: int = 1,
+    sha: Optional[str] = None,
+) -> dict:
+    """Build an entry from an ``AndurilOutcome``/``StrategyOutcome``-like
+    object (anything with ``case_id``/``success``/``rounds``/``seconds``)."""
+    return make_entry(
+        case_id=outcome.case_id,
+        strategy=strategy,
+        success=outcome.success,
+        rounds=outcome.rounds,
+        seconds=outcome.seconds,
+        seed=seed,
+        jobs=jobs,
+        coverage=getattr(outcome, "coverage", None),
+        metrics=getattr(outcome, "metrics", None),
+        sha=sha,
+    )
+
+
+def entry_key(entry: dict) -> tuple:
+    """The identity a ledger entry is keyed by."""
+    return (
+        entry.get("git_sha", "unknown"),
+        entry.get("case_id", ""),
+        entry.get("strategy", ""),
+        entry.get("seed", 0),
+        entry.get("jobs", 1),
+    )
+
+
+def append_entries(entries: Iterable[dict], path: Optional[str] = None) -> str:
+    """Append entries (one JSON line each), creating parent directories."""
+    if path is None:
+        path = default_path()
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def read_entries(path: Optional[str] = None) -> list[dict]:
+    """Load ledger entries tolerantly.
+
+    Blank lines, malformed JSON, non-object lines, and entries from a
+    *newer* schema are skipped (with one aggregate warning), per the
+    versioning rules above.  A missing file reads as an empty history.
+    """
+    if path is None:
+        path = default_path()
+    entries: list[dict] = []
+    skipped = 0
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    skipped += 1
+                    continue
+                if (
+                    not isinstance(entry, dict)
+                    or int(entry.get("schema", 0)) > SCHEMA_VERSION
+                ):
+                    skipped += 1
+                    continue
+                entries.append(entry)
+    except OSError:
+        return []
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} unreadable or newer-schema ledger "
+            f"line(s)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return entries

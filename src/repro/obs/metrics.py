@@ -3,9 +3,11 @@
 A tiny metrics registry for infrastructure-level signals that do not
 belong to any single run's :class:`~repro.obs.trace.TraceRecorder` —
 e.g. how often the campaign process pool degraded to inline execution.
-Counters are process-local (worker processes have their own registry;
-anything a worker counts stays in the worker) and cheap enough to bump
-unconditionally.
+Counters are process-local, but not process-lost: campaign workers
+capture a per-task :func:`delta_since` snapshot that rides back on the
+pickled result, and the parent :func:`merge`\\ s it into its own registry
+— so campaign-level totals survive the process boundary.  Bumps are
+cheap enough to do unconditionally.
 """
 
 from __future__ import annotations
@@ -27,6 +29,28 @@ def get(name: str) -> float:
 def snapshot() -> dict[str, float]:
     """A copy of all counters (for summaries and tests)."""
     return dict(_counters)
+
+
+def delta_since(baseline: dict[str, float]) -> dict[str, float]:
+    """Counter movement since a previous :func:`snapshot` (zeros omitted).
+
+    This is the worker side of cross-process aggregation: snapshot before
+    a task, run it, and ship ``delta_since(before)`` with the result so
+    the parent can :func:`merge` exactly this task's contribution even
+    when one worker process runs many tasks.
+    """
+    delta: dict[str, float] = {}
+    for name, value in _counters.items():
+        moved = value - baseline.get(name, 0.0)
+        if moved:
+            delta[name] = moved
+    return delta
+
+
+def merge(counters: dict[str, float]) -> None:
+    """Add another registry's counters (or a delta) into this process."""
+    for name, value in counters.items():
+        _counters[name] = _counters.get(name, 0.0) + value
 
 
 def reset() -> None:

@@ -1,0 +1,304 @@
+"""Plan provenance: why each injected instance ended up in the plan.
+
+A reproducing plan is the end of a causal chain the trace already
+recorded, event by event:
+
+1. **evidence** — an observable appears only in the failure log, so it
+   enters the relevant set at priority ``I_k = 0``; every feedback round
+   that *produced* it bumps ``I_k`` (``observable.adjust`` events carry
+   the old and new values);
+2. **rank movement** — the site's ``F_i = min_k (L_{i,k} + I_k)`` shifts
+   as its observables' priorities move, which shows up as the instance
+   rising (or sinking) through the per-round windows (``explorer.rerank``
+   events carry the top entries with priorities and the chosen
+   observable ``k*``);
+3. **plan inclusion** — the round whose window armed the instance and
+   whose run actually injected it (``explorer.plan`` and ``fir.inject``
+   events), satisfying the oracle.
+
+:func:`build_plan_provenance` walks a recorded
+:class:`~repro.obs.trace.TraceRecorder` plus the search's
+``ExplorationResult`` and reconstructs that chain for **every** injected
+instance of the reproducing plan (the single-shot instance and any
+always-fire base faults).  Surfaced as ``python -m repro explain CASE``.
+
+Like the rest of ``repro.obs``, this module imports nothing from sibling
+``repro`` packages: instances are duck-typed (``site_id`` / ``exception``
+/ ``occurrence``) and events come straight off the recorder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class ProvenanceStep:
+    """One link of a chain: a kind, the round it belongs to, details."""
+
+    kind: str                  # "evidence" | "adjust" | "rank" | "plan" | "inject"
+    round_number: Optional[int]
+    detail: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "round": self.round_number,
+            **self.detail,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ProvenanceChain:
+    """The recorded causal chain behind one injected instance."""
+
+    site_id: str
+    exception: str
+    occurrence: int
+    steps: tuple[ProvenanceStep, ...]
+
+    @property
+    def instance_id(self) -> str:
+        return f"{self.site_id}!{self.exception}@{self.occurrence}"
+
+    def to_dict(self) -> dict:
+        return {
+            "site_id": self.site_id,
+            "exception": self.exception,
+            "occurrence": self.occurrence,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def to_text(self) -> str:
+        lines = [f"instance {self.instance_id}"]
+        for step in self.steps:
+            prefix = (
+                f"  [round {step.round_number}]"
+                if step.round_number is not None
+                else "  [prepare]"
+            )
+            if step.kind == "evidence":
+                lines.append(
+                    f"{prefix} evidence: observable {step.detail['observable']!r} "
+                    f"appears only in the failure log (I_k starts at 0)"
+                )
+            elif step.kind == "adjust":
+                lines.append(
+                    f"{prefix} feedback: run produced "
+                    f"{step.detail['observable']!r}, I_k "
+                    f"{step.detail['old']} -> {step.detail['new']}"
+                )
+            elif step.kind == "rank":
+                lines.append(
+                    f"{prefix} rank: window position "
+                    f"{step.detail['window_position']}/{step.detail['window_size']}"
+                    f", F_i={step.detail['priority']:g} via "
+                    f"{step.detail['observable']!r}"
+                )
+            elif step.kind == "plan":
+                verdict = (
+                    "oracle satisfied"
+                    if step.detail.get("satisfied")
+                    else "oracle not satisfied"
+                )
+                lines.append(
+                    f"{prefix} plan: armed at window position "
+                    f"{step.detail['window_position']}/{step.detail['window_size']}"
+                    f" and injected ({verdict})"
+                )
+            elif step.kind == "inject":
+                lines.append(
+                    f"{prefix} inject: FIR raised {self.exception} at virtual "
+                    f"t={step.detail['virtual_time']:g}s "
+                    f"(log index {step.detail['log_index']})"
+                )
+            else:  # pragma: no cover - future kinds render generically
+                lines.append(f"{prefix} {step.kind}: {step.detail}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanProvenance:
+    """Chains for every injected instance of one reproducing plan."""
+
+    case_id: str
+    chains: tuple[ProvenanceChain, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "chains": [chain.to_dict() for chain in self.chains],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def to_text(self) -> str:
+        header = f"provenance for {self.case_id or 'plan'}"
+        return "\n\n".join([header] + [chain.to_text() for chain in self.chains])
+
+
+def _matches(entry_site: str, entry_exc: str, entry_occ: int, instance) -> bool:
+    return (
+        entry_site == instance.site_id
+        and entry_exc == instance.exception
+        and int(entry_occ) == instance.occurrence
+    )
+
+
+def build_plan_provenance(recorder, result) -> PlanProvenance:
+    """Reconstruct the provenance chain for each injected instance.
+
+    ``recorder`` is the :class:`~repro.obs.trace.TraceRecorder` that was
+    attached to the search; ``result`` is the ``ExplorationResult`` it
+    produced.  Requires a successful search (a reproducing plan).
+    """
+    if not result.success or result.injected is None:
+        raise ValueError("provenance requires a reproducing plan")
+
+    # Events are appended chronologically; attribute each one to the most
+    # recent rerank round so feedback adjustments land on their round.
+    reranks: list[dict] = []
+    adjusts_by_round: dict[int, list[dict]] = {}
+    plans: list[dict] = []
+    injects: list[tuple[float, dict]] = []
+    current_round: Optional[int] = None
+    for event in recorder.events:
+        if event.name == "explorer.rerank":
+            current_round = event.args.get("round")
+            reranks.append({"round": current_round, **event.args})
+        elif event.name == "observable.adjust":
+            adjusts_by_round.setdefault(
+                current_round if current_round is not None else 0, []
+            ).append(dict(event.args))
+        elif event.name == "explorer.plan":
+            plans.append(dict(event.args))
+        elif event.name == "fir.inject":
+            injects.append((event.time, dict(event.args)))
+
+    instances = [result.injected]
+    if result.script is not None:
+        instances.extend(result.script.extra_instances)
+
+    chains: list[ProvenanceChain] = []
+    for instance in instances:
+        steps: list[ProvenanceStep] = []
+        observables: list[str] = []
+
+        # Rank movement: every round whose recorded window slice offered
+        # this instance, with its priority and chosen observable k*.
+        rank_steps: list[ProvenanceStep] = []
+        for rerank in reranks:
+            for position, entry in enumerate(rerank.get("top", []), start=1):
+                if len(entry) < 4:
+                    continue
+                if not _matches(entry[0], entry[1], entry[2], instance):
+                    continue
+                observable = entry[4] if len(entry) > 4 else ""
+                if observable and observable not in observables:
+                    observables.append(observable)
+                rank_steps.append(
+                    ProvenanceStep(
+                        kind="rank",
+                        round_number=rerank["round"],
+                        detail={
+                            "window_position": position,
+                            "window_size": rerank.get("window_size", 0),
+                            "priority": entry[3],
+                            "observable": observable,
+                        },
+                    )
+                )
+                break
+
+        # Plan inclusion: the committed round that armed and injected it.
+        plan_steps: list[ProvenanceStep] = []
+        for plan in plans:
+            if _matches(
+                plan.get("site", ""),
+                plan.get("exception", ""),
+                plan.get("occurrence", -1),
+                instance,
+            ):
+                observable = plan.get("observable", "")
+                if observable and observable not in observables:
+                    observables.append(observable)
+                plan_steps.append(
+                    ProvenanceStep(
+                        kind="plan",
+                        round_number=plan.get("round"),
+                        detail={
+                            "window_position": plan.get("window_position", 0),
+                            "window_size": plan.get("window_size", 0),
+                            "priority": plan.get("priority", 0.0),
+                            "observable": observable,
+                            "satisfied": plan.get("satisfied", False),
+                        },
+                    )
+                )
+
+        # Evidence: the chosen observables' I_k trajectories — entry into
+        # the relevant set, then every feedback bump the trace recorded.
+        for observable in observables:
+            steps.append(
+                ProvenanceStep(
+                    kind="evidence",
+                    round_number=None,
+                    detail={"observable": observable},
+                )
+            )
+            for round_number in sorted(adjusts_by_round):
+                for adjust in adjusts_by_round[round_number]:
+                    if adjust.get("key") == observable:
+                        steps.append(
+                            ProvenanceStep(
+                                kind="adjust",
+                                round_number=round_number,
+                                detail={
+                                    "observable": observable,
+                                    "old": adjust.get("old"),
+                                    "new": adjust.get("new"),
+                                },
+                            )
+                        )
+
+        steps.extend(rank_steps)
+        steps.extend(plan_steps)
+
+        # Injection confirmation from the FIR's own (virtual-clock)
+        # record.  Base faults fire on *every* round's run, so keep only
+        # the final matching event — the one from the reproducing run.
+        last_inject: Optional[ProvenanceStep] = None
+        for virtual_time, inject in injects:
+            if _matches(
+                inject.get("site", ""),
+                inject.get("exception", ""),
+                inject.get("occurrence", -1),
+                instance,
+            ):
+                last_inject = ProvenanceStep(
+                    kind="inject",
+                    round_number=None,
+                    detail={
+                        "virtual_time": virtual_time,
+                        "log_index": inject.get("log_index", 0),
+                        "base_fault": inject.get("base_fault", False),
+                    },
+                )
+        if last_inject is not None:
+            steps.append(last_inject)
+
+        chains.append(
+            ProvenanceChain(
+                site_id=instance.site_id,
+                exception=instance.exception,
+                occurrence=instance.occurrence,
+                steps=tuple(steps),
+            )
+        )
+
+    return PlanProvenance(
+        case_id=getattr(result.script, "case_id", ""), chains=tuple(chains)
+    )

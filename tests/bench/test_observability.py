@@ -1,0 +1,151 @@
+"""Campaign observability: worker-counter aggregation, coverage in the
+bench summary, and the coverage knobs on the harness."""
+
+import dataclasses
+
+from repro.bench import summary as bench_summary
+from repro.bench.harness import run_anduril, run_baseline
+from repro.bench.parallel import run_anduril_many
+from repro.failures import get_case
+from repro.obs import metrics as obs_metrics
+
+
+@dataclasses.dataclass
+class StubOutcome:
+    case_id: str
+    success: bool = True
+    rounds: int = 1
+    seconds: float = 0.1
+
+
+@dataclasses.dataclass
+class StubStrategyOutcome:
+    strategy: str
+    case_id: str
+    success: bool = True
+    rounds: int = 1
+    seconds: float = 0.1
+    coverage: dict = None
+
+
+class TestWorkerCounterAggregation:
+    def test_pool_counters_merge_back_to_parent(self):
+        """Counters bumped inside worker processes reach the parent
+        registry — one campaign.anduril_runs per cell, regardless of
+        which process ran it."""
+        cases = [get_case("f1"), get_case("f4")]
+        obs_metrics.reset()
+        try:
+            outcomes = run_anduril_many(cases, jobs=2, max_rounds=120)
+            assert all(o.success for o in outcomes)
+            assert obs_metrics.get("campaign.anduril_runs") == 2
+            assert obs_metrics.get("campaign.rounds") == sum(
+                o.rounds for o in outcomes
+            )
+        finally:
+            obs_metrics.reset()
+
+    def test_serial_path_counts_identically(self):
+        cases = [get_case("f1"), get_case("f4")]
+        obs_metrics.reset()
+        try:
+            run_anduril_many(cases, jobs=1, max_rounds=120)
+            serial = obs_metrics.get("campaign.anduril_runs")
+        finally:
+            obs_metrics.reset()
+        assert serial == 2
+
+    def test_outcomes_carry_their_cell_delta(self):
+        outcome = run_anduril(get_case("f1"), max_rounds=120)
+        # run_anduril itself doesn't populate worker_counters (that's
+        # execute_task's job), but the field must exist for pickling.
+        assert outcome.worker_counters == {}
+
+
+class TestHarnessCoverage:
+    def test_anduril_outcome_carries_coverage_by_default(self):
+        outcome = run_anduril(get_case("f1"), max_rounds=120)
+        assert outcome.coverage is not None
+        assert outcome.coverage["space"] > 0
+        assert 0 < outcome.coverage["planned"] <= outcome.coverage["space"]
+
+    def test_coverage_can_be_disabled(self):
+        outcome = run_anduril(get_case("f1"), max_rounds=120, coverage=False)
+        assert outcome.coverage is None
+
+    def test_baseline_outcome_carries_comparable_coverage(self):
+        anduril = run_anduril(get_case("f1"), max_rounds=120)
+        baseline = run_baseline(
+            "exhaustive", get_case("f1"), max_rounds=120, max_seconds=20.0
+        )
+        assert baseline.coverage is not None
+        # Same case, same enumeration inputs: identical space size makes
+        # the planned/fired fractions directly comparable.
+        assert baseline.coverage["space"] == anduril.coverage["space"]
+
+
+class TestSummaryCoverageSection:
+    def setup_method(self):
+        bench_summary.clear()
+        obs_metrics.reset()
+
+    def teardown_method(self):
+        bench_summary.clear()
+        obs_metrics.reset()
+
+    def test_coverage_section_compares_strategies(self):
+        anduril = run_anduril(get_case("f1"), max_rounds=120)
+        bench_summary.record_outcome(anduril)
+        for name in ("exhaustive", "fate"):
+            outcome = run_baseline(
+                name, get_case("f1"), max_rounds=120, max_seconds=20.0
+            )
+            bench_summary.record_strategy_outcome(outcome)
+        document = bench_summary.summarize()
+        coverage = document["coverage"]
+        assert set(coverage) == {"anduril", "exhaustive", "fate"}
+        for strategy in coverage:
+            assert "f1" in coverage[strategy]
+            assert coverage[strategy]["f1"]["space"] > 0
+
+    def test_stub_outcomes_without_coverage_still_record(self):
+        bench_summary.record_outcome(StubOutcome("f1"))
+        bench_summary.record_strategy_outcome(
+            StubStrategyOutcome("random", "f1")
+        )
+        document = bench_summary.summarize()
+        assert document["cases"]["f1"]["success"] is True
+        assert "coverage" not in document
+
+    def test_clear_resets_strategy_registry(self):
+        bench_summary.record_strategy_outcome(
+            StubStrategyOutcome("random", "f1", coverage={"space": 1})
+        )
+        bench_summary.clear()
+        assert "coverage" not in bench_summary.summarize()
+
+    def test_written_summary_keeps_round_records_on_one_line(self, tmp_path):
+        """The tracked artifact stays reviewable: integer-only arrays
+        (the coverage rounds series) collapse to single lines while the
+        JSON round-trips unchanged."""
+        import json
+
+        coverage = {
+            "space": 4,
+            "planned": 2,
+            "fired": 1,
+            "noop": 0,
+            "planned_outside": 0,
+            "planned_fraction": 0.5,
+            "fired_fraction": 0.25,
+            "noop_fraction": 0.0,
+            "rounds": [[1, 1, 1, 0, 1], [2, 1, 2, 1, 1]],
+        }
+        bench_summary.record_strategy_outcome(
+            StubStrategyOutcome("random", "f1", coverage=coverage)
+        )
+        bench_summary.record_outcome(StubOutcome("f1"))
+        path = bench_summary.write_bench_summary(str(tmp_path / "s.json"))
+        text = open(path, encoding="utf-8").read()
+        assert '"rounds": [[1, 1, 1, 0, 1], [2, 1, 2, 1, 1]]' in text
+        assert json.loads(text) == bench_summary.summarize()

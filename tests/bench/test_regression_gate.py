@@ -150,6 +150,116 @@ class TestExitOne:
         assert "median seconds regressed" in stderr
 
 
+def make_ledger_entry(case_id, success=True, rounds=1, seconds=1.0,
+                      strategy="anduril", schema=1):
+    return {
+        "schema": schema,
+        "git_sha": "abc1234",
+        "case_id": case_id,
+        "strategy": strategy,
+        "seed": 0,
+        "jobs": 1,
+        "success": success,
+        "rounds": rounds,
+        "seconds": seconds,
+    }
+
+
+def write_ledger(path, entries):
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in entries:
+            if isinstance(entry, str):
+                handle.write(entry + "\n")
+            else:
+                handle.write(json.dumps(entry) + "\n")
+    return str(path)
+
+
+class TestHistoryMode:
+    def _files(self, tmp_path, current_cases=BASE_CASES, seconds=1.0):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(current_cases, seconds)
+        )
+        return baseline, current
+
+    def test_stable_history_passes(self, tmp_path):
+        baseline, current = self._files(tmp_path)
+        ledger = write_ledger(
+            tmp_path / "ledger.jsonl",
+            [make_ledger_entry(cid) for cid in BASE_CASES for _ in range(3)],
+        )
+        code, stdout, stderr = run_gate(
+            baseline, current, "--history", ledger
+        )
+        assert code == 0, stderr
+        assert "rolling baseline" in stdout
+
+    def test_regression_against_history_fails(self, tmp_path):
+        broken = {
+            **BASE_CASES,
+            "f2": {"success": False, "rounds": 40, "seconds": 1.0},
+        }
+        baseline, current = self._files(tmp_path, current_cases=broken)
+        ledger = write_ledger(
+            tmp_path / "ledger.jsonl",
+            [make_ledger_entry(cid) for cid in BASE_CASES],
+        )
+        code, _, stderr = run_gate(baseline, current, "--history", ledger)
+        assert code == 1
+        assert "f2 no longer reproduces" in stderr
+
+    def test_window_limits_how_far_back_the_baseline_looks(self, tmp_path):
+        # Old entries say f1 failed; the recent window says it succeeds,
+        # so the rolling expectation follows the recent runs.
+        entries = [make_ledger_entry("f1", success=False)] * 5
+        entries += [make_ledger_entry("f1", success=True)] * 3
+        entries += [
+            make_ledger_entry(cid) for cid in ("f2", "f3") for _ in range(3)
+        ]
+        baseline, current = self._files(tmp_path)
+        ledger = write_ledger(tmp_path / "ledger.jsonl", entries)
+        code, stdout, stderr = run_gate(
+            baseline, current, "--history", ledger, "--history-window", "3"
+        )
+        assert code == 0, stderr
+        assert "last 3 run(s)/case" in stdout
+
+    def test_missing_ledger_falls_back_to_committed_baseline(self, tmp_path):
+        baseline, current = self._files(tmp_path)
+        code, stdout, stderr = run_gate(
+            baseline, current, "--history", str(tmp_path / "absent.jsonl")
+        )
+        assert code == 0, stderr
+        assert "ledger history unusable" in stdout
+
+    def test_junk_lines_and_foreign_strategies_are_skipped(self, tmp_path):
+        entries = [
+            "",                                         # blank
+            "{not json",                                # malformed
+            make_ledger_entry("f9", strategy="random"),  # not anduril
+            make_ledger_entry("f8", schema=99),          # newer schema
+        ]
+        entries += [make_ledger_entry(cid) for cid in BASE_CASES]
+        baseline, current = self._files(tmp_path)
+        ledger = write_ledger(tmp_path / "ledger.jsonl", entries)
+        code, stdout, stderr = run_gate(baseline, current, "--history", ledger)
+        assert code == 0, stderr
+        # Only the three anduril BASE_CASES entries were usable.
+        assert "3 entries" in stdout
+
+    def test_all_junk_ledger_falls_back(self, tmp_path):
+        baseline, current = self._files(tmp_path)
+        ledger = write_ledger(
+            tmp_path / "ledger.jsonl", ["{not json", ""]
+        )
+        code, stdout, stderr = run_gate(baseline, current, "--history", ledger)
+        assert code == 0, stderr
+        assert "ledger history unusable" in stdout
+
+
 class TestExitTwo:
     def test_missing_file(self, tmp_path):
         baseline = write_summary(

@@ -1,0 +1,61 @@
+"""Coverage accounting is deterministic and purely observational.
+
+Two invariants, checked on one case per mini system:
+
+* ``explore(jobs=N)`` produces **byte-identical** coverage to
+  ``explore(jobs=1)`` — coverage derives only from committed rounds, so
+  speculation must not leak into it;
+* tracking coverage does not change the search itself (same signature as
+  an untracked run), mirroring the traced-vs-untraced equivalence.
+"""
+
+import json
+
+import pytest
+
+from repro.failures import all_cases, get_case
+
+
+def one_case_per_system():
+    chosen = {}
+    for case in all_cases():
+        chosen.setdefault(case.system, case.case_id)
+    return sorted(chosen.values())
+
+
+@pytest.mark.parametrize("case_id", one_case_per_system())
+def test_parallel_coverage_matches_serial_byte_for_byte(case_id):
+    case = get_case(case_id)
+    serial = case.explorer(max_rounds=40, track_coverage=True).explore(jobs=1)
+    parallel = case.explorer(max_rounds=40, track_coverage=True).explore(jobs=4)
+    assert serial.coverage is not None
+    assert parallel.coverage is not None
+    assert json.dumps(parallel.coverage.to_dict(), sort_keys=True) == \
+        json.dumps(serial.coverage.to_dict(), sort_keys=True)
+    assert parallel.signature() == serial.signature()
+
+
+def test_coverage_tracking_leaves_the_search_unchanged():
+    case = get_case("f17")
+    plain = case.explorer(max_rounds=120).explore()
+    tracked = case.explorer(max_rounds=120, track_coverage=True).explore()
+    assert tracked.signature() == plain.signature()
+    assert plain.coverage is None
+    assert tracked.coverage is not None
+
+
+def test_coverage_accounts_the_committed_rounds():
+    case = get_case("f17")
+    result = case.explorer(max_rounds=120, track_coverage=True).explore()
+    assert result.success
+    coverage = result.coverage
+    assert len(coverage.rounds) == result.rounds
+    # The reproducing search fired at least one instance and planned at
+    # least as many as it fired, all within the enumerated space.
+    assert 1 <= coverage.fired <= coverage.planned <= coverage.space_size
+    assert 0.0 < coverage.planned_fraction <= 1.0
+    # Cumulative series are monotone.
+    planned_series = [r.planned for r in coverage.rounds]
+    fired_series = [r.fired for r in coverage.rounds]
+    assert planned_series == sorted(planned_series)
+    assert fired_series == sorted(fired_series)

@@ -1,0 +1,161 @@
+"""Unit tests for fault-space coverage accounting (``repro.obs.coverage``)."""
+
+import dataclasses
+import json
+
+from repro.obs.coverage import (
+    NULL_COVERAGE,
+    CoverageTracker,
+    NullCoverageTracker,
+    enumerate_fault_space,
+    occurrences_from_trace,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    site_id: str
+    exception: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Instance:
+    site_id: str
+    exception: str
+    occurrence: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Trace:
+    site_id: str
+    occurrence: int
+
+
+class TestEnumerateFaultSpace:
+    def test_crosses_candidates_with_occurrences(self):
+        space = enumerate_fault_space(
+            [Candidate("a", "IOError"), Candidate("b", "Timeout")],
+            {"a": 3, "b": 1},
+        )
+        assert ("a", "IOError", 1) in space
+        assert ("a", "IOError", 3) in space
+        assert ("b", "Timeout", 1) in space
+        assert len(space) == 4
+
+    def test_unobserved_site_gets_one_speculative_occurrence(self):
+        space = enumerate_fault_space([Candidate("ghost", "IOError")], {})
+        assert space == {("ghost", "IOError", 1)}
+
+    def test_per_site_cap_applies(self):
+        space = enumerate_fault_space(
+            [Candidate("a", "IOError")], {"a": 10}, max_instances_per_site=2
+        )
+        assert space == {("a", "IOError", 1), ("a", "IOError", 2)}
+
+    def test_two_exceptions_per_site_are_distinct_points(self):
+        space = enumerate_fault_space(
+            [Candidate("a", "IOError"), Candidate("a", "Timeout")], {"a": 2}
+        )
+        assert len(space) == 4
+
+
+class TestOccurrencesFromTrace:
+    def test_takes_the_max_occurrence_per_site(self):
+        trace = [Trace("a", 1), Trace("b", 1), Trace("a", 2), Trace("a", 3)]
+        assert occurrences_from_trace(trace) == {"a": 3, "b": 1}
+
+    def test_empty_trace(self):
+        assert occurrences_from_trace([]) == {}
+
+
+class TestCoverageTracker:
+    def _tracker(self):
+        return CoverageTracker(
+            enumerate_fault_space(
+                [Candidate("a", "IOError"), Candidate("b", "Timeout")],
+                {"a": 2, "b": 2},
+            )
+        )
+
+    def test_fired_round_counts_planned_and_fired(self):
+        tracker = self._tracker()
+        window = [Instance("a", "IOError", 1), Instance("b", "Timeout", 1)]
+        tracker.record_round(1, window, Instance("a", "IOError", 1))
+        summary = tracker.summary()
+        assert summary.space_size == 4
+        assert summary.planned == 2
+        assert summary.fired == 1
+        assert summary.noop == 0
+        assert summary.planned_fraction == 0.5
+        assert summary.fired_fraction == 0.25
+
+    def test_dry_round_marks_window_as_noop(self):
+        tracker = self._tracker()
+        window = [Instance("b", "Timeout", 2)]
+        tracker.record_round(1, window, None)
+        summary = tracker.summary()
+        assert summary.planned == 1
+        assert summary.fired == 0
+        assert summary.noop == 1
+
+    def test_out_of_space_instances_counted_separately(self):
+        tracker = self._tracker()
+        tracker.record_round(1, [Instance("zz", "IOError", 9)], None)
+        summary = tracker.summary()
+        assert summary.planned == 0
+        assert summary.planned_outside == 1
+
+    def test_out_of_space_firing_stays_out_of_fired(self):
+        tracker = self._tracker()
+        outside = Instance("zz", "IOError", 9)
+        tracker.record_round(1, [outside], outside)
+        summary = tracker.summary()
+        assert summary.fired == 0
+        assert summary.planned_outside == 1
+
+    def test_round_records_accumulate(self):
+        tracker = self._tracker()
+        tracker.record_round(1, [Instance("a", "IOError", 1)], None)
+        tracker.record_round(
+            2,
+            [Instance("a", "IOError", 2), Instance("b", "Timeout", 1)],
+            Instance("a", "IOError", 2),
+        )
+        rounds = tracker.summary().rounds
+        assert [r.as_list() for r in rounds] == [
+            [1, 1, 1, 0, 1],
+            [2, 2, 3, 1, 1],
+        ]
+
+    def test_replanning_the_same_instance_is_not_new(self):
+        tracker = self._tracker()
+        window = [Instance("a", "IOError", 1)]
+        tracker.record_round(1, window, None)
+        tracker.record_round(2, window, None)
+        assert tracker.summary().rounds[1].planned_new == 0
+        assert tracker.summary().planned == 1
+
+    def test_to_dict_is_json_stable(self):
+        tracker = self._tracker()
+        tracker.record_round(1, [Instance("a", "IOError", 1)], None)
+        document = tracker.summary().to_dict()
+        assert json.loads(json.dumps(document)) == document
+        assert document["space"] == 4
+        assert document["rounds"] == [[1, 1, 1, 0, 1]]
+        assert document["planned_fraction"] == 0.25
+
+    def test_empty_space_fractions_are_zero(self):
+        tracker = CoverageTracker(frozenset())
+        summary = tracker.summary()
+        assert summary.planned_fraction == 0.0
+        assert summary.fired_fraction == 0.0
+
+
+class TestNullCoverage:
+    def test_singleton_is_disabled(self):
+        assert NULL_COVERAGE.enabled is False
+        assert isinstance(NULL_COVERAGE, NullCoverageTracker)
+
+    def test_all_operations_are_noops(self):
+        NULL_COVERAGE.record_round(1, [Instance("a", "IOError", 1)], None)
+        assert NULL_COVERAGE.summary() is None

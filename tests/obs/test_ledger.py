@@ -1,0 +1,140 @@
+"""Tests for the persistent run ledger (``repro.obs.ledger``)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs import ledger
+
+
+@dataclasses.dataclass
+class Outcome:
+    case_id: str
+    success: bool
+    rounds: int
+    seconds: float
+    coverage: dict = None
+    metrics: dict = None
+
+
+class TestMakeEntry:
+    def test_entry_shape(self):
+        entry = ledger.make_entry(
+            case_id="f1",
+            strategy="anduril",
+            success=True,
+            rounds=3,
+            seconds=0.25,
+            seed=7,
+            jobs=2,
+            sha="abc1234",
+        )
+        assert entry["schema"] == ledger.SCHEMA_VERSION
+        assert entry["case_id"] == "f1"
+        assert entry["strategy"] == "anduril"
+        assert entry["success"] is True
+        assert entry["rounds"] == 3
+        assert entry["seconds"] == 0.25
+        assert entry["seed"] == 7
+        assert entry["jobs"] == 2
+        assert entry["git_sha"] == "abc1234"
+        assert "recorded_at" in entry
+        assert "coverage" not in entry  # only present when provided
+
+    def test_coverage_and_metrics_pass_through(self):
+        entry = ledger.make_entry(
+            case_id="f1",
+            strategy="anduril",
+            success=True,
+            rounds=1,
+            seconds=0.1,
+            coverage={"space": 10, "planned": 2},
+            metrics={"fir.requests": 5.0},
+        )
+        assert entry["coverage"] == {"space": 10, "planned": 2}
+        assert entry["metrics"] == {"fir.requests": 5.0}
+
+    def test_entry_from_outcome_duck_types(self):
+        outcome = Outcome("f2", False, 40, 1.5, coverage={"space": 3})
+        entry = ledger.entry_from_outcome(
+            outcome, strategy="random", seed=1, jobs=1, sha="deadbee"
+        )
+        assert entry["case_id"] == "f2"
+        assert entry["strategy"] == "random"
+        assert entry["success"] is False
+        assert entry["coverage"] == {"space": 3}
+
+    def test_entry_key_identity(self):
+        entry = ledger.make_entry(
+            case_id="f1",
+            strategy="anduril",
+            success=True,
+            rounds=1,
+            seconds=0.1,
+            seed=3,
+            jobs=4,
+            sha="abc",
+        )
+        assert ledger.entry_key(entry) == ("abc", "f1", "anduril", 3, 4)
+
+    def test_git_sha_is_cached_and_nonempty(self):
+        assert ledger.git_sha()
+        assert ledger.git_sha() is ledger.git_sha()
+
+
+class TestAppendAndRead:
+    def _entry(self, case_id="f1", **overrides):
+        fields = dict(
+            case_id=case_id,
+            strategy="anduril",
+            success=True,
+            rounds=2,
+            seconds=0.2,
+            sha="abc",
+        )
+        fields.update(overrides)
+        return ledger.make_entry(**fields)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        written = [self._entry("f1"), self._entry("f2", success=False)]
+        assert ledger.append_entries(written, path=str(path)) == str(path)
+        assert ledger.read_entries(str(path)) == written
+
+    def test_append_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deeply" / "nested" / "ledger.jsonl"
+        ledger.append_entries([self._entry()], path=str(path))
+        assert path.exists()
+
+    def test_append_is_append_only(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger.append_entries([self._entry("f1")], path=path)
+        ledger.append_entries([self._entry("f2")], path=path)
+        cases = [e["case_id"] for e in ledger.read_entries(path)]
+        assert cases == ["f1", "f2"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert ledger.read_entries(str(tmp_path / "absent.jsonl")) == []
+
+    def test_reader_skips_junk_and_newer_schemas_with_warning(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        good = self._entry()
+        lines = [
+            "",                                        # blank
+            "{not json",                               # malformed
+            json.dumps(["not", "an", "object"]),       # wrong shape
+            json.dumps({**good, "schema": ledger.SCHEMA_VERSION + 1}),
+            json.dumps(good, sort_keys=True),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="skipped 3"):
+            entries = ledger.read_entries(str(path))
+        assert entries == [good]
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger.append_entries([self._entry()], path=str(path))
+        line = path.read_text(encoding="utf-8").strip()
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)

@@ -1,0 +1,197 @@
+"""Tests for plan provenance (``repro.obs.provenance``)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.failures import get_case
+from repro.obs import TraceRecorder, VIRTUAL, build_plan_provenance
+
+
+@dataclasses.dataclass(frozen=True)
+class Instance:
+    site_id: str
+    exception: str
+    occurrence: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Script:
+    case_id: str
+    extra_instances: tuple = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Result:
+    success: bool
+    injected: Instance
+    script: Script
+
+
+def _recorded_search():
+    """A synthetic trace covering the full provenance chain."""
+    recorder = TraceRecorder()
+    recorder.event(
+        "explorer.rerank",
+        "explorer",
+        round=1,
+        rank=2,
+        window_size=4,
+        top=[
+            ["other", "Timeout", 1, 1.0, "warn other"],
+            ["s1", "IOError", 2, 3.0, "error lost quorum"],
+        ],
+    )
+    recorder.event(
+        "observable.adjust", "feedback", key="error lost quorum", old=0, new=1
+    )
+    recorder.event(
+        "explorer.rerank",
+        "explorer",
+        round=2,
+        rank=1,
+        window_size=4,
+        top=[["s1", "IOError", 2, 1.5, "error lost quorum"]],
+    )
+    recorder.event(
+        "explorer.plan",
+        "explorer",
+        round=2,
+        site="s1",
+        exception="IOError",
+        occurrence=2,
+        window_position=1,
+        window_size=4,
+        priority=1.5,
+        observable="error lost quorum",
+        satisfied=True,
+    )
+    recorder.event(
+        "fir.inject",
+        "fir",
+        clock=VIRTUAL,
+        ts=7.5,
+        site="s1",
+        occurrence=2,
+        exception="IOError",
+        base_fault=False,
+        log_index=42,
+    )
+    result = Result(
+        success=True,
+        injected=Instance("s1", "IOError", 2),
+        script=Script(case_id="fX"),
+    )
+    return recorder, result
+
+
+class TestSyntheticChain:
+    def test_chain_covers_every_step_kind(self):
+        recorder, result = _recorded_search()
+        provenance = build_plan_provenance(recorder, result)
+        assert provenance.case_id == "fX"
+        assert len(provenance.chains) == 1
+        chain = provenance.chains[0]
+        assert chain.instance_id == "s1!IOError@2"
+        kinds = [step.kind for step in chain.steps]
+        assert kinds == ["evidence", "adjust", "rank", "rank", "plan", "inject"]
+
+    def test_adjust_attributed_to_enclosing_round(self):
+        recorder, result = _recorded_search()
+        chain = build_plan_provenance(recorder, result).chains[0]
+        adjust = next(s for s in chain.steps if s.kind == "adjust")
+        assert adjust.round_number == 1
+        assert adjust.detail == {
+            "observable": "error lost quorum",
+            "old": 0,
+            "new": 1,
+        }
+
+    def test_rank_steps_track_window_movement(self):
+        recorder, result = _recorded_search()
+        chain = build_plan_provenance(recorder, result).chains[0]
+        positions = [
+            (s.round_number, s.detail["window_position"])
+            for s in chain.steps
+            if s.kind == "rank"
+        ]
+        assert positions == [(1, 2), (2, 1)]
+
+    def test_text_rendering_reads_as_a_chain(self):
+        recorder, result = _recorded_search()
+        text = build_plan_provenance(recorder, result).to_text()
+        assert "instance s1!IOError@2" in text
+        assert "evidence" in text
+        assert "I_k 0 -> 1" in text
+        assert "window position 1/4" in text
+        assert "oracle satisfied" in text
+        assert "t=7.5s" in text
+
+    def test_json_shape_round_trips(self):
+        recorder, result = _recorded_search()
+        provenance = build_plan_provenance(recorder, result)
+        document = json.loads(provenance.to_json())
+        assert document["case_id"] == "fX"
+        steps = document["chains"][0]["steps"]
+        assert steps[0]["kind"] == "evidence"
+        assert steps[-1]["kind"] == "inject"
+
+    def test_failed_search_is_rejected(self):
+        recorder, _ = _recorded_search()
+        failed = Result(success=False, injected=None, script=None)
+        with pytest.raises(ValueError, match="reproducing plan"):
+            build_plan_provenance(recorder, failed)
+
+    def test_base_faults_keep_only_the_final_inject(self):
+        recorder, result = _recorded_search()
+        # A base fault fires on every round's run; only the last firing
+        # (the reproducing run's) should survive in its chain.
+        for ts in (1.0, 2.0, 3.0):
+            recorder.event(
+                "fir.inject",
+                "fir",
+                clock=VIRTUAL,
+                ts=ts,
+                site="base",
+                occurrence=1,
+                exception="Crash",
+                base_fault=True,
+                log_index=int(ts),
+            )
+        with_base = Result(
+            success=True,
+            injected=result.injected,
+            script=Script(
+                case_id="fX", extra_instances=(Instance("base", "Crash", 1),)
+            ),
+        )
+        provenance = build_plan_provenance(recorder, with_base)
+        assert len(provenance.chains) == 2
+        base_chain = provenance.chains[1]
+        injects = [s for s in base_chain.steps if s.kind == "inject"]
+        assert len(injects) == 1
+        assert injects[0].detail["virtual_time"] == 3.0
+        assert injects[0].detail["base_fault"] is True
+
+
+class TestEndToEnd:
+    def test_real_search_yields_a_chain_per_injected_instance(self):
+        case = get_case("f17")
+        recorder = TraceRecorder()
+        result = case.explorer(max_rounds=120, recorder=recorder).explore()
+        assert result.success
+        provenance = build_plan_provenance(recorder, result)
+        expected = 1 + len(result.script.extra_instances)
+        assert len(provenance.chains) == expected
+        main_chain = provenance.chains[0]
+        assert main_chain.site_id == result.injected.site_id
+        kinds = {step.kind for step in main_chain.steps}
+        # The reproducing instance must at minimum show its rank history,
+        # its plan inclusion, and the FIR's injection confirmation.
+        assert {"rank", "plan", "inject"} <= kinds
+        plan = next(s for s in main_chain.steps if s.kind == "plan")
+        assert plan.detail["satisfied"] is True
+        assert plan.round_number == result.rounds
+        text = provenance.to_text()
+        assert main_chain.instance_id in text

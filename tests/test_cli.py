@@ -6,6 +6,16 @@ import pytest
 
 from repro.__main__ import main
 from repro.failures import all_cases
+from repro.obs import ledger
+
+
+@pytest.fixture(autouse=True)
+def isolated_ledger(tmp_path, monkeypatch):
+    """Point the default run ledger at a temp file so CLI tests never
+    append to the repository's benchmarks/out/ledger.jsonl."""
+    path = tmp_path / "ledger.jsonl"
+    monkeypatch.setattr(ledger, "DEFAULT_PATH", str(path))
+    return path
 
 
 def run_cli(capsys, *argv):
@@ -116,6 +126,120 @@ class TestTrace:
         assert code == 0
         assert "== counters ==" in out
         assert "fir.requests" in out
+
+    def test_trace_out_creates_parent_directories(self, capsys, tmp_path):
+        out_path = tmp_path / "does" / "not" / "exist" / "trace.json"
+        code, _ = run_cli(capsys, "trace", "f1", "--out", str(out_path))
+        assert code == 0
+        assert "traceEvents" in json.loads(out_path.read_text())
+
+    def test_trace_out_unwritable_exits_nonzero(self, capsys, tmp_path):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("", encoding="utf-8")
+        code = main(
+            ["trace", "f1", "--out", str(blocker / "trace.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write trace" in captured.err
+
+
+class TestLedger:
+    def test_reproduce_appends_an_entry(self, capsys, isolated_ledger):
+        code, _ = run_cli(capsys, "reproduce", "f4")
+        assert code == 0
+        entries = ledger.read_entries(str(isolated_ledger))
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["case_id"] == "f4"
+        assert entry["strategy"] == "anduril"
+        assert entry["success"] is True
+        assert entry["coverage"]["space"] > 0
+
+    def test_no_ledger_flag_skips_the_append(self, capsys, isolated_ledger):
+        code, _ = run_cli(capsys, "reproduce", "f4", "--no-ledger")
+        assert code == 0
+        assert not isolated_ledger.exists()
+
+    def test_explicit_ledger_path(self, capsys, tmp_path):
+        custom = tmp_path / "custom" / "runs.jsonl"
+        code, _ = run_cli(
+            capsys, "reproduce", "f4", "--ledger", str(custom)
+        )
+        assert code == 0
+        assert len(ledger.read_entries(str(custom))) == 1
+
+    def test_compare_appends_one_entry_per_cell(
+        self, capsys, isolated_ledger
+    ):
+        code, _ = run_cli(capsys, "compare", "f1", "--jobs", "1")
+        assert code == 0
+        entries = ledger.read_entries(str(isolated_ledger))
+        strategies = {entry["strategy"] for entry in entries}
+        assert "anduril" in strategies
+        assert len(strategies) >= 3  # anduril + the baseline strategies
+        assert all(entry["case_id"] == "f1" for entry in entries)
+
+
+class TestExplain:
+    def test_prints_a_chain_for_the_injected_instance(self, capsys):
+        code, out = run_cli(capsys, "explain", "f4")
+        assert code == 0
+        assert "provenance for f4" in out
+        assert "instance " in out
+        assert "plan: armed at window position" in out
+        assert "inject: FIR raised" in out
+        assert "search touched" in out
+
+    def test_json_format_is_structured(self, capsys):
+        code, out = run_cli(capsys, "explain", "f4", "--format", "json")
+        assert code == 0
+        document = json.loads(out)
+        assert document["case_id"] == "f4"
+        assert document["chains"]
+        kinds = {step["kind"] for step in document["chains"][0]["steps"]}
+        assert {"plan", "inject"} <= kinds
+
+    def test_unreproduced_case_exits_one(self, capsys):
+        code = main(["explain", "f17", "--max-rounds", "1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "not reproduced" in captured.err
+
+
+class TestReport:
+    def test_report_writes_self_contained_html(self, capsys, tmp_path):
+        out_path = tmp_path / "nested" / "report.html"
+        code, out = run_cli(capsys, "report", "--out", str(out_path))
+        assert code == 0
+        assert str(out_path) in out
+        html_text = out_path.read_text(encoding="utf-8")
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "<script" not in html_text
+
+    def test_report_aggregates_a_custom_artifact_dir(self, capsys, tmp_path):
+        (tmp_path / "table2_efficacy.txt").write_text(
+            "Table 2 body", encoding="utf-8"
+        )
+        out_path = tmp_path / "report.html"
+        code, _ = run_cli(
+            capsys,
+            "report",
+            "--out",
+            str(out_path),
+            "--dir",
+            str(tmp_path),
+        )
+        assert code == 0
+        assert "Table 2 body" in out_path.read_text(encoding="utf-8")
+
+    def test_unwritable_report_path_exits_nonzero(self, capsys, tmp_path):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("", encoding="utf-8")
+        code = main(["report", "--out", str(blocker / "report.html")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write report" in captured.err
 
 
 class TestProfile:

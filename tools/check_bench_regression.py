@@ -12,19 +12,34 @@ build when the campaign got *worse*:
   ``--min-median-seconds`` so sub-millisecond campaigns don't flap on
   runner noise.
 
+With ``--history LEDGER``, the baseline is derived from the run ledger
+(``benchmarks/out/ledger.jsonl``) instead: the last ``--history-window``
+ANDURIL entries per case (majority success, median rounds/seconds) form
+a rolling expectation, so the gate tracks the campaign's own recent
+history rather than a hand-refreshed snapshot.  When the ledger is
+missing or unusable the gate falls back to the positional baseline and
+says so.
+
 Exit codes: 0 = no regression, 1 = regression, 2 = usage/IO error.
 
 Usage::
 
     python tools/check_bench_regression.py \
-        benchmarks/bench_baseline.json benchmarks/out/bench_summary.json
+        benchmarks/bench_baseline.json benchmarks/out/bench_summary.json \
+        [--history benchmarks/out/ledger.jsonl]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
+
+#: Highest ledger schema this gate understands (mirrors
+#: ``repro.obs.ledger.SCHEMA_VERSION``; the tool stays import-free so CI
+#: can run it without PYTHONPATH=src).
+LEDGER_SCHEMA_VERSION = 1
 
 
 def load_summary(path: str) -> dict:
@@ -33,6 +48,68 @@ def load_summary(path: str) -> dict:
     if "cases" not in document:
         raise ValueError(f"{path}: not a bench summary (missing 'cases')")
     return document
+
+
+def baseline_from_ledger(path: str, window: int) -> dict:
+    """Synthesize a baseline summary from the ledger's recent history.
+
+    Per case, the last ``window`` ANDURIL entries vote: success if the
+    majority reproduced; rounds/seconds are the window medians.  Raises
+    ``ValueError`` when no usable entries exist (caller falls back).
+    """
+    by_case: dict[str, list[dict]] = {}
+    usable = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if (
+                not isinstance(entry, dict)
+                or int(entry.get("schema", 0)) > LEDGER_SCHEMA_VERSION
+                or entry.get("strategy") != "anduril"
+                or not entry.get("case_id")
+            ):
+                continue
+            usable += 1
+            by_case.setdefault(str(entry["case_id"]), []).append(entry)
+    if not by_case:
+        raise ValueError(f"{path}: no usable anduril ledger entries")
+
+    cases: dict[str, dict] = {}
+    for case_id, entries in by_case.items():
+        recent = entries[-window:]
+        successes = sum(1 for e in recent if e.get("success"))
+        cases[case_id] = {
+            "success": successes * 2 > len(recent),
+            "rounds": statistics.median(
+                int(e.get("rounds", 0)) for e in recent
+            ),
+            "seconds": round(
+                statistics.median(
+                    float(e.get("seconds", 0.0)) for e in recent
+                ),
+                6,
+            ),
+        }
+    seconds = [entry["seconds"] for entry in cases.values()]
+    rounds = [entry["rounds"] for entry in cases.values()]
+    return {
+        "cases": cases,
+        "case_count": len(cases),
+        "successes": sum(1 for entry in cases.values() if entry["success"]),
+        "median_seconds": round(statistics.median(seconds), 6),
+        "median_rounds": statistics.median(rounds),
+        "history": {
+            "path": path,
+            "window": window,
+            "entries_used": usable,
+        },
+    }
 
 
 def compare(
@@ -92,6 +169,18 @@ def main(argv=None) -> int:
         default=0.05,
         help="skip the seconds check below this baseline median (noise floor)",
     )
+    parser.add_argument(
+        "--history",
+        metavar="LEDGER",
+        help="derive the baseline from this run-ledger JSONL instead of "
+        "the committed snapshot (falls back to it when unusable)",
+    )
+    parser.add_argument(
+        "--history-window",
+        type=int,
+        default=5,
+        help="ledger entries per case the rolling baseline uses (default 5)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -101,11 +190,28 @@ def main(argv=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    baseline_label = "baseline"
+    if args.history:
+        try:
+            baseline = baseline_from_ledger(args.history, args.history_window)
+            baseline_label = "history "
+            print(
+                f"rolling baseline from {args.history} "
+                f"(last {args.history_window} run(s)/case, "
+                f"{baseline['history']['entries_used']} entries)"
+            )
+        except (OSError, ValueError) as error:
+            print(
+                f"note: ledger history unusable ({error}); falling back to "
+                f"{args.baseline}"
+            )
+
     problems = compare(
         baseline, current, args.max_slowdown, args.min_median_seconds
     )
     print(
-        f"baseline: {baseline.get('successes')}/{baseline.get('case_count')} "
+        f"{baseline_label}: "
+        f"{baseline.get('successes')}/{baseline.get('case_count')} "
         f"reproduced, median {baseline.get('median_seconds')}s, "
         f"median rounds {baseline.get('median_rounds')}"
     )
