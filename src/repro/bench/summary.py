@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import json
 import os
-import re
 import statistics
 from typing import Optional
 
@@ -124,20 +123,52 @@ def coverage_section(anduril_cases: Optional[dict[str, dict]] = None) -> dict:
     return section
 
 
-# Pretty-printed JSON puts every array element on its own line, which
-# explodes the coverage rounds series (hundreds of 5-int records per
-# case x strategy) into tens of thousands of lines in the tracked
-# artifact.  Collapse integer-only arrays — and arrays of such arrays —
-# onto one line; float/string arrays keep the indented layout.
-_INT_ARRAY = re.compile(r"\[\s+(-?\d+(?:,\s+-?\d+)*)\s+\]")
-_INT_MATRIX = re.compile(r"\[\s+(\[[-0-9, ]*\](?:,\s+\[[-0-9, ]*\])*)\s+\]")
+def _is_plain_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _compactable(node) -> bool:
+    """Integer-only arrays, and matrices of integer-only rows."""
+    if not isinstance(node, list) or not node:
+        return False
+    if all(_is_plain_int(item) for item in node):
+        return True
+    return all(
+        isinstance(item, list) and all(_is_plain_int(cell) for cell in item)
+        for item in node
+    )
 
 
 def _compact_dumps(document) -> str:
-    text = json.dumps(document, indent=2)
-    joined = lambda match: "[" + re.sub(r",\s+", ", ", match.group(1)) + "]"
-    text = _INT_ARRAY.sub(joined, text)
-    text = _INT_MATRIX.sub(joined, text)
+    # Pretty-printed JSON puts every array element on its own line, which
+    # explodes the coverage rounds series (hundreds of 5-int records per
+    # case x strategy) into tens of thousands of lines in the tracked
+    # artifact.  Collapse integer-only arrays — and matrices of them —
+    # onto one line, structurally: compactable nodes are swapped for
+    # unique marker strings before the indented dump, and the quoted
+    # markers are then replaced with their compact serialization.
+    # Genuine string values are never rewritten, whatever they contain —
+    # the marker is grown until its escaped form appears nowhere in the
+    # serialized document.
+    raw = json.dumps(document)
+    marker = "\x00compact\x00"
+    while json.dumps(marker)[1:-1] in raw:
+        marker += "\x00"
+    compacted: list[str] = []
+
+    def mark(node):
+        if isinstance(node, dict):
+            return {key: mark(value) for key, value in node.items()}
+        if isinstance(node, list):
+            if _compactable(node):
+                compacted.append(json.dumps(node))
+                return f"{marker}{len(compacted) - 1}"
+            return [mark(item) for item in node]
+        return node
+
+    text = json.dumps(mark(document), indent=2)
+    for index, replacement in enumerate(compacted):
+        text = text.replace(json.dumps(f"{marker}{index}"), replacement)
     return text + "\n"
 
 

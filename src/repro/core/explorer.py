@@ -144,6 +144,26 @@ class PreparedSearch:
     prepare_seconds: float
 
 
+def _window_entry_for(window, injected):
+    """Locate the fired instance in the round's window: ``(position,
+    entry)``, or ``None`` when it came from outside the window.
+
+    Matches the full ``(site, exception, occurrence)`` identity —
+    mirroring ``repro.obs.provenance._matches`` — so two candidates
+    sharing a site and occurrence under different exceptions never swap
+    provenance.
+    """
+    for position, entry in enumerate(window, start=1):
+        instance = entry.instance
+        if (
+            instance.site_id == injected.site_id
+            and instance.exception == injected.exception
+            and instance.occurrence == injected.occurrence
+        ):
+            return position, entry
+    return None
+
+
 class Explorer:
     """Searches the fault space to reproduce one failure."""
 
@@ -510,26 +530,22 @@ class Explorer:
                     # Plan-inclusion provenance: where the fired instance
                     # sat in this round's window, and via which observable
                     # k* it earned that position (repro.obs.provenance).
-                    for position, entry in enumerate(window, start=1):
-                        if (
-                            entry.instance.site_id == injected.site_id
-                            and entry.instance.occurrence
-                            == injected.occurrence
-                        ):
-                            obs.event(
-                                "explorer.plan",
-                                "explorer",
-                                round=round_number,
-                                site=injected.site_id,
-                                exception=injected.exception,
-                                occurrence=injected.occurrence,
-                                window_position=position,
-                                window_size=len(window),
-                                priority=entry.site_priority,
-                                observable=entry.chosen_observable,
-                                satisfied=satisfied,
-                            )
-                            break
+                    located = _window_entry_for(window, injected)
+                    if located is not None:
+                        position, entry = located
+                        obs.event(
+                            "explorer.plan",
+                            "explorer",
+                            round=round_number,
+                            site=injected.site_id,
+                            exception=injected.exception,
+                            occurrence=injected.occurrence,
+                            window_position=position,
+                            window_size=len(window),
+                            priority=entry.site_priority,
+                            observable=entry.chosen_observable,
+                            satisfied=satisfied,
+                        )
             self._coverage.record_round(round_number, plan.instances, injected)
 
             records.append(

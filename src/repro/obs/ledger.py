@@ -176,10 +176,16 @@ def read_entries(path: Optional[str] = None) -> list[dict]:
                 except json.JSONDecodeError:
                     skipped += 1
                     continue
-                if (
-                    not isinstance(entry, dict)
-                    or int(entry.get("schema", 0)) > SCHEMA_VERSION
-                ):
+                if not isinstance(entry, dict):
+                    skipped += 1
+                    continue
+                try:
+                    schema = int(entry.get("schema", 0))
+                except (TypeError, ValueError):
+                    # valid JSON, unusable schema tag (null, "two", ...)
+                    skipped += 1
+                    continue
+                if schema > SCHEMA_VERSION:
                     skipped += 1
                     continue
                 entries.append(entry)

@@ -149,3 +149,20 @@ class TestSummaryCoverageSection:
         text = open(path, encoding="utf-8").read()
         assert '"rounds": [[1, 1, 1, 0, 1], [2, 1, 2, 1, 1]]' in text
         assert json.loads(text) == bench_summary.summarize()
+
+    def test_compaction_never_rewrites_string_values(self):
+        """Compaction is structural: string values whose *content* looks
+        like a sloppily-spaced integer array must round-trip untouched."""
+        import json
+
+        document = {
+            "note": "[1,   2]",
+            "multiline": "[\n  1,\n  2\n]",
+            "rounds": [[1, 2], [3, 4]],
+            "floats": [0.5, 1.5],
+        }
+        text = bench_summary._compact_dumps(document)
+        assert json.loads(text) == document
+        assert '"rounds": [[1, 2], [3, 4]]' in text
+        # Float arrays keep the indented layout.
+        assert '"floats": [0.5, 1.5]' not in text

@@ -151,10 +151,10 @@ class TestExitOne:
 
 
 def make_ledger_entry(case_id, success=True, rounds=1, seconds=1.0,
-                      strategy="anduril", schema=1):
+                      strategy="anduril", schema=1, sha="abc1234"):
     return {
         "schema": schema,
-        "git_sha": "abc1234",
+        "git_sha": sha,
         "case_id": case_id,
         "strategy": strategy,
         "seed": 0,
@@ -256,6 +256,97 @@ class TestHistoryMode:
             tmp_path / "ledger.jsonl", ["{not json", ""]
         )
         code, stdout, stderr = run_gate(baseline, current, "--history", ledger)
+        assert code == 0, stderr
+        assert "ledger history unusable" in stdout
+
+    def test_unusable_schema_tags_are_skipped_not_fatal(self, tmp_path):
+        # "schema": null / "schema": "two" are valid JSON with a broken
+        # tag; the gate must treat those lines as skipped, not die with a
+        # TypeError traceback.
+        entries = [
+            json.dumps({**make_ledger_entry("f9"), "schema": None}),
+            json.dumps({**make_ledger_entry("f9"), "schema": "two"}),
+        ]
+        entries += [make_ledger_entry(cid) for cid in BASE_CASES]
+        baseline, current = self._files(tmp_path)
+        ledger = write_ledger(tmp_path / "ledger.jsonl", entries)
+        code, stdout, stderr = run_gate(baseline, current, "--history", ledger)
+        assert code == 0, stderr
+        assert "3 entries" in stdout
+
+
+class TestExcludeSha:
+    """The CI self-comparison hole: the bench session appends the run
+    under test to the ledger *before* the gate reads it, so without
+    --exclude-sha a fresh ledger gates the run against itself."""
+
+    def _files(self, tmp_path, current_cases, seconds=1.0):
+        baseline = write_summary(
+            tmp_path / "base.json", make_summary(BASE_CASES, 1.0)
+        )
+        current = write_summary(
+            tmp_path / "cur.json", make_summary(current_cases, seconds)
+        )
+        return baseline, current
+
+    def test_excluding_current_run_exposes_the_regression(self, tmp_path):
+        broken = {
+            **BASE_CASES,
+            "f2": {"success": False, "rounds": 40, "seconds": 1.0},
+        }
+        # Prior commits reproduced f2; the run under test (sha "fff9999",
+        # already appended by the bench session) did not.
+        entries = [
+            make_ledger_entry(cid, sha="abc1234") for cid in BASE_CASES
+        ]
+        entries += [
+            make_ledger_entry(
+                cid, sha="fff9999", success=broken[cid]["success"]
+            )
+            for cid in BASE_CASES
+        ]
+        baseline, current = self._files(tmp_path, broken)
+        ledger = write_ledger(tmp_path / "ledger.jsonl", entries)
+        # Without exclusion the window is dominated by the run being
+        # gated, so the self-comparison passes — the hole being fixed.
+        code, _, _ = run_gate(
+            baseline, current, "--history", ledger, "--history-window", "1"
+        )
+        assert code == 0
+        code, _, stderr = run_gate(
+            baseline, current, "--history", ledger,
+            "--history-window", "1", "--exclude-sha", "fff9999",
+        )
+        assert code == 1
+        assert "f2 no longer reproduces" in stderr
+
+    def test_exclusion_matches_short_and_full_shas(self, tmp_path):
+        entries = [
+            make_ledger_entry("f1", sha="fff9999") for _ in range(3)
+        ]
+        baseline, current = self._files(tmp_path, BASE_CASES)
+        ledger = write_ledger(tmp_path / "ledger.jsonl", entries)
+        # The ledger stores short SHAs; excluding by the full SHA must
+        # still drop them, leaving no history and falling back.
+        code, stdout, stderr = run_gate(
+            baseline, current, "--history", ledger,
+            "--exclude-sha", "fff9999" + "0" * 33,
+        )
+        assert code == 0, stderr
+        assert "ledger history unusable" in stdout
+        assert "commit under test" in stdout
+
+    def test_fresh_ledger_with_only_current_run_falls_back(self, tmp_path):
+        # First CI run on a fresh checkout: the only entries are the run
+        # under test, so the gate falls back to the committed snapshot
+        # instead of comparing the run to itself.
+        entries = [make_ledger_entry(cid, sha="fff9999") for cid in BASE_CASES]
+        baseline, current = self._files(tmp_path, BASE_CASES)
+        ledger = write_ledger(tmp_path / "ledger.jsonl", entries)
+        code, stdout, stderr = run_gate(
+            baseline, current, "--history", ledger,
+            "--exclude-sha", "fff9999",
+        )
         assert code == 0, stderr
         assert "ledger history unusable" in stdout
 

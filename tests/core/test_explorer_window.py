@@ -115,3 +115,46 @@ class TestTimeBudget:
         assert not result.success
         assert result.message == "time budget exhausted"
         assert result.rounds == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeInstance:
+    site_id: str
+    exception: str
+    occurrence: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeEntry:
+    instance: FakeInstance
+    site_priority: float = 1.0
+    chosen_observable: str = ""
+
+
+class TestWindowEntryLookup:
+    """The explorer.plan provenance event must attribute the fired
+    instance to the window entry with the full (site, exception,
+    occurrence) identity, not just (site, occurrence)."""
+
+    def test_same_site_and_occurrence_different_exceptions(self):
+        window = [
+            FakeEntry(FakeInstance("s1", "Timeout", 2), 3.0, "warn slow"),
+            FakeEntry(FakeInstance("s1", "IOError", 2), 1.5, "error lost"),
+        ]
+        located = explorer_module._window_entry_for(
+            window, FakeInstance("s1", "IOError", 2)
+        )
+        assert located is not None
+        position, entry = located
+        assert position == 2
+        assert entry.chosen_observable == "error lost"
+        assert entry.site_priority == 1.5
+
+    def test_instance_outside_the_window_yields_none(self):
+        window = [FakeEntry(FakeInstance("s1", "Timeout", 1))]
+        assert (
+            explorer_module._window_entry_for(
+                window, FakeInstance("s2", "Timeout", 1)
+            )
+            is None
+        )

@@ -132,6 +132,20 @@ class TestAppendAndRead:
             entries = ledger.read_entries(str(path))
         assert entries == [good]
 
+    def test_reader_skips_unusable_schema_tags(self, tmp_path):
+        """``"schema": null`` / non-numeric tags are skipped, not raised."""
+        path = tmp_path / "ledger.jsonl"
+        good = self._entry()
+        lines = [
+            json.dumps({**good, "schema": None}),
+            json.dumps({**good, "schema": "two"}),
+            json.dumps(good, sort_keys=True),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="skipped 2"):
+            entries = ledger.read_entries(str(path))
+        assert entries == [good]
+
     def test_lines_are_sorted_key_json(self, tmp_path):
         path = tmp_path / "ledger.jsonl"
         ledger.append_entries([self._entry()], path=str(path))

@@ -16,9 +16,13 @@ With ``--history LEDGER``, the baseline is derived from the run ledger
 (``benchmarks/out/ledger.jsonl``) instead: the last ``--history-window``
 ANDURIL entries per case (majority success, median rounds/seconds) form
 a rolling expectation, so the gate tracks the campaign's own recent
-history rather than a hand-refreshed snapshot.  When the ledger is
-missing or unusable the gate falls back to the positional baseline and
-says so.
+history rather than a hand-refreshed snapshot.  Because the bench
+session appends the run being gated to the same ledger before the gate
+runs, CI must pass ``--exclude-sha`` with the commit under test: without
+it, on a fresh ledger the rolling baseline is derived from the very run
+it is supposed to judge and the gate can never fire.  When the ledger is
+missing or unusable — including when exclusion leaves no prior history —
+the gate falls back to the positional baseline and says so.
 
 Exit codes: 0 = no regression, 1 = regression, 2 = usage/IO error.
 
@@ -50,12 +54,24 @@ def load_summary(path: str) -> dict:
     return document
 
 
-def baseline_from_ledger(path: str, window: int) -> dict:
+def _sha_matches(entry_sha: str, exclude_sha: str) -> bool:
+    """Prefix-tolerant SHA equality (ledger stores short SHAs)."""
+    return bool(entry_sha) and (
+        entry_sha.startswith(exclude_sha) or exclude_sha.startswith(entry_sha)
+    )
+
+
+def baseline_from_ledger(
+    path: str, window: int, exclude_sha: str = ""
+) -> dict:
     """Synthesize a baseline summary from the ledger's recent history.
 
     Per case, the last ``window`` ANDURIL entries vote: success if the
-    majority reproduced; rounds/seconds are the window medians.  Raises
-    ``ValueError`` when no usable entries exist (caller falls back).
+    majority reproduced; rounds/seconds are the window medians.  Entries
+    recorded under ``exclude_sha`` — the commit being gated, which the
+    bench session has already appended — are ignored so the baseline
+    only reflects *prior* runs.  Raises ``ValueError`` when no usable
+    entries exist (caller falls back).
     """
     by_case: dict[str, list[dict]] = {}
     usable = 0
@@ -68,17 +84,32 @@ def baseline_from_ledger(path: str, window: int) -> dict:
                 entry = json.loads(line)
             except json.JSONDecodeError:
                 continue
+            if not isinstance(entry, dict):
+                continue
+            try:
+                schema = int(entry.get("schema", 0))
+            except (TypeError, ValueError):
+                # valid JSON, unusable schema tag (null, "two", ...)
+                continue
             if (
-                not isinstance(entry, dict)
-                or int(entry.get("schema", 0)) > LEDGER_SCHEMA_VERSION
+                schema > LEDGER_SCHEMA_VERSION
                 or entry.get("strategy") != "anduril"
                 or not entry.get("case_id")
+            ):
+                continue
+            if exclude_sha and _sha_matches(
+                str(entry.get("git_sha", "")), exclude_sha
             ):
                 continue
             usable += 1
             by_case.setdefault(str(entry["case_id"]), []).append(entry)
     if not by_case:
-        raise ValueError(f"{path}: no usable anduril ledger entries")
+        detail = (
+            f" outside {exclude_sha} (the commit under test)"
+            if exclude_sha
+            else ""
+        )
+        raise ValueError(f"{path}: no usable anduril ledger entries{detail}")
 
     cases: dict[str, dict] = {}
     for case_id, entries in by_case.items():
@@ -181,6 +212,13 @@ def main(argv=None) -> int:
         default=5,
         help="ledger entries per case the rolling baseline uses (default 5)",
     )
+    parser.add_argument(
+        "--exclude-sha",
+        default="",
+        metavar="SHA",
+        help="ignore ledger entries recorded under this git SHA (pass the "
+        "commit under test so the rolling baseline only sees prior runs)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -193,7 +231,9 @@ def main(argv=None) -> int:
     baseline_label = "baseline"
     if args.history:
         try:
-            baseline = baseline_from_ledger(args.history, args.history_window)
+            baseline = baseline_from_ledger(
+                args.history, args.history_window, args.exclude_sha
+            )
             baseline_label = "history "
             print(
                 f"rolling baseline from {args.history} "
