@@ -24,7 +24,11 @@ Commands:
 ``reproduce`` and ``compare`` accept ``--profile`` to sample run-level
 metrics (FIR decision latency, scheduler counters) without changing the
 search outcome.  Both append one entry per (strategy, case) cell to the
-run ledger (``benchmarks/out/ledger.jsonl``) unless ``--no-ledger``.
+run ledger (``benchmarks/out/ledger.jsonl``) unless ``--no-ledger``,
+and both memoize deterministic runs through :mod:`repro.cache` unless
+``--no-cache`` (``--cache-dir`` relocates the shared disk tier).
+``compare`` also takes a comma-separated case-id list and
+``--summary-out PATH`` for the machine-readable campaign summary.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ import os
 import sys
 import time
 
+from . import cache as runcache
 from .analysis import lint_package, registered_rules
 from .baselines import ALL_STRATEGIES
 from .bench import (
@@ -43,6 +48,7 @@ from .bench import (
     resolve_jobs,
     run_compare_campaign,
 )
+from .bench import summary as bench_summary
 from .core.report import ReproductionScript
 from .failures import all_cases, get_case
 from .obs import TraceRecorder, build_plan_provenance, ledger, write_report
@@ -80,6 +86,39 @@ def _append_ledger(entries: list, args) -> None:
     print(f"[ledger: {len(entries)} entr(ies) -> {path}]", file=sys.stderr)
 
 
+def _configure_cache(args) -> None:
+    """Install the run cache per ``--cache``/``--no-cache``/``--cache-dir``.
+
+    The choice is exported through ``REPRO_CACHE``/``REPRO_CACHE_DIR`` so
+    spawn-method worker processes (campaign cells, speculative rounds)
+    reconstruct the same configuration; the on-disk tier is what they
+    actually share.
+    """
+    if getattr(args, "cache", True):
+        cache_dir = getattr(args, "cache_dir", None) or runcache.default_disk_dir()
+        runcache.configure(enabled=True, disk_dir=cache_dir)
+        os.environ["REPRO_CACHE"] = "1"
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+    else:
+        runcache.configure(enabled=False)
+        os.environ["REPRO_CACHE"] = "0"
+        os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+def _print_cache_stats() -> None:
+    """One stderr line of run-cache movement (silent when off/idle)."""
+    stats = bench_summary.cache_section()
+    if not stats:
+        return
+    print(
+        f"[cache: {stats.get('hits', 0)} hit(s), "
+        f"{stats.get('alias_hits', 0)} alias(es), "
+        f"{stats.get('misses', 0)} miss(es), "
+        f"hit rate {stats.get('hit_rate', 0.0):.1%}]",
+        file=sys.stderr,
+    )
+
+
 def cmd_list(_args) -> int:
     rows = [
         (case.case_id, case.issue, case.system, case.title)
@@ -103,6 +142,7 @@ def _print_profile(recorder) -> None:
 
 
 def cmd_reproduce(args) -> int:
+    _configure_cache(args)
     case = get_case(args.case_id)
     print(f"{case.issue}: {case.title}")
     print(f"oracle: {case.oracle.description}")
@@ -142,6 +182,7 @@ def cmd_reproduce(args) -> int:
         ],
         args,
     )
+    _print_cache_stats()
     if not result.success:
         print(f"NOT reproduced: {result.message} ({result.rounds} rounds)")
         return 1
@@ -168,9 +209,20 @@ def cmd_replay(args) -> int:
     return 0 if satisfied else 1
 
 
+def _resolve_compare_cases(spec: str) -> list:
+    """``all``, one case id, or a comma-separated id list (order kept)."""
+    if spec == "all":
+        return all_cases()
+    return [get_case(case_id.strip()) for case_id in spec.split(",") if case_id.strip()]
+
+
 def cmd_compare(args) -> int:
+    _configure_cache(args)
     jobs = resolve_jobs(args.jobs)
-    cases = all_cases() if args.case_id == "all" else [get_case(args.case_id)]
+    cases = _resolve_compare_cases(args.case_id)
+    if not cases:
+        print(f"error: no case ids in {args.case_id!r}", file=sys.stderr)
+        return 2
     strategies = list(ALL_STRATEGIES)
     started = time.perf_counter()
     anduril_by_case, cells = run_compare_campaign(
@@ -240,6 +292,23 @@ def cmd_compare(args) -> int:
         for case in cases
     )
     _append_ledger(entries, args)
+    _print_cache_stats()
+    if args.summary_out:
+        bench_summary.clear()
+        for case in cases:
+            bench_summary.record_outcome(anduril_by_case[case.case_id])
+        for name in strategies:
+            for case in cases:
+                bench_summary.record_strategy_outcome(cells[(name, case.case_id)])
+        try:
+            path = bench_summary.write_bench_summary(args.summary_out)
+        except OSError as error:
+            print(
+                f"error: cannot write summary to {args.summary_out}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"[summary -> {path}]", file=sys.stderr)
     if args.profile:
         for case in cases:
             outcome = anduril_by_case[case.case_id]
@@ -366,6 +435,19 @@ def cmd_lint(args) -> int:
     return 0
 
 
+def _add_cache_options(subparser) -> None:
+    subparser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoize deterministic runs (default on; --no-cache disables)",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        help="on-disk cache tier (default benchmarks/out/runcache)",
+    )
+
+
 def _add_ledger_options(subparser) -> None:
     subparser.add_argument(
         "--no-ledger",
@@ -401,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record run-level metrics and print them to stderr",
     )
+    _add_cache_options(reproduce)
     _add_ledger_options(reproduce)
 
     replay = commands.add_parser("replay", help="replay a reproduction script")
@@ -408,8 +491,15 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("script")
 
     compare = commands.add_parser("compare", help="compare all strategies")
-    compare.add_argument("case_id", help="failure case id, or 'all' for the dataset")
+    compare.add_argument(
+        "case_id",
+        help="failure case id, a comma-separated id list, or 'all'",
+    )
     compare.add_argument("--max-rounds", type=int, default=400)
+    compare.add_argument(
+        "--summary-out",
+        help="also write the machine-readable campaign summary JSON here",
+    )
     compare.add_argument(
         "--jobs",
         type=int,
@@ -421,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record per-case run metrics and summarize them on stderr",
     )
+    _add_cache_options(compare)
     _add_ledger_options(compare)
 
     trace = commands.add_parser(

@@ -18,6 +18,7 @@ import time
 from typing import Optional, Protocol
 
 from ..analysis.causal import CausalGraphBuilder, DistanceIndex
+from ..cache import cached_execute
 from ..analysis.model import SourceInfo, graph_fault_candidates
 from ..analysis.system_model import SystemModel
 from ..core.alignment import TimelineMap
@@ -72,7 +73,15 @@ def build_context(case: CaseLike) -> SearchContext:
     matcher = model.template_matcher()
     comparator = LogComparator(matcher)
     failure_log = case.failure_log()
-    normal_run = execute_workload(case.workload, horizon=case.horizon, seed=case.seed)
+    # The probe run is identical across every strategy sharing a case, so
+    # it is the run cache's highest-value entry (it is also the noop run
+    # that alias-serves never-firing windows).
+    normal_run = cached_execute(
+        case.workload,
+        horizon=case.horizon,
+        seed=case.seed,
+        runner=execute_workload,
+    )
 
     observables = ObservableSet(
         comparator,
@@ -204,8 +213,12 @@ class StrategyRunner:
             # A strategy's window may offer the same (site, occurrence)
             # under two exceptions; only the first is armable per run.
             plan = InjectionPlan.of(dedupe_instances(window))
-            result = execute_workload(
-                case.workload, horizon=case.horizon, seed=case.seed, plan=plan
+            result = cached_execute(
+                case.workload,
+                horizon=case.horizon,
+                seed=case.seed,
+                plan=plan,
+                runner=execute_workload,
             )
             injected = result.injected_instance
             satisfied = False

@@ -42,6 +42,9 @@ class AndurilOutcome:
     #: captured in whatever process ran it so campaign parents can merge
     #: worker-side counters back into their own registry.
     worker_counters: dict = dataclasses.field(default_factory=dict)
+    #: Run-cache movement attributable to this cell (hits/misses/
+    #: alias_hits/... plus ``hit_rate``); empty when the cache is off.
+    cache_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -64,6 +67,8 @@ class StrategyOutcome:
     coverage: Optional[dict] = None
     #: See :attr:`AndurilOutcome.worker_counters`.
     worker_counters: dict = dataclasses.field(default_factory=dict)
+    #: See :attr:`AndurilOutcome.cache_stats`.
+    cache_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -73,6 +78,21 @@ class StrategyOutcome:
     def deterministic_cell(self) -> str:
         """Wall-clock-free cell — byte-identical across runs and job counts."""
         return str(self.rounds) if self.success else "-"
+
+
+def _cache_delta(before: dict[str, float]) -> dict:
+    """Run-cache counter movement since ``before`` (empty when inactive)."""
+    stats = {
+        name.split(".", 1)[1]: int(value)
+        for name, value in obs_metrics.delta_since(before).items()
+        if name.startswith("cache.")
+    }
+    if not stats:
+        return {}
+    served = stats.get("hits", 0) + stats.get("alias_hits", 0)
+    lookups = served + stats.get("misses", 0)
+    stats["hit_rate"] = round(served / lookups, 6) if lookups else 0.0
+    return stats
 
 
 def run_anduril(
@@ -93,6 +113,7 @@ def run_anduril(
     job) tracks fault-space coverage.  The search outcome itself is
     invariant in both.
     """
+    counters_before = obs_metrics.snapshot()
     recorder = TraceRecorder() if profile else None
     explorer = case.explorer(
         max_rounds=max_rounds,
@@ -133,6 +154,7 @@ def run_anduril(
         worker_utilization=result.worker_utilization,
         metrics=metrics,
         coverage=result.coverage.to_dict() if result.coverage else None,
+        cache_stats=_cache_delta(counters_before),
     )
 
 
@@ -144,6 +166,7 @@ def run_baseline(
     coverage: bool = True,
     **strategy_kwargs,
 ) -> StrategyOutcome:
+    counters_before = obs_metrics.snapshot()
     strategy = ALL_STRATEGIES[name](**strategy_kwargs)
     runner = StrategyRunner(
         max_rounds=max_rounds,
@@ -160,4 +183,5 @@ def run_baseline(
         rounds=result.rounds,
         seconds=result.elapsed_seconds,
         coverage=result.coverage.to_dict() if result.coverage else None,
+        cache_stats=_cache_delta(counters_before),
     )

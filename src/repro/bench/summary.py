@@ -43,6 +43,11 @@ def record_outcome(outcome) -> None:
     case_coverage = getattr(outcome, "coverage", None)
     if case_coverage:
         entry["coverage"] = case_coverage
+    case_cache = getattr(outcome, "cache_stats", None)
+    if case_cache:
+        # Present only when the run cache was active; the equivalence
+        # checker strips "cache" keys before comparing on/off summaries.
+        entry["cache"] = case_cache
     _OUTCOMES[outcome.case_id] = entry
 
 
@@ -56,6 +61,9 @@ def record_strategy_outcome(outcome) -> None:
     case_coverage = getattr(outcome, "coverage", None)
     if case_coverage:
         entry["coverage"] = case_coverage
+    case_cache = getattr(outcome, "cache_stats", None)
+    if case_cache:
+        entry["cache"] = case_cache
     _STRATEGY_OUTCOMES[(outcome.strategy, outcome.case_id)] = entry
 
 
@@ -88,12 +96,44 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
     counters = obs_metrics.snapshot()
     if counters:
         # Operational counters (e.g. campaign.inline_fallbacks) for
-        # post-hoc inspection; not part of the regression gate.
-        document["counters"] = {key: counters[key] for key in sorted(counters)}
+        # post-hoc inspection; not part of the regression gate.  Run-cache
+        # counters get their own section below so that summaries with the
+        # cache on and off stay identical outside of it.
+        plain = {
+            key: counters[key]
+            for key in sorted(counters)
+            if not key.startswith("cache.")
+        }
+        if plain:
+            document["counters"] = plain
+    cache = cache_section(counters)
+    if cache:
+        document["cache"] = cache
     coverage = coverage_section(ordered)
     if coverage:
         document["coverage"] = coverage
     return document
+
+
+def cache_section(counters: Optional[dict[str, float]] = None) -> dict:
+    """Aggregate run-cache counters (this process plus merged workers).
+
+    Empty when the cache never served or stored anything — an inactive
+    cache must leave the summary without a ``cache`` section at all.
+    """
+    if counters is None:
+        counters = obs_metrics.snapshot()
+    stats = {
+        key.split(".", 1)[1]: int(value)
+        for key, value in sorted(counters.items())
+        if key.startswith("cache.")
+    }
+    if not stats:
+        return {}
+    served = stats.get("hits", 0) + stats.get("alias_hits", 0)
+    lookups = served + stats.get("misses", 0)
+    stats["hit_rate"] = round(served / lookups, 6) if lookups else 0.0
+    return stats
 
 
 def coverage_section(anduril_cases: Optional[dict[str, dict]] = None) -> dict:
@@ -176,7 +216,9 @@ def write_bench_summary(path: Optional[str] = None) -> str:
     """Write the summary JSON under ``benchmarks/out/`` and return its path."""
     if path is None:
         path = os.path.join(OUT_DIR, "bench_summary.json")
-    os.makedirs(os.path.dirname(path), exist_ok=True)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(_compact_dumps(summarize()))
     return path

@@ -1,0 +1,471 @@
+"""The run cache: content-addressed memoization of workload runs.
+
+One simulated run is a pure function of ``(workload, horizon, seed,
+plan)`` — the determinism invariant the parallel engine (PR 3) already
+relies on.  This module turns that invariant into a cache: the
+:class:`RunCache` keys completed :class:`~repro.sim.cluster.RunResult`\\ s
+on ``(workload fingerprint, seed, horizon, canonical plan key)`` and
+serves them back to every consumer of ``execute_workload`` — the
+Explorer's inline rounds, the speculative executor, the baseline
+strategy runner, and (through all of those) the iterative multi-fault
+workflow and the campaign engine.
+
+Two tiers:
+
+* an in-process LRU (always on when the cache is active); and
+* an optional on-disk tier, one pickled entry per key under
+  ``benchmarks/out/runcache/`` by default, shared between campaign
+  worker processes.  Writes are atomic (temp file + ``os.replace``);
+  corrupt or truncated entries are *skipped* — never fatal — with one
+  ``RuntimeWarning`` per cache instance, the same degrade-gracefully
+  policy as the run ledger.
+
+Noop-plan aliasing
+------------------
+
+A plan whose window never fires leaves the run byte-identical to the
+run with an *empty* window (the FIR only perturbs execution when an
+instance actually raises).  The cache exploits this twice:
+
+* **on completion** — a run that finished with no fired window instance
+  is additionally stored under its *noop key* (same workload/seed/
+  horizon, empty window, same base-fault set), so every never-firing
+  plan converges on one shared entry; and
+* **on lookup** — whether a window will fire is decidable *before
+  running*: an armed ``(site, occurrence)`` fires iff it appears in the
+  trace of the noop run (execution is identical up to the first
+  injection).  When the noop entry is cached and no armed pair occurs
+  in its trace, the lookup is served as an **alias hit** without
+  executing anything.  Baselines that keep regenerating never-firing
+  windows stop paying for them.
+
+Staleness: the workload fingerprint folds in the checked-out git SHA
+and the workload function's source, so entries written by other
+commits (via the rolling CI cache) can never be served.
+
+Counters (``cache.hits`` / ``cache.misses`` / ``cache.alias_hits`` /
+``cache.disk_hits`` / ``cache.stores`` / ``cache.disk_errors``) are
+mirrored into :mod:`repro.obs.metrics` so they aggregate across
+campaign worker processes like every other operational counter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import pickle
+import tempfile
+import warnings
+import weakref
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from ..obs import metrics as obs_metrics
+from ..obs.ledger import git_sha
+
+PAYLOAD_VERSION = 1
+
+#: Lookup/served outcomes reported by :meth:`RunCache.execute`.
+HIT = "hit"
+ALIAS = "alias"
+MISS = "miss"
+UNCACHED = "uncached"
+
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..")
+)
+
+
+def default_disk_dir() -> str:
+    """The on-disk tier's default location, next to the bench outputs."""
+    return os.path.join(_REPO_ROOT, "benchmarks", "out", "runcache")
+
+
+# ------------------------------------------------------------- fingerprints
+
+_FINGERPRINTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def workload_fingerprint(workload) -> Optional[str]:
+    """Content fingerprint of a workload callable, or ``None`` if unsafe.
+
+    Folds together the function's dotted name, its source text (so an
+    edited workload misses), and the checked-out git SHA (so entries
+    persisted by other commits — e.g. via a rolling CI cache — can
+    never be served to this one).  Callables whose identity cannot be
+    established deterministically (no qualified name *and* no
+    retrievable source) are uncacheable and yield ``None``.
+    """
+    try:
+        cached = _FINGERPRINTS.get(workload)
+    except TypeError:  # unhashable/unweakrefable callable
+        cached = None
+    if cached is not None:
+        return cached or None
+    module = getattr(workload, "__module__", "")
+    qualname = getattr(workload, "__qualname__", "")
+    try:
+        source = inspect.getsource(workload)
+    except (OSError, TypeError):
+        source = ""
+    if not (module and qualname) and not source:
+        fingerprint = ""
+    else:
+        digest = hashlib.sha256()
+        digest.update(git_sha().encode())
+        digest.update(b"\x00")
+        digest.update(f"{module}:{qualname}".encode())
+        digest.update(b"\x00")
+        digest.update(source.encode())
+        fingerprint = digest.hexdigest()[:24]
+    try:
+        _FINGERPRINTS[workload] = fingerprint
+    except TypeError:
+        pass
+    return fingerprint or None
+
+
+# ------------------------------------------------------------------- stats
+
+
+@dataclass
+class CacheStats:
+    """Served/stored counters for one :class:`RunCache`."""
+
+    hits: int = 0          # memory or disk entry served
+    misses: int = 0        # executed for real
+    alias_hits: int = 0    # served via noop-plan aliasing
+    disk_hits: int = 0     # subset of ``hits`` that came off disk
+    stores: int = 0        # entries written (memory tier)
+    disk_errors: int = 0   # corrupt/unwritable/unpicklable disk entries
+
+    @property
+    def served(self) -> int:
+        return self.hits + self.alias_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.served + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.served / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["hit_rate"] = round(self.hit_rate, 6)
+        return payload
+
+
+def _plan_key(plan) -> tuple:
+    return plan.key() if plan is not None else ((), ())
+
+
+# -------------------------------------------------------------------- cache
+
+
+class RunCache:
+    """Two-tier (memory LRU + optional disk) cache of deterministic runs."""
+
+    def __init__(
+        self, capacity: int = 1024, disk_dir: Optional[str] = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[tuple, object]" = OrderedDict()
+        #: noop key -> frozenset of (site_id, occurrence) pairs executed
+        #: by that noop run; the alias-prediction index.
+        self._noop_pairs: dict[tuple, frozenset] = {}
+        self._warned_corrupt = False
+
+    # ------------------------------------------------------------------ keys
+
+    def _key(self, workload, horizon, seed, plan) -> Optional[tuple]:
+        fingerprint = workload_fingerprint(workload)
+        if fingerprint is None:
+            return None
+        return (fingerprint, int(seed), float(horizon), _plan_key(plan))
+
+    @staticmethod
+    def _noop_key(key: tuple) -> tuple:
+        """The same run with an empty window (base faults preserved)."""
+        fingerprint, seed, horizon, (_window, always) = key
+        return (fingerprint, seed, horizon, ((), always))
+
+    @staticmethod
+    def _entry_name(key: tuple) -> str:
+        material = json.dumps(key, separators=(",", ":"))
+        return hashlib.sha256(material.encode()).hexdigest()[:40] + ".pkl"
+
+    # ---------------------------------------------------------------- lookup
+
+    def _memory_get(self, key: tuple):
+        result = self._memory.get(key)
+        if result is not None:
+            self._memory.move_to_end(key)
+        return result
+
+    def _disk_get(self, key: tuple):
+        if self.disk_dir is None:
+            return None
+        path = os.path.join(self.disk_dir, self._entry_name(key))
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != PAYLOAD_VERSION
+                or payload.get("key") != key
+            ):
+                raise ValueError("run-cache entry key/version mismatch")
+            return payload["result"]
+        except FileNotFoundError:
+            return None
+        except Exception as error:
+            # Corrupt, truncated, or written by an incompatible pickler:
+            # skip the entry (and drop the file so the cost is paid once)
+            # with a single warning per cache — the ledger's policy.
+            self.stats.disk_errors += 1
+            obs_metrics.increment("cache.disk_errors")
+            if not self._warned_corrupt:
+                self._warned_corrupt = True
+                warnings.warn(
+                    f"skipping corrupt run-cache entry {path} "
+                    f"({type(error).__name__}: {error}); further corrupt "
+                    f"entries are skipped silently",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def _lookup(self, key: tuple):
+        """Memory-then-disk probe; promotes disk entries into memory."""
+        result = self._memory_get(key)
+        if result is not None:
+            return result, False
+        result = self._disk_get(key)
+        if result is not None:
+            self._memory_store(key, result)
+            return result, True
+        return None, False
+
+    def _alias_lookup(self, key: tuple, plan):
+        """Serve a never-firing plan from the cached noop run, if decidable.
+
+        An armed instance fires iff its ``(site, occurrence)`` pair
+        appears in the noop run's trace — before the first injection the
+        perturbed run replays the noop run exactly.  No pair present
+        means no injection ever happens, so the noop result *is* this
+        plan's result.
+        """
+        if plan is None or not plan.instances:
+            return None
+        noop_key = self._noop_key(key)
+        if noop_key == key:
+            return None
+        pairs = self._noop_pairs.get(noop_key)
+        if pairs is None:
+            noop_result, _ = self._lookup(noop_key)
+            if noop_result is None:
+                return None
+            pairs = frozenset(
+                (event.site_id, event.occurrence)
+                for event in getattr(noop_result, "trace", ())
+            )
+            self._noop_pairs[noop_key] = pairs
+        if any(
+            (instance.site_id, instance.occurrence) in pairs
+            for instance in plan.instances
+        ):
+            return None
+        noop_result, _ = self._lookup(noop_key)
+        return noop_result
+
+    def peek(self, workload, horizon, seed, plan):
+        """A cached (or alias-predictable) result, without stats movement.
+
+        Used by the speculative executor to avoid burning worker slots
+        on runs the committed path will serve from cache anyway.
+        """
+        key = self._key(workload, horizon, seed, plan)
+        if key is None:
+            return None
+        result, _ = self._lookup(key)
+        if result is not None:
+            return result
+        return self._alias_lookup(key, plan)
+
+    # ----------------------------------------------------------------- store
+
+    def _memory_store(self, key: tuple, result) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _disk_store(self, key: tuple, result) -> None:
+        if self.disk_dir is None:
+            return
+        path = os.path.join(self.disk_dir, self._entry_name(key))
+        try:
+            os.makedirs(self.disk_dir, exist_ok=True)
+            payload = pickle.dumps(
+                {"version": PAYLOAD_VERSION, "key": key, "result": result}
+            )
+            fd, temp_path = tempfile.mkstemp(
+                dir=self.disk_dir, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.remove(temp_path)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # Unpicklable result or unwritable directory: the memory
+            # tier still works, so degrade silently beyond the counter.
+            self.stats.disk_errors += 1
+            obs_metrics.increment("cache.disk_errors")
+
+    def put(self, workload, horizon, seed, plan, result) -> None:
+        """Store a completed run (plus its noop alias when applicable)."""
+        key = self._key(workload, horizon, seed, plan)
+        if key is None:
+            return
+        self._store(key, plan, result)
+
+    def _store(self, key: tuple, plan, result) -> None:
+        self.stats.stores += 1
+        obs_metrics.increment("cache.stores")
+        self._memory_store(key, result)
+        self._disk_store(key, result)
+        if (
+            plan is not None
+            and plan.instances
+            and getattr(result, "injected_instance", None) is None
+        ):
+            # Completion-time aliasing: nothing in the window fired, so
+            # this run *is* the noop run for its (seed, base-fault) class.
+            noop_key = self._noop_key(key)
+            if noop_key != key and self._memory_get(noop_key) is None:
+                self._memory_store(noop_key, result)
+                self._disk_store(noop_key, result)
+
+    # --------------------------------------------------------------- execute
+
+    def execute(
+        self, workload, horizon, seed=0, plan=None, runner=None
+    ):
+        """The run for ``(workload, horizon, seed, plan)``.
+
+        Returns ``(result, outcome)`` with ``outcome`` one of ``"hit"``,
+        ``"alias"``, ``"miss"``, or ``"uncached"`` (unfingerprintable
+        workload).  ``runner`` is the executor used on a miss; passing
+        the caller's own ``execute_workload`` reference keeps
+        monkeypatched test doubles in charge of actual execution.
+        """
+        key = self._key(workload, horizon, seed, plan)
+        if runner is None:
+            from ..sim.cluster import execute_workload as runner
+        if key is None:
+            return (
+                runner(workload, horizon=horizon, seed=seed, plan=plan),
+                UNCACHED,
+            )
+        result, from_disk = self._lookup(key)
+        if result is not None:
+            self.stats.hits += 1
+            obs_metrics.increment("cache.hits")
+            if from_disk:
+                self.stats.disk_hits += 1
+                obs_metrics.increment("cache.disk_hits")
+            return result, HIT
+        result = self._alias_lookup(key, plan)
+        if result is not None:
+            self.stats.alias_hits += 1
+            obs_metrics.increment("cache.alias_hits")
+            # Remember the alias so the next identical lookup is a plain
+            # memory hit without re-walking the trace index.
+            self._memory_store(key, result)
+            return result, ALIAS
+        self.stats.misses += 1
+        obs_metrics.increment("cache.misses")
+        result = runner(workload, horizon=horizon, seed=seed, plan=plan)
+        self._store(key, plan, result)
+        return result, MISS
+
+
+# ---------------------------------------------------------- process global
+
+_active: Optional[RunCache] = None
+_configured = False
+
+
+def configure(
+    enabled: bool = True,
+    disk_dir: Optional[str] = None,
+    capacity: int = 1024,
+) -> Optional[RunCache]:
+    """Install (or remove) the process-wide cache and return it.
+
+    Does not touch the environment; callers that fan out worker
+    processes (the CLI) export ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``
+    themselves so spawn-method workers reconstruct the same config.
+    """
+    global _active, _configured
+    _configured = True
+    _active = RunCache(capacity=capacity, disk_dir=disk_dir) if enabled else None
+    return _active
+
+
+def active() -> Optional[RunCache]:
+    """The process-wide cache, lazily initialized from the environment.
+
+    Unconfigured processes default to *no* cache: library consumers and
+    tests that stub out ``execute_workload`` must opt in explicitly
+    (``configure`` or ``REPRO_CACHE=1``).
+    """
+    global _active, _configured
+    if not _configured:
+        _configured = True
+        flag = os.environ.get("REPRO_CACHE", "").strip().lower()
+        if flag and flag not in ("0", "false", "no", "off"):
+            _active = RunCache(
+                disk_dir=os.environ.get("REPRO_CACHE_DIR") or None
+            )
+    return _active
+
+
+def reset() -> None:
+    """Drop the process-wide cache and forget any configuration."""
+    global _active, _configured
+    _active = None
+    _configured = False
+
+
+def cached_execute(workload, *, horizon, seed=0, plan=None, runner=None):
+    """Run through the active cache, or directly when no cache is active."""
+    cache = active()
+    if runner is None:
+        from ..sim.cluster import execute_workload as runner
+    if cache is None:
+        return runner(workload, horizon=horizon, seed=seed, plan=plan)
+    result, _outcome = cache.execute(
+        workload, horizon=horizon, seed=seed, plan=plan, runner=runner
+    )
+    return result

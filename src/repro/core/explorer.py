@@ -25,6 +25,7 @@ from ..analysis.causal import CausalGraphBuilder, DistanceIndex
 from ..analysis.lint import run_lint
 from ..analysis.model import CausalGraph, graph_fault_candidates
 from ..analysis.system_model import SystemModel, analyze_package
+from ..cache import cached_execute
 from ..injection.fir import InjectionPlan, dedupe_instances
 from ..injection.sites import FaultInstance
 from ..obs import NULL_RECORDER, WALL
@@ -259,6 +260,8 @@ class Explorer:
         their historical signature.
         """
         if self._obs.enabled:
+            # Traced runs bypass the run cache: the recorder must observe
+            # real execution (and timings), not a memoized result.
             return execute_workload(
                 self.workload,
                 horizon=self.horizon,
@@ -266,8 +269,12 @@ class Explorer:
                 plan=plan,
                 recorder=self._obs,
             )
-        return execute_workload(
-            self.workload, horizon=self.horizon, seed=seed, plan=plan
+        return cached_execute(
+            self.workload,
+            horizon=self.horizon,
+            seed=seed,
+            plan=plan,
+            runner=execute_workload,
         )
 
     def prepare(self) -> PreparedSearch:

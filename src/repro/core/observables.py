@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from ..logs.diff import CompareResult, LogComparator
+from ..logs.diff import CompareResult, LogComparator, PreparedComparator
 from ..logs.record import LogFile
 from ..obs import NULL_RECORDER
 
@@ -41,6 +41,11 @@ class ObservableSet:
     ) -> None:
         self._comparator = comparator
         self._failure_log = failure_log
+        #: The failure log is fixed for the life of this set, and every
+        #: round diffs a fresh run log against it — the prepared
+        #: comparator groups/interns that fixed side once and memoizes
+        #: unchanged per-thread diffs across rounds.
+        self._prepared = PreparedComparator(comparator, failure_log)
         self._adjustment = adjustment
         self._known = known_template_ids or set()
         self._observables: dict[str, Observable] = {}
@@ -54,7 +59,7 @@ class ObservableSet:
 
     def initialize(self, normal_log: LogFile) -> CompareResult:
         """Compute initial relevant observables from the fault-free run."""
-        result = self._comparator.compare(normal_log, self._failure_log)
+        result = self._prepared.compare(normal_log)
         for occurrence in result.failure_only:
             observable = self._observables.get(occurrence.key)
             if observable is None:
@@ -120,7 +125,7 @@ class ObservableSet:
         The relevant-observable set itself never grows (§5.1.2: the
         initial set is a superset of every later round's set).
         """
-        comparison = self._comparator.compare(run_log, self._failure_log)
+        comparison = self._prepared.compare(run_log)
         missing = comparison.failure_only_keys()
         present = self.keys() - missing
         for key in sorted(present):

@@ -21,6 +21,8 @@ import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Optional
 
+from ..cache import active as active_cache
+from ..cache import cached_execute
 from ..injection.fir import InjectionPlan
 from ..sim.cluster import RunResult, WorkloadFn, execute_workload
 
@@ -44,9 +46,17 @@ def run_key(seed: int, plan: Optional[InjectionPlan]) -> tuple:
 def _worker_run(
     workload: WorkloadFn, horizon: float, seed: int, payload: Optional[dict]
 ) -> RunResult:
-    """Process-pool entry point: rebuild the plan and execute the run."""
+    """Process-pool entry point: rebuild the plan and execute the run.
+
+    Runs through :func:`repro.cache.cached_execute`: spawn workers
+    reconstruct the parent's cache config from ``REPRO_CACHE`` /
+    ``REPRO_CACHE_DIR``, so speculative runs both consult and feed the
+    shared on-disk tier (a no-op when the cache is off).
+    """
     plan = InjectionPlan.from_payload(payload) if payload is not None else None
-    return execute_workload(workload, horizon=horizon, seed=seed, plan=plan)
+    return cached_execute(
+        workload, horizon=horizon, seed=seed, plan=plan, runner=execute_workload
+    )
 
 
 class SpeculativeExecutor:
@@ -86,6 +96,13 @@ class SpeculativeExecutor:
         key = run_key(seed, plan)
         if key in self._pending or len(self._pending) >= self.jobs:
             return key in self._pending
+        cache = active_cache()
+        if cache is not None and cache.peek(
+            self.workload, self.horizon, seed, plan
+        ) is not None:
+            # The committed path will be served from the run cache anyway;
+            # don't burn a worker slot re-executing it.
+            return False
         pool = self._ensure_pool()
         if pool is None:
             return False
@@ -120,10 +137,20 @@ class SpeculativeExecutor:
                 pass
             else:
                 self.hits += 1
+                cache = active_cache()
+                if cache is not None:
+                    # The worker's own cache tier lives in its process;
+                    # store the shipped result here too so later rounds
+                    # (and the disk tier) see it without re-executing.
+                    cache.put(self.workload, self.horizon, seed, plan, result)
                 return result, True
         self.misses += 1
-        result = execute_workload(
-            self.workload, horizon=self.horizon, seed=seed, plan=plan
+        result = cached_execute(
+            self.workload,
+            horizon=self.horizon,
+            seed=seed,
+            plan=plan,
+            runner=execute_workload,
         )
         return result, False
 

@@ -24,6 +24,7 @@ from ..injection.fir import InjectionPlan
 from ..injection.sites import FaultInstance
 from ..logs.parser import KAFKA_FORMAT, LOG4J_FORMAT, LogParser
 from ..logs.record import LogFile
+from ..cache import cached_execute
 from ..sim.cluster import RunResult, WorkloadFn, execute_workload
 
 _MODEL_CACHE: dict[str, SystemModel] = {}
@@ -119,14 +120,23 @@ class FailureCase:
         return self.ground_truth.resolve_instance(self.model())
 
     def run_without_fault(self) -> RunResult:
-        return execute_workload(self.workload, horizon=self.horizon, seed=self.seed)
+        return cached_execute(
+            self.workload,
+            horizon=self.horizon,
+            seed=self.seed,
+            runner=execute_workload,
+        )
 
     def run_with_ground_truth(self) -> RunResult:
         """Reproduce the failure in the production configuration."""
         plan = InjectionPlan.single(self.ground_truth_instance())
         seed = self.failure_seed if self.failure_seed is not None else self.seed
-        return execute_workload(
-            self.workload, horizon=self.horizon, seed=seed, plan=plan
+        return cached_execute(
+            self.workload,
+            horizon=self.horizon,
+            seed=seed,
+            plan=plan,
+            runner=execute_workload,
         )
 
     def failure_log(self) -> LogFile:

@@ -10,6 +10,7 @@ failure log contribute *all* of their messages as relevant observables.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import re
 from typing import Optional
 
@@ -20,6 +21,7 @@ from .sanitize import TemplateMatcher, canonicalize
 _THREAD_ID = re.compile(r"\d+")
 
 
+@functools.lru_cache(maxsize=4096)
 def sanitize_thread_name(name: str) -> str:
     """Strip per-run numeric ids from a thread name.
 
@@ -28,6 +30,9 @@ def sanitize_thread_name(name: str) -> str:
     counter can differ across runs.  Instance counters are preserved only
     when small (< 100), because small counters are usually stable role
     indices (e.g. ``"follower-1"``), while large ones are per-run ids.
+
+    Cached: the distinct thread-name population is tiny while the call
+    rate is one per record per comparison side per round.
     """
 
     def replace(match: re.Match[str]) -> str:
@@ -119,6 +124,101 @@ class LogComparator:
             key = self.key_for(record)
             groups.setdefault(thread, []).append((key, index, record))
         return groups
+
+
+class PreparedComparator:
+    """Incremental per-thread comparison against one fixed failure log.
+
+    Every round of the search diffs a fresh run log against the *same*
+    failure log.  :class:`LogComparator` re-groups and re-keys that fixed
+    side on every call and Myers-diffs template-key *strings*; this class
+    does the per-case work once and the per-round work incrementally:
+
+    * the failure log is grouped, keyed, and sorted exactly once;
+    * template keys are interned to integer ids, so the Myers inner loop
+      compares ints (interning preserves equality, so edit scripts are
+      identical to the string-keyed ones);
+    * per-thread edit scripts are memoized on the thread's run-side key
+      sequence — most threads log identically round to round, so their
+      diffs are dictionary lookups after the first round.
+
+    ``compare(run_log)`` returns a :class:`CompareResult` equal to
+    ``LogComparator.compare(run_log, failure_log)`` (equivalence is
+    pinned by tests), so :class:`~repro.core.observables.ObservableSet`
+    can swap it in without changing any downstream behavior.
+    """
+
+    #: Memo-table bound: ~rounds x threads entries of small tuples; the
+    #: cap only matters for pathological million-round searches.
+    MEMO_LIMIT = 65536
+
+    def __init__(
+        self, comparator: LogComparator, failure_log: LogFile
+    ) -> None:
+        self._comparator = comparator
+        self._failure_log = failure_log
+        self._intern: dict[str, int] = {}
+        #: thread -> (interned key ids, (key, global index, record) triples),
+        #: in failure-log first-appearance order (LogComparator's order).
+        self._failure: dict[str, tuple[tuple[int, ...], list]] = {}
+        for thread, entries in comparator._group(failure_log).items():
+            ids = tuple(self._id(key) for key, _index, _record in entries)
+            self._failure[thread] = (ids, entries)
+        #: (thread, run-side id sequence) -> (INSERT right-locals,
+        #: KEEP (left-local, right-local) pairs).
+        self._memo: dict[tuple[str, tuple[int, ...]], tuple] = {}
+
+    def _id(self, key: str) -> int:
+        interned = self._intern.get(key)
+        if interned is None:
+            interned = len(self._intern)
+            self._intern[key] = interned
+        return interned
+
+    def key_for(self, record: LogRecord) -> str:
+        return self._comparator.key_for(record)
+
+    def compare(self, run_log: LogFile) -> CompareResult:
+        """``COMPARE(run_log, failure_log)`` — see :meth:`LogComparator.compare`."""
+        run_groups = self._comparator._group(run_log)
+        failure_only: list[Occurrence] = []
+        matched: list[tuple[int, int]] = []
+
+        for thread, (failure_ids, failure_entries) in self._failure.items():
+            run_entries = run_groups.get(thread)
+            if not run_entries:
+                for key, index, record in failure_entries:
+                    failure_only.append(Occurrence(key, thread, index, record))
+                continue
+            run_ids = tuple(
+                self._id(key) for key, _index, _record in run_entries
+            )
+            memo_key = (thread, run_ids)
+            script = self._memo.get(memo_key)
+            if script is None:
+                inserts: list[int] = []
+                keeps: list[tuple[int, int]] = []
+                for edit in myers.diff(run_ids, failure_ids):
+                    if edit.op is myers.Op.INSERT:
+                        inserts.append(edit.right_index)
+                    elif edit.op is myers.Op.KEEP:
+                        keeps.append((edit.left_index, edit.right_index))
+                script = (tuple(inserts), tuple(keeps))
+                if len(self._memo) >= self.MEMO_LIMIT:
+                    self._memo.clear()
+                self._memo[memo_key] = script
+            inserts, keeps = script
+            for right in inserts:
+                key, index, record = failure_entries[right]
+                failure_only.append(Occurrence(key, thread, index, record))
+            for left, right in keeps:
+                matched.append(
+                    (run_entries[left][1], failure_entries[right][1])
+                )
+
+        failure_only.sort(key=lambda occ: occ.failure_index)
+        matched.sort(key=lambda pair: pair[1])
+        return CompareResult(failure_only=failure_only, matched=matched)
 
 
 def quick_canonical_diff(run_log: LogFile, failure_log: LogFile) -> set[str]:

@@ -44,7 +44,51 @@ def diff(left: Sequence[Item], right: Sequence[Item]) -> list[Edit]:
 
     Returns edits in order; KEEP edits reference both indices.  The script
     is minimal in the number of INSERT + DELETE operations.
+
+    The common prefix and suffix are trimmed before the O(ND) core runs —
+    per-thread log sequences are near-identical round to round, so most
+    of the quadratic work disappears.  Trimming preserves minimality (a
+    shortest script always exists that keeps every common prefix/suffix
+    item), and the property tests pin script equivalence against the
+    untrimmed core.
     """
+    n, m = len(left), len(right)
+    prefix = 0
+    limit = min(n, m)
+    while prefix < limit and left[prefix] == right[prefix]:
+        prefix += 1
+    suffix = 0
+    limit -= prefix
+    while suffix < limit and left[n - 1 - suffix] == right[m - 1 - suffix]:
+        suffix += 1
+    if prefix == 0 and suffix == 0:
+        return _diff_core(left, right)
+    edits = [Edit(Op.KEEP, left[i], i, i) for i in range(prefix)]
+    for edit in _diff_core(
+        left[prefix:n - suffix], right[prefix:m - suffix]
+    ):
+        edits.append(
+            Edit(
+                edit.op,
+                edit.item,
+                edit.left_index + prefix
+                if edit.left_index is not None
+                else None,
+                edit.right_index + prefix
+                if edit.right_index is not None
+                else None,
+            )
+        )
+    edits.extend(
+        Edit(Op.KEEP, left[n - suffix + i], n - suffix + i, m - suffix + i)
+        for i in range(suffix)
+    )
+    return edits
+
+
+def _diff_core(left: Sequence[Item], right: Sequence[Item]) -> list[Edit]:
+    """The untrimmed greedy forward Myers algorithm (kept separate so the
+    property tests can compare :func:`diff` against it directly)."""
     n, m = len(left), len(right)
     if n == 0:
         return [Edit(Op.INSERT, item, None, j) for j, item in enumerate(right)]

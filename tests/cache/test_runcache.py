@@ -1,0 +1,357 @@
+"""The run cache: key hygiene, disk-tier robustness, noop aliasing,
+and the hard invariant that caching never changes a search outcome.
+"""
+
+import os
+import pickle
+import warnings
+
+import pytest
+
+from repro.cache import (
+    RunCache,
+    active,
+    cached_execute,
+    configure,
+    reset,
+    workload_fingerprint,
+)
+from repro.cache.runcache import ALIAS, HIT, MISS, UNCACHED, PAYLOAD_VERSION
+from repro.failures import get_case
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim.cluster import execute_workload
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    """No process-global cache leaks into (or out of) any test here."""
+    reset()
+    yield
+    reset()
+
+
+def workload_a(cluster):
+    log = cluster.logger()
+
+    def task():
+        cluster.env.disk_write("/a", b"x")
+        log.info("a done")
+        yield cluster.sleep(0.01)
+
+    cluster.spawn("worker", task())
+
+
+def workload_b(cluster):
+    log = cluster.logger()
+
+    def task():
+        cluster.env.disk_write("/b", b"y")
+        log.info("b done")
+        yield cluster.sleep(0.01)
+
+    cluster.spawn("worker", task())
+
+
+def counting_runner():
+    calls = []
+
+    def runner(workload, horizon, seed=0, plan=None, **kwargs):
+        calls.append((horizon, seed, plan.key() if plan else None))
+        return execute_workload(workload, horizon=horizon, seed=seed, plan=plan)
+
+    return runner, calls
+
+
+def plan_of(*triples, always=()):
+    return InjectionPlan.of(
+        [FaultInstance(*t) for t in triples],
+        always=[FaultInstance(*t) for t in always],
+    )
+
+
+# ------------------------------------------------------------- fingerprints
+
+
+def test_fingerprint_is_stable_and_distinguishes_functions():
+    assert workload_fingerprint(workload_a) == workload_fingerprint(workload_a)
+    assert workload_fingerprint(workload_a) != workload_fingerprint(workload_b)
+
+
+def test_unfingerprintable_workload_bypasses_the_cache():
+    # A callable with no qualified name and no retrievable source cannot
+    # be keyed safely; the cache must execute it every time.
+    opaque = eval("lambda cluster: None")
+    opaque.__module__ = ""
+    opaque.__qualname__ = ""
+    assert workload_fingerprint(opaque) is None
+    cache = RunCache()
+    runs = []
+    _, outcome = cache.execute(
+        opaque, 1.0, runner=lambda *a, **k: runs.append(1) or object()
+    )
+    assert outcome == UNCACHED
+    assert runs == [1]
+
+
+# -------------------------------------------------------------- key hygiene
+
+
+def test_same_inputs_hit_different_inputs_miss():
+    cache = RunCache()
+    runner, calls = counting_runner()
+    case_args = dict(runner=runner)
+
+    first, outcome = cache.execute(workload_a, 1.0, seed=3, **case_args)
+    assert outcome == MISS
+    again, outcome = cache.execute(workload_a, 1.0, seed=3, **case_args)
+    assert outcome == HIT
+    assert again is first
+    assert len(calls) == 1
+
+    # Horizon, seed, and workload changes must each miss.
+    cache.execute(workload_a, 2.0, seed=3, **case_args)
+    cache.execute(workload_a, 1.0, seed=4, **case_args)
+    cache.execute(workload_b, 1.0, seed=3, **case_args)
+    assert len(calls) == 4
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 4
+
+
+def test_distinct_plans_never_collide():
+    cache = RunCache()
+    case = get_case("f1")
+    site = case.ground_truth_instance().site_id
+    exc = case.ground_truth_instance().exception
+    plans = [
+        None,
+        plan_of((site, exc, 1)),
+        plan_of((site, exc, 2)),
+        plan_of((site, exc, 1), (site, exc, 2)),
+        plan_of((site, exc, 1), always=((site, exc, 2),)),
+        plan_of(always=((site, exc, 1),)),
+    ]
+    keys = {
+        cache._key(case.workload, case.horizon, case.seed, plan)
+        for plan in plans
+    }
+    assert len(keys) == len(plans)
+    names = {RunCache._entry_name(key) for key in keys}
+    assert len(names) == len(plans)
+
+
+def test_base_fault_changes_miss():
+    # Same window, different ``always`` faults: a different run.
+    cache = RunCache()
+    case = get_case("f1")
+    truth = case.ground_truth_instance()
+    runner, calls = counting_runner()
+    window = plan_of((truth.site_id, truth.exception, 1))
+    with_base = InjectionPlan.of(window.instances, always=[truth])
+    cache.execute(case.workload, case.horizon, case.seed, window, runner)
+    cache.execute(case.workload, case.horizon, case.seed, with_base, runner)
+    assert len(calls) == 2
+    assert cache.stats.misses == 2
+
+
+# ---------------------------------------------------------------- disk tier
+
+
+def test_disk_tier_shared_between_cache_instances(tmp_path):
+    writer = RunCache(disk_dir=str(tmp_path))
+    runner, calls = counting_runner()
+    writer.execute(workload_a, 1.0, seed=1, runner=runner)
+    assert len(calls) == 1
+
+    reader = RunCache(disk_dir=str(tmp_path))
+    _result, outcome = reader.execute(workload_a, 1.0, seed=1, runner=runner)
+    assert outcome == HIT
+    assert reader.stats.disk_hits == 1
+    assert len(calls) == 1  # never re-executed
+
+
+def test_corrupt_disk_entry_is_skipped_with_one_warning(tmp_path):
+    cache = RunCache(disk_dir=str(tmp_path))
+    runner, calls = counting_runner()
+    cache.execute(workload_a, 1.0, seed=1, runner=runner)
+    (entry,) = list(tmp_path.iterdir())
+    entry.write_bytes(b"not a pickle")
+
+    fresh = RunCache(disk_dir=str(tmp_path))
+    with pytest.warns(RuntimeWarning, match="corrupt run-cache entry"):
+        _result, outcome = fresh.execute(workload_a, 1.0, seed=1, runner=runner)
+    assert outcome == MISS  # corrupt entry never served
+    assert fresh.stats.disk_errors == 1
+    # The miss re-executed and re-stored a valid entry over the corpse.
+    assert pickle.loads(entry.read_bytes())["version"] == PAYLOAD_VERSION
+
+    # Later corruption on the same cache degrades silently.
+    entry.write_bytes(b"also not a pickle")
+    fresh._memory.clear()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        _result, outcome = fresh.execute(workload_a, 1.0, seed=1, runner=runner)
+    assert outcome == MISS
+    assert fresh.stats.disk_errors == 2
+
+
+def test_key_mismatch_entry_rejected(tmp_path):
+    # An entry whose embedded key disagrees with its filename (hash
+    # collision, or a file renamed by hand) must not be served.
+    cache = RunCache(disk_dir=str(tmp_path))
+    runner, calls = counting_runner()
+    cache.execute(workload_a, 1.0, seed=1, runner=runner)
+    (entry,) = list(tmp_path.iterdir())
+    payload = pickle.loads(entry.read_bytes())
+    payload["key"] = ("someone-else", 9, 9.0, ((), ()))
+    entry.write_bytes(pickle.dumps(payload))
+
+    fresh = RunCache(disk_dir=str(tmp_path))
+    with pytest.warns(RuntimeWarning):
+        _result, outcome = fresh.execute(workload_a, 1.0, seed=1, runner=runner)
+    assert outcome == MISS
+
+
+def test_stale_version_entry_rejected(tmp_path):
+    cache = RunCache(disk_dir=str(tmp_path))
+    runner, _calls = counting_runner()
+    cache.execute(workload_a, 1.0, seed=1, runner=runner)
+    (entry,) = list(tmp_path.iterdir())
+    payload = pickle.loads(entry.read_bytes())
+    payload["version"] = PAYLOAD_VERSION + 1
+    entry.write_bytes(pickle.dumps(payload))
+    fresh = RunCache(disk_dir=str(tmp_path))
+    with pytest.warns(RuntimeWarning):
+        _result, outcome = fresh.execute(workload_a, 1.0, seed=1, runner=runner)
+    assert outcome == MISS
+
+
+# ------------------------------------------------------------ noop aliasing
+
+
+def test_never_firing_plan_served_from_noop_run():
+    cache = RunCache()
+    case = get_case("f1")
+    truth = case.ground_truth_instance()
+    runner, calls = counting_runner()
+
+    noop, outcome = cache.execute(
+        case.workload, case.horizon, case.seed, None, runner
+    )
+    assert outcome == MISS
+    # Arm an occurrence far beyond anything the trace contains: the
+    # window can never fire, so the noop result answers without a run.
+    ghost = plan_of((truth.site_id, truth.exception, 10**6))
+    result, outcome = cache.execute(
+        case.workload, case.horizon, case.seed, ghost, runner
+    )
+    assert outcome == ALIAS
+    assert result is noop
+    assert len(calls) == 1
+    assert cache.stats.alias_hits == 1
+
+    # The aliased key is now a plain memory hit.
+    _result, outcome = cache.execute(
+        case.workload, case.horizon, case.seed, ghost, runner
+    )
+    assert outcome == HIT
+
+
+def test_firing_plan_is_not_aliased():
+    cache = RunCache()
+    case = get_case("f1")
+    truth = case.ground_truth_instance()
+    runner, calls = counting_runner()
+    cache.execute(case.workload, case.horizon, case.seed, None, runner)
+    firing = plan_of((truth.site_id, truth.exception, truth.occurrence))
+    result, outcome = cache.execute(
+        case.workload, case.horizon, case.seed, firing, runner
+    )
+    assert outcome == MISS
+    assert len(calls) == 2
+    assert result.injected_instance is not None
+
+
+def test_completed_nonfiring_run_seeds_the_noop_entry():
+    # Store a run whose window never fired *without* a prior noop run;
+    # the noop key must be populated from it.
+    cache = RunCache()
+    case = get_case("f1")
+    truth = case.ground_truth_instance()
+    runner, calls = counting_runner()
+    ghost = plan_of((truth.site_id, truth.exception, 10**6))
+    result, outcome = cache.execute(
+        case.workload, case.horizon, case.seed, ghost, runner
+    )
+    assert outcome == MISS
+    _noop, outcome = cache.execute(
+        case.workload, case.horizon, case.seed, None, runner
+    )
+    assert outcome == HIT
+    assert len(calls) == 1
+
+
+# --------------------------------------------------------------- LRU bounds
+
+
+def test_memory_tier_evicts_least_recently_used():
+    cache = RunCache(capacity=2)
+    runner, calls = counting_runner()
+    cache.execute(workload_a, 1.0, seed=1, runner=runner)
+    cache.execute(workload_a, 1.0, seed=2, runner=runner)
+    cache.execute(workload_a, 1.0, seed=1, runner=runner)  # refresh seed=1
+    cache.execute(workload_a, 1.0, seed=3, runner=runner)  # evicts seed=2
+    assert len(cache._memory) == 2
+    _result, outcome = cache.execute(workload_a, 1.0, seed=2, runner=runner)
+    assert outcome == MISS  # seed=2 was the least recently used
+    # Storing seed=2 back evicted seed=1; seed=3 is still resident.
+    _result, outcome = cache.execute(workload_a, 1.0, seed=3, runner=runner)
+    assert outcome == HIT
+
+
+# --------------------------------------------------- process-global wiring
+
+
+def test_active_defaults_to_off_and_reads_env(monkeypatch):
+    assert active() is None
+    reset()
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    assert active() is not None
+    reset()
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    assert active() is None
+
+
+def test_cached_execute_without_cache_uses_runner_directly():
+    sentinel = object()
+    result = cached_execute(
+        workload_a, horizon=1.0, runner=lambda *a, **k: sentinel
+    )
+    assert result is sentinel
+
+
+def test_configured_cache_serves_cached_execute():
+    configure(enabled=True)
+    runner, calls = counting_runner()
+    first = cached_execute(workload_a, horizon=1.0, seed=7, runner=runner)
+    second = cached_execute(workload_a, horizon=1.0, seed=7, runner=runner)
+    assert second is first
+    assert len(calls) == 1
+
+
+# ------------------------------------------------------ outcome invariance
+
+
+@pytest.mark.parametrize("case_id", ["f1", "f13"])
+def test_search_outcome_invariant_under_cache(case_id, tmp_path):
+    case = get_case(case_id)
+    reset()
+    baseline = case.explorer(max_rounds=60).explore()
+    configure(enabled=True, disk_dir=str(tmp_path))
+    cold = case.explorer(max_rounds=60).explore()
+    warm = case.explorer(max_rounds=60).explore()
+    assert cold.signature() == baseline.signature()
+    assert warm.signature() == baseline.signature()
+    cache = active()
+    assert cache is not None
+    assert cache.stats.hits > 0  # the warm pass was actually served

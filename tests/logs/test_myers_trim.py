@@ -1,0 +1,127 @@
+"""Property tests: prefix/suffix trimming keeps Myers scripts equivalent.
+
+:func:`repro.logs.myers.diff` trims the common prefix and suffix before
+running the O(ND) core.  Trimming may change *which* of several equally
+minimal scripts is returned (different KEEP pairings are possible when
+items repeat), so equivalence here means: the script is valid (it
+rewrites ``left`` into ``right``) and exactly as short as the untrimmed
+core's — never shorter, never longer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logs import myers
+from repro.logs.myers import Op, _diff_core, diff
+
+# Small alphabets force repeated items — the regime where trimming is
+# most likely to pick a different (still minimal) pairing.
+SEQ = st.lists(st.sampled_from("abc"), max_size=12)
+WIDE_SEQ = st.lists(st.integers(0, 50), max_size=20)
+
+
+def apply_script(left, edits):
+    """Replay an edit script; returns the reconstructed right sequence."""
+    out = []
+    left_cursor = 0
+    for edit in edits:
+        if edit.op is Op.KEEP:
+            assert edit.left_index == left_cursor
+            assert left[edit.left_index] == edit.item
+            out.append(edit.item)
+            left_cursor += 1
+        elif edit.op is Op.DELETE:
+            assert edit.left_index == left_cursor
+            assert left[edit.left_index] == edit.item
+            left_cursor += 1
+        else:
+            assert edit.right_index == len(out)
+            out.append(edit.item)
+    assert left_cursor == len(left)
+    return out
+
+
+def cost(edits):
+    return sum(1 for edit in edits if edit.op is not Op.KEEP)
+
+
+@settings(max_examples=300)
+@given(SEQ, SEQ)
+def test_trimmed_script_is_valid_and_minimal(left, right):
+    trimmed = diff(left, right)
+    untrimmed = _diff_core(left, right)
+    assert apply_script(left, trimmed) == right
+    assert cost(trimmed) == cost(untrimmed)
+
+
+@settings(max_examples=200)
+@given(WIDE_SEQ, WIDE_SEQ)
+def test_trimmed_script_is_valid_and_minimal_wide_alphabet(left, right):
+    trimmed = diff(left, right)
+    assert apply_script(left, trimmed) == right
+    assert cost(trimmed) == cost(_diff_core(left, right))
+
+
+@settings(max_examples=200)
+@given(SEQ, SEQ)
+def test_right_indices_are_strictly_increasing(left, right):
+    # Downstream consumers (failure-only occurrence lists, matched
+    # anchors) rely on scripts walking both sequences monotonically.
+    last_right = -1
+    for edit in diff(left, right):
+        if edit.right_index is not None:
+            assert edit.right_index == last_right + 1
+            last_right = edit.right_index
+    assert last_right == len(right) - 1
+
+
+@settings(max_examples=200)
+@given(SEQ)
+def test_identical_sequences_are_all_keeps(seq):
+    edits = diff(seq, seq)
+    assert all(edit.op is Op.KEEP for edit in edits)
+    assert [edit.item for edit in edits] == seq
+
+
+@settings(max_examples=200)
+@given(SEQ, SEQ)
+def test_exactly_equal_to_core_when_nothing_trims(left, right):
+    # With no common prefix or suffix the fast path must be the core,
+    # byte for byte.
+    if left and right and left[0] == right[0]:
+        left = ["L"] + left
+    if left and right and left[-1] == right[-1]:
+        right = right + ["R"]
+    assert diff(left, right) == _diff_core(left, right)
+
+
+@settings(max_examples=200)
+@given(SEQ, SEQ, st.lists(st.sampled_from("abc"), max_size=6))
+def test_shared_prefix_is_kept_verbatim(prefix, left, right):
+    # Prefix trimming is exact: the first len(prefix) edits are KEEPs of
+    # the prefix at matching indices.
+    edits = diff(prefix + left, prefix + right)
+    head = edits[: len(prefix)]
+    assert all(edit.op is Op.KEEP for edit in head)
+    assert [edit.item for edit in head] == prefix
+    for index, edit in enumerate(head):
+        assert (edit.left_index, edit.right_index) == (index, index)
+
+
+def test_known_suffix_ambiguity_stays_minimal():
+    # left="ab", right="bb": two minimal scripts exist; trimming may pick
+    # a different KEEP pairing than the core, but cost must match (1
+    # delete + 1 insert... actually 2 ops) and the rewrite must hold.
+    left, right = list("ab"), list("bb")
+    trimmed = diff(left, right)
+    assert apply_script(left, trimmed) == right
+    assert cost(trimmed) == cost(_diff_core(left, right)) == 2
+
+
+def test_lcs_pairs_monotonic_on_trimmed_paths():
+    pairs = myers.lcs_pairs(list("xxabyy"), list("zzabyy"))
+    assert pairs == sorted(pairs)
+    lefts = [left for left, _right in pairs]
+    rights = [right for _left, right in pairs]
+    assert lefts == sorted(set(lefts))
+    assert rights == sorted(set(rights))

@@ -1,0 +1,123 @@
+"""PreparedComparator must be drop-in equal to LogComparator.
+
+The prepared (grouped-once, interned, memoized) comparison path powers
+every ObservableSet; its results must match the reference comparator
+exactly — same failure-only occurrences, same matched anchors, in the
+same order — on real case logs, on synthetic logs with missing threads,
+and on repeated (memo-served) calls.
+"""
+
+import pytest
+
+from repro.failures import get_case
+from repro.injection.fir import InjectionPlan
+from repro.logs.diff import LogComparator, PreparedComparator
+from repro.logs.record import LogFile, LogRecord
+
+
+def assert_equal_results(reference, prepared):
+    assert [
+        (occ.key, occ.thread, occ.failure_index, occ.record)
+        for occ in reference.failure_only
+    ] == [
+        (occ.key, occ.thread, occ.failure_index, occ.record)
+        for occ in prepared.failure_only
+    ]
+    assert reference.matched == prepared.matched
+
+
+@pytest.mark.parametrize("case_id", ["f1", "f5", "f13", "f19", "f22"])
+def test_equivalent_on_real_case_logs(case_id):
+    case = get_case(case_id)
+    comparator = LogComparator(case.model().template_matcher())
+    failure_log = case.failure_log()
+    prepared = PreparedComparator(comparator, failure_log)
+
+    normal_log = case.run_without_fault().log
+    assert_equal_results(
+        comparator.compare(normal_log, failure_log),
+        prepared.compare(normal_log),
+    )
+
+    # A perturbed run (the ground-truth injection) too: its log contains
+    # the failure messages, exercising the all-matched path.
+    failed_run_log = case.run_with_ground_truth().log
+    assert_equal_results(
+        comparator.compare(failed_run_log, failure_log),
+        prepared.compare(failed_run_log),
+    )
+
+
+def test_memoized_second_call_is_equal():
+    case = get_case("f1")
+    comparator = LogComparator(case.model().template_matcher())
+    failure_log = case.failure_log()
+    prepared = PreparedComparator(comparator, failure_log)
+    normal_log = case.run_without_fault().log
+
+    first = prepared.compare(normal_log)
+    assert prepared._memo  # the per-thread scripts were recorded
+    second = prepared.compare(normal_log)
+    assert_equal_results(first, second)
+    assert_equal_results(comparator.compare(normal_log, failure_log), second)
+
+
+def _log(*records):
+    return LogFile(list(records))
+
+
+def _record(thread, message):
+    return LogRecord(time=0.0, thread=thread, level="INFO", message=message)
+
+
+def test_threads_missing_from_the_run_log():
+    comparator = LogComparator()
+    failure_log = _log(
+        _record("main", "boot"),
+        _record("worker-1", "lost quorum"),
+        _record("worker-1", "session expired"),
+        _record("main", "shutdown"),
+    )
+    run_log = _log(_record("main", "boot"), _record("main", "shutdown"))
+    prepared = PreparedComparator(comparator, failure_log)
+    assert_equal_results(
+        comparator.compare(run_log, failure_log),
+        prepared.compare(run_log),
+    )
+    # Both worker-1 messages are failure-only, ordered by failure index.
+    result = prepared.compare(run_log)
+    worker_only = [occ for occ in result.failure_only if occ.thread == "worker-1"]
+    assert [occ.failure_index for occ in worker_only] == [1, 2]
+
+
+def test_run_only_threads_are_ignored():
+    comparator = LogComparator()
+    failure_log = _log(_record("main", "boot"))
+    run_log = _log(
+        _record("main", "boot"),
+        _record("extra-1", "only in the run"),
+    )
+    prepared = PreparedComparator(comparator, failure_log)
+    assert_equal_results(
+        comparator.compare(run_log, failure_log),
+        prepared.compare(run_log),
+    )
+
+
+def test_memo_overflow_clears_and_stays_correct():
+    comparator = LogComparator()
+    failure_log = _log(_record("main", "a"), _record("main", "b"))
+    prepared = PreparedComparator(comparator, failure_log)
+    prepared.MEMO_LIMIT = 2
+    logs = [
+        _log(_record("main", "a")),
+        _log(_record("main", "b")),
+        _log(_record("main", "a"), _record("main", "b")),
+        _log(_record("main", "c")),
+    ]
+    for run_log in logs:
+        assert_equal_results(
+            comparator.compare(run_log, failure_log),
+            prepared.compare(run_log),
+        )
+    assert len(prepared._memo) <= 2
