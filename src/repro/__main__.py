@@ -20,6 +20,11 @@ Commands:
   the artifacts under ``benchmarks/out/``.
 * ``lint <package>`` — run the fault-handling defect detector over an
   importable package and print the findings (text or JSON).
+* ``analyze <case_id>|all`` — run the interprocedural fault-propagation
+  analysis for one or more cases: committed exploration with static
+  fault-space pruning on, reporting the propagation-graph shape, the
+  pruned space, and any dynamic contradictions (a fired triple the
+  analysis had called unreachable exits 1).
 
 ``reproduce`` and ``compare`` accept ``--profile`` to sample run-level
 metrics (FIR decision latency, scheduler counters) without changing the
@@ -49,6 +54,7 @@ from .bench import (
     run_compare_campaign,
 )
 from .bench import summary as bench_summary
+from .core.pruning import DEFAULT_RADIUS
 from .core.report import ReproductionScript
 from .failures import all_cases, get_case
 from .obs import TraceRecorder, build_plan_provenance, ledger, write_report
@@ -153,17 +159,27 @@ def cmd_reproduce(args) -> int:
         jobs=jobs,
         recorder=recorder,
         track_coverage=True,
+        prune=args.prune,
     )
     result = explorer.explore()
     if recorder is not None:
         _print_profile(recorder)
     coverage = result.coverage.to_dict() if result.coverage else None
     if result.coverage is not None:
+        pruned = ""
+        if result.coverage.pruned_space_size is not None:
+            dropped = (
+                result.coverage.space_size - result.coverage.pruned_space_size
+            )
+            pruned = (
+                f", statically pruned {dropped} "
+                f"({len(result.coverage.contradictions)} contradiction(s))"
+            )
         print(
             f"[coverage: planned {result.coverage.planned}/"
             f"{result.coverage.space_size} "
             f"({result.coverage.planned_fraction:.1%}), "
-            f"fired {result.coverage.fired}]",
+            f"fired {result.coverage.fired}{pruned}]",
             file=sys.stderr,
         )
     _append_ledger(
@@ -424,13 +440,106 @@ def cmd_lint(args) -> int:
         return 2
     if args.min_severity:
         report = report.min_severity(args.min_severity)
-    if args.format == "json":
-        print(report.to_json())
+    payload = (
+        report.to_json() if args.format == "json" else report.to_text()
+    ) + "\n"
+    if args.out:
+        if not _write_text(args.out, payload, what="lint report"):
+            return 2
+        print(f"lint report written to {args.out}", file=sys.stderr)
     else:
-        print(report.to_text())
+        sys.stdout.write(payload)
     if args.strict and any(
         finding.severity == "error" for finding in report.findings
     ):
+        return 1
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    _configure_cache(args)
+    try:
+        cases = _resolve_compare_cases(args.case_id)
+    except KeyError as error:
+        print(f"error: unknown case id {error.args[0]!r}", file=sys.stderr)
+        return 2
+    if not cases:
+        print(f"error: no case ids in {args.case_id!r}", file=sys.stderr)
+        return 2
+    case_docs: dict[str, dict] = {}
+    total_contradictions = 0
+    for case in cases:
+        explorer = case.explorer(
+            max_rounds=args.max_rounds,
+            track_coverage=True,
+            prune="static",
+            prune_radius=args.radius,
+        )
+        result = explorer.explore()
+        prepared = explorer.prepare()
+        coverage = result.coverage.to_dict() if result.coverage else {}
+        contradictions = coverage.get("contradictions", 0)
+        total_contradictions += contradictions
+        case_docs[case.case_id] = {
+            "system": case.system,
+            "issue": case.issue,
+            "reproduced": result.success,
+            "rounds": result.rounds,
+            "coverage": coverage,
+            "graph": (
+                prepared.flow_graph.summary()
+                if prepared.flow_graph is not None
+                else {}
+            ),
+        }
+    document = {
+        "radius": args.radius,
+        "case_count": len(case_docs),
+        "contradictions": total_contradictions,
+        "cases": case_docs,
+    }
+    if args.format == "json":
+        payload = json.dumps(document, indent=2) + "\n"
+    else:
+        rows = []
+        for case_id, doc in case_docs.items():
+            coverage = doc["coverage"]
+            space = coverage.get("space", 0)
+            pruned = coverage.get("pruned", 0)
+            rows.append(
+                (
+                    f"{case_id} ({doc['issue']})",
+                    doc["system"],
+                    str(space),
+                    str(pruned),
+                    f"{coverage.get('pruned_fraction', 0.0):.1%}",
+                    str(coverage.get("contradictions", 0)),
+                    str(doc["rounds"]) if doc["reproduced"] else "-",
+                )
+            )
+        payload = (
+            format_table(
+                ["case", "system", "space", "pruned", "pruned%",
+                 "contradictions", "rounds"],
+                rows,
+                title="static fault-space pruning "
+                f"(propagation radius {args.radius:g})",
+            )
+            + "\n"
+        )
+    if args.out:
+        if not _write_text(args.out, payload, what="analysis"):
+            return 2
+        print(f"analysis written to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(payload)
+    _print_cache_stats()
+    if total_contradictions:
+        print(
+            f"error: {total_contradictions} dynamic contradiction(s) — the "
+            f"static analysis pruned triples that fired",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -482,6 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="record run-level metrics and print them to stderr",
+    )
+    reproduce.add_argument(
+        "--prune",
+        choices=("none", "static"),
+        default="static",
+        help="fault-space accounting: static = drop statically-dead "
+        "triples from the coverage denominator (default; search outcome "
+        "is identical either way)",
     )
     _add_cache_options(reproduce)
     _add_ledger_options(reproduce)
@@ -573,6 +690,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero when any error-severity finding remains",
     )
+    lint.add_argument(
+        "--out",
+        "-o",
+        help="write the report to a file instead of stdout",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="static fault-propagation analysis with dynamic cross-check",
+    )
+    analyze.add_argument(
+        "case_id",
+        help="failure case id, a comma-separated id list, or 'all'",
+    )
+    analyze.add_argument("--max-rounds", type=int, default=800)
+    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument("--out", "-o", help="write the analysis to a file")
+    analyze.add_argument(
+        "--radius",
+        type=float,
+        default=DEFAULT_RADIUS,
+        help="temporal pruning radius in normal-run log lines "
+        f"(default {DEFAULT_RADIUS:g})",
+    )
+    _add_cache_options(analyze)
     return parser
 
 
@@ -588,6 +730,7 @@ def main(argv=None) -> int:
         "report": cmd_report,
         "inspect": cmd_inspect,
         "lint": cmd_lint,
+        "analyze": cmd_analyze,
     }[args.command]
     return handler(args)
 

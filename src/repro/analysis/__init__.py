@@ -22,6 +22,15 @@ from .ast_facts import (
 )
 from .causal import AnalysisTimings, CausalGraphBuilder, DistanceIndex
 from .exceptions import ExceptionAnalysis, ThrowPoint
+from .flow import (
+    CrossEdge,
+    FlowAnalysis,
+    PropagationGraph,
+    PropagationPath,
+    build_propagation_graph,
+    reachability_weights,
+    task_root_closure,
+)
 from .lint import LintReport, lint_package, run_lint
 from .rules import Finding, LintContext, registered_rules
 from .model import (
@@ -41,10 +50,12 @@ __all__ = [
     "CausalGraph",
     "CausalGraphBuilder",
     "ConditionFact",
+    "CrossEdge",
     "DistanceIndex",
     "EnvCallFact",
     "ExceptionAnalysis",
     "Finding",
+    "FlowAnalysis",
     "FunctionFact",
     "HandlerFact",
     "LintContext",
@@ -53,6 +64,8 @@ __all__ = [
     "ModuleFacts",
     "Node",
     "NodeKind",
+    "PropagationGraph",
+    "PropagationPath",
     "RaiseFact",
     "SOURCE_KINDS",
     "SourceInfo",
@@ -60,9 +73,12 @@ __all__ = [
     "ThrowPoint",
     "TryFact",
     "analyze_package",
+    "build_propagation_graph",
     "extract_module_facts",
     "graph_fault_candidates",
     "lint_package",
+    "reachability_weights",
     "registered_rules",
     "run_lint",
+    "task_root_closure",
 ]

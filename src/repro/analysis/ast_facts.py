@@ -101,6 +101,11 @@ class CallFact:
     callee: str          # bare callee name
     is_submit: bool = False
     is_spawn: bool = False
+    #: Receiver of an attribute call: ``self.wal_lock.acquire()`` ->
+    #: ``wal_lock``.  Empty for plain-name calls.  This is what lets the
+    #: flow pass pair queue put/get sites and the concurrency rules tell
+    #: two locks apart.
+    owner: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -315,8 +320,15 @@ class _FactVisitor(ast.NodeVisitor):
                 return
 
         if name:
+            owner = (
+                _attr_chain_tail(func.value)
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
             self.facts.calls.append(
-                CallFact(self.file, node.lineno, self._function, name)
+                CallFact(
+                    self.file, node.lineno, self._function, name, owner=owner
+                )
             )
         self.generic_visit(node)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import time
+import warnings
 from typing import Iterable, Optional
 
 from .exceptions import ExceptionAnalysis
@@ -38,9 +39,30 @@ class LintReport:
         return len(self.findings)
 
     def by_rule(self) -> dict[str, list[Finding]]:
+        """Findings grouped by rule id, in the report's rule order.
+
+        A finding whose rule id is not in ``rule_ids`` — a report built
+        from persisted findings of a retired rule, or hand-constructed
+        in tests — lands in an explicit ``"unknown"`` bucket (with one
+        warning naming the stray ids) instead of silently growing the
+        keyspace out of order.
+        """
         grouped: dict[str, list[Finding]] = {rule_id: [] for rule_id in self.rule_ids}
+        unknown: list[Finding] = []
         for finding in self.findings:
-            grouped.setdefault(finding.rule, []).append(finding)
+            if finding.rule in grouped:
+                grouped[finding.rule].append(finding)
+            else:
+                unknown.append(finding)
+        if unknown:
+            stray = sorted({finding.rule for finding in unknown})
+            warnings.warn(
+                f"{len(unknown)} finding(s) from unregistered rule(s) "
+                f"{', '.join(stray)} grouped under 'unknown'",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            grouped["unknown"] = unknown
         return grouped
 
     def by_severity(self) -> dict[str, int]:

@@ -23,6 +23,7 @@ from .base import (
 from . import abort  # noqa: F401
 from . import blocking  # noqa: F401
 from . import broad_catch  # noqa: F401
+from . import concurrency  # noqa: F401
 from . import escape  # noqa: F401
 from . import latch  # noqa: F401
 from . import lock_boundary  # noqa: F401

@@ -102,6 +102,7 @@ def run_anduril(
     jobs: int = 1,
     profile: bool = False,
     coverage: bool = True,
+    prune: str = "static",
     **overrides,
 ) -> AndurilOutcome:
     """Run the feedback-driven search on one case under the table budgets.
@@ -110,8 +111,11 @@ def run_anduril(
     timing is sampled, per-round spans and rerank events are captured,
     and the flat metrics dict lands in :attr:`AndurilOutcome.metrics`.
     ``coverage`` (default on — campaign accounting is this harness's
-    job) tracks fault-space coverage.  The search outcome itself is
-    invariant in both.
+    job) tracks fault-space coverage, with ``prune="static"`` (the
+    default) folding the flow pass's statically-dead triples out of the
+    denominator; pruning is accounting-only, so the search outcome is
+    invariant in all three knobs (``prune="none"`` restores the raw
+    space).
     """
     counters_before = obs_metrics.snapshot()
     recorder = TraceRecorder() if profile else None
@@ -121,6 +125,7 @@ def run_anduril(
         jobs=jobs,
         recorder=recorder,
         track_coverage=coverage,
+        prune=prune,
         **overrides,
     )
     prepared = explorer.prepare()

@@ -7,6 +7,7 @@ the search stack never pays twice for the same run.  See
 keying and determinism argument.
 """
 
+from .flowcache import cached_propagation_graph
 from .runcache import (
     CacheStats,
     RunCache,
@@ -23,6 +24,7 @@ __all__ = [
     "RunCache",
     "active",
     "cached_execute",
+    "cached_propagation_graph",
     "configure",
     "default_disk_dir",
     "reset",

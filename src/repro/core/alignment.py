@@ -48,6 +48,7 @@ class TimelineMap:
         # Normal-axis positions are strictly increasing, so interval
         # lookup is a bisect instead of a linear scan over the anchors.
         self._normal_positions = [anchor[0] for anchor in self._anchors]
+        self._failure_positions = [anchor[1] for anchor in self._anchors]
 
     def to_failure(self, normal_index: float) -> float:
         """Map a (possibly fractional) normal-log index to failure-log axis."""
@@ -66,6 +67,31 @@ class TimelineMap:
         # anchor (matching the historical linear-scan fallthrough).
         last = anchors[-1]
         return last[1] + (normal_index - last[0])
+
+    def to_normal(self, failure_index: float) -> float:
+        """Inverse map: a failure-log index back onto the normal-log axis.
+
+        The forward map can compress long normal tails into a short
+        failure log (the virtual end anchor), which flattens distances
+        measured on the failure axis; mapping observables *back* keeps
+        temporal radii meaningful in probe-run log units.  Both
+        coordinates of the anchor list are strictly increasing, so the
+        inverse is the same piecewise-linear interpolation keyed on the
+        failure column.
+        """
+        anchors = self._anchors
+        interval = bisect_right(self._failure_positions, failure_index) - 1
+        if 0 <= interval < len(anchors) - 1:
+            left = anchors[interval]
+            right = anchors[interval + 1]
+            span_f = right[1] - left[1]
+            span_n = right[0] - left[0]
+            if span_f == 0:
+                return float(left[0])
+            fraction = (failure_index - left[1]) / span_f
+            return left[0] + fraction * span_n
+        last = anchors[-1]
+        return last[0] + (failure_index - last[1])
 
 
 def temporal_distance(

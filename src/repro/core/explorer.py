@@ -22,10 +22,12 @@ import time
 from typing import Optional
 
 from ..analysis.causal import CausalGraphBuilder, DistanceIndex
+from ..analysis.flow import PropagationGraph, reachability_weights
 from ..analysis.lint import run_lint
 from ..analysis.model import CausalGraph, graph_fault_candidates
 from ..analysis.system_model import SystemModel, analyze_package
 from ..cache import cached_execute
+from ..cache.flowcache import cached_propagation_graph
 from ..injection.fir import InjectionPlan, dedupe_instances
 from ..injection.sites import FaultInstance
 from ..obs import NULL_RECORDER, WALL
@@ -43,6 +45,7 @@ from .alignment import TimelineMap
 from .observables import ObservableSet
 from .oracle import Oracle
 from .priority import FaultPriorityPool, WindowEntry
+from .pruning import DEFAULT_RADIUS, StaticPruner
 from .report import ReproductionScript
 from .speculate import SpeculativeExecutor, default_jobs, run_key
 
@@ -143,6 +146,10 @@ class PreparedSearch:
     normal_log: LogFile
     normal_run: RunResult
     prepare_seconds: float
+    timeline: Optional[TimelineMap] = None
+    #: The flow pass's result; built only when static pruning or the
+    #: reachability prior asked for it.
+    flow_graph: Optional[PropagationGraph] = None
 
 
 def _window_entry_for(window, injected):
@@ -193,12 +200,18 @@ class Explorer:
         runs_per_round: int = 1,
         lint_prior: bool = False,
         lint_bonus: float = 2.0,
+        reachability_prior: bool = False,
+        reach_bonus: float = 1.0,
         jobs: int = 1,
         recorder=None,
         track_coverage: bool = False,
+        prune: str = "none",
+        prune_radius: float = DEFAULT_RADIUS,
     ) -> None:
         if runs_per_round < 1:
             raise ValueError("runs_per_round must be at least 1")
+        if prune not in ("none", "static"):
+            raise ValueError("prune must be 'none' or 'static'")
         if model is None:
             if package is None:
                 raise ValueError("either package or model is required")
@@ -232,6 +245,19 @@ class Explorer:
         #: of ``lint_bonus * weight`` (see ``LintReport.site_weights``).
         self.lint_prior = lint_prior
         self.lint_bonus = lint_bonus
+        #: Flow-pass reachability prior: sites whose exceptions can
+        #: statically reach a relevant logging divergence point get an
+        #: F_i bonus of ``reach_bonus * weight`` (see
+        #: ``repro.analysis.flow.reachability_weights``).
+        self.reachability_prior = reachability_prior
+        self.reach_bonus = reach_bonus
+        #: Static fault-space pruning (accounting-only; see
+        #: ``repro.core.pruning``).  With ``prune="static"`` the coverage
+        #: tracker additionally carries the pruned space and records any
+        #: fired triple outside it as a contradiction.  The search path
+        #: itself is byte-identical with pruning on or off.
+        self.prune = prune
+        self.prune_radius = prune_radius
         #: Round-level speculation: with ``jobs > 1`` worker processes
         #: pre-execute predicted future rounds while the committed round
         #: runs inline.  ``jobs=0``/``None`` means "one per CPU".  The
@@ -317,6 +343,16 @@ class Explorer:
         prior_weights = None
         if self.lint_prior:
             prior_weights = run_lint(self.model).site_weights()
+        flow_graph = None
+        if self.prune == "static" or self.reachability_prior:
+            flow_graph = cached_propagation_graph(
+                self.model, workload=self.workload
+            )
+        reach_weights = None
+        if self.reachability_prior and flow_graph is not None:
+            reach_weights = reachability_weights(
+                flow_graph, observables.mapped_keys()
+            )
         pool = FaultPriorityPool(
             candidates,
             index,
@@ -328,6 +364,8 @@ class Explorer:
             temporal_mode=self.temporal_mode,
             prior_weights=prior_weights,
             prior_scale=self.lint_bonus,
+            reach_weights=reach_weights,
+            reach_scale=self.reach_bonus,
         )
         # Execution-order index of the probe trace: before any single-shot
         # injection fires, a round's run replays the probe deterministically,
@@ -341,13 +379,31 @@ class Explorer:
             # Enumerate the full injectable fault space from the same
             # inputs the pool uses (graph candidates x probe occurrences),
             # so coverage fractions are comparable across strategies.
-            self._coverage = CoverageTracker(
-                enumerate_fault_space(
-                    candidates,
-                    occurrences_from_trace(normal_run.trace),
-                    max_instances_per_site=self.max_instances_per_site,
-                )
+            occurrences = occurrences_from_trace(normal_run.trace)
+            space = enumerate_fault_space(
+                candidates,
+                occurrences,
+                max_instances_per_site=self.max_instances_per_site,
             )
+            pruned_space = None
+            if self.prune == "static" and flow_graph is not None:
+                pruner = StaticPruner(
+                    graph=flow_graph,
+                    candidates=candidates,
+                    index=index,
+                    observables=observables,
+                    timeline=timeline,
+                    trace=normal_run.trace,
+                    radius=self.prune_radius,
+                )
+                pruned_space = enumerate_fault_space(
+                    candidates,
+                    occurrences,
+                    max_instances_per_site=self.max_instances_per_site,
+                    prune="static",
+                    pruner=pruner,
+                )
+            self._coverage = CoverageTracker(space, pruned_space=pruned_space)
         prepare_seconds = time.perf_counter() - started
         obs.add_span(
             "prepare",
@@ -367,6 +423,8 @@ class Explorer:
             normal_log=normal_log,
             normal_run=normal_run,
             prepare_seconds=prepare_seconds,
+            timeline=timeline,
+            flow_graph=flow_graph,
         )
         return self._prepared
 

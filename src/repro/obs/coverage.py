@@ -39,6 +39,8 @@ def enumerate_fault_space(
     candidates: Iterable,
     occurrences_by_site: Mapping[str, int],
     max_instances_per_site: Optional[int] = None,
+    prune: str = "none",
+    pruner=None,
 ) -> frozenset[Triple]:
     """The full injectable fault space for one case.
 
@@ -48,14 +50,29 @@ def enumerate_fault_space(
     to the number of times the fault-free probe executed it; a site the
     probe never exercised still contributes one speculative first
     occurrence, mirroring the priority pool's construction.
+
+    With ``prune="static"`` the space is filtered through ``pruner`` — an
+    object with a ``live(site_id, exception, occurrence)`` predicate (see
+    :class:`repro.core.pruning.StaticPruner`) — dropping the triples the
+    flow pass rules out.  Pruning changes the *accounting* space only;
+    strategies still arm whatever they like, and a fired triple outside
+    the pruned space is recorded as a contradiction by
+    :class:`CoverageTracker`.
     """
+    if prune not in ("none", "static"):
+        raise ValueError("prune must be 'none' or 'static'")
+    if prune == "static" and pruner is None:
+        raise ValueError("prune='static' requires a pruner")
     space: set[Triple] = set()
     for candidate in candidates:
         count = max(int(occurrences_by_site.get(candidate.site_id, 0)), 1)
         if max_instances_per_site is not None:
             count = min(count, max_instances_per_site)
         for occurrence in range(1, count + 1):
-            space.add((candidate.site_id, candidate.exception, occurrence))
+            triple = (candidate.site_id, candidate.exception, occurrence)
+            if prune == "static" and not pruner.live(*triple):
+                continue
+            space.add(triple)
     return frozenset(space)
 
 
@@ -101,6 +118,13 @@ class CoverageSummary:
     #: (e.g. a baseline guessing occurrences the probe never observed).
     planned_outside: int
     rounds: tuple[RoundCoverage, ...]
+    #: Static pruning accounting (``None`` unless the tracker was built
+    #: with a pruned space): size of the space ``prune=static`` keeps.
+    pruned_space_size: Optional[int] = None
+    #: Fired triples the static analysis had called unreachable — the
+    #: dynamic-contradiction check.  Non-empty means the pruning claim is
+    #: wrong for this case, and the test suite fails hard on it.
+    contradictions: tuple[Triple, ...] = ()
 
     @property
     def planned_fraction(self) -> float:
@@ -118,9 +142,12 @@ class CoverageSummary:
         """JSON shape persisted in ``bench_summary.json`` and the ledger.
 
         Fractions are rounded to six places so serialized documents are
-        byte-stable; the raw integers carry the exact values.
+        byte-stable; the raw integers carry the exact values.  The
+        pruning keys appear only when the search ran with
+        ``prune=static``, so documents from unpruned runs keep their
+        historical shape.
         """
-        return {
+        document = {
             "space": self.space_size,
             "planned": self.planned,
             "fired": self.fired,
@@ -131,6 +158,21 @@ class CoverageSummary:
             "noop_fraction": round(self.noop_fraction, 6),
             "rounds": [entry.as_list() for entry in self.rounds],
         }
+        if self.pruned_space_size is not None:
+            document["pruned_space"] = self.pruned_space_size
+            document["pruned"] = self.space_size - self.pruned_space_size
+            document["pruned_fraction"] = round(
+                (self.space_size - self.pruned_space_size) / self.space_size
+                if self.space_size
+                else 0.0,
+                6,
+            )
+            document["contradictions"] = len(self.contradictions)
+            if self.contradictions:
+                document["contradiction_triples"] = [
+                    list(triple) for triple in sorted(self.contradictions)
+                ]
+        return document
 
 
 class NullCoverageTracker:
@@ -154,12 +196,26 @@ class CoverageTracker:
 
     enabled = True
 
-    def __init__(self, space: Iterable[Triple]) -> None:
+    def __init__(
+        self,
+        space: Iterable[Triple],
+        pruned_space: Optional[Iterable[Triple]] = None,
+    ) -> None:
         self._space = frozenset(space)
+        #: The subset ``prune=static`` kept, or ``None`` when pruning is
+        #: off.  Must be a subset of ``space``; anything that fires from
+        #: ``space - pruned_space`` is a contradiction of the static
+        #: analysis and is recorded as such.
+        self._pruned_space = (
+            frozenset(pruned_space) if pruned_space is not None else None
+        )
+        if self._pruned_space is not None and not self._pruned_space <= self._space:
+            raise ValueError("pruned_space must be a subset of space")
         self._planned: set[Triple] = set()
         self._fired: set[Triple] = set()
         self._noop: set[Triple] = set()
         self._outside: set[Triple] = set()
+        self._contradictions: set[Triple] = set()
         self._rounds: list[RoundCoverage] = []
 
     @property
@@ -190,6 +246,11 @@ class CoverageTracker:
             # through planned_outside.
             if triple in self._space:
                 self._fired.add(triple)
+                if (
+                    self._pruned_space is not None
+                    and triple not in self._pruned_space
+                ):
+                    self._contradictions.add(triple)
         else:
             self._noop.update(armed)
         self._rounds.append(
@@ -210,4 +271,10 @@ class CoverageTracker:
             noop=len(self._noop),
             planned_outside=len(self._outside),
             rounds=tuple(self._rounds),
+            pruned_space_size=(
+                len(self._pruned_space)
+                if self._pruned_space is not None
+                else None
+            ),
+            contradictions=tuple(sorted(self._contradictions)),
         )

@@ -1,0 +1,60 @@
+"""Anti-entropy repair gate for MiniCass (maintenance path, not workload-driven).
+
+Admits validation compactions against the sstable reference table so a
+repair never validates files a concurrent cleanup is unlinking.  The
+benchmark workloads never invoke it, so it adds no fault sites or
+observables; it is part of the race-rule pack's dogfood surface and
+carries two seeded concurrency defects:
+
+* validation admission nests ``validation_lock`` inside
+  ``sstable_refs_lock`` while cleanup nests them the other way (ABBA
+  lock-order inversion); and
+* the gate blocks on the merkle queue while holding the sstable
+  reference lock (await-under-lock), so reference counting stalls until
+  a merkle-tree request lands.
+"""
+
+from __future__ import annotations
+
+
+class RepairGate:
+    """Serializes validation compactions against sstable cleanup."""
+
+    def __init__(self, sstable_refs_lock, validation_lock, merkle_queue):
+        self.sstable_refs_lock = sstable_refs_lock
+        self.validation_lock = validation_lock
+        self.merkle_queue = merkle_queue
+        self.admitted_validations = {}
+        self.deferred_cleanups = 0
+
+    def request_merkle_tree(self, table: str) -> None:
+        """Called by the repair coordinator when a neighbor asks for a tree."""
+        self.merkle_queue.put(table)
+
+    def admit_validation(self):
+        """Wait for a merkle request, then pin the sstables it will read.
+
+        Seeded defects: blocks on ``merkle_queue.get()`` with the sstable
+        reference lock held, and acquires ``validation_lock`` under
+        ``sstable_refs_lock`` (cleanup inverts that order).
+        """
+        yield self.sstable_refs_lock.acquire()
+        table = yield self.merkle_queue.get()
+        yield self.validation_lock.acquire()
+        self.admitted_validations[table] = True
+        self.validation_lock.release()
+        self.sstable_refs_lock.release()
+
+    def cleanup_unreferenced(self, table: str):
+        """Unlink sstables no validation still pins.
+
+        Takes ``validation_lock`` first, then walks the reference table
+        under ``sstable_refs_lock`` — the inverse nesting of
+        :meth:`admit_validation`.
+        """
+        yield self.validation_lock.acquire()
+        yield self.sstable_refs_lock.acquire()
+        if table in self.admitted_validations:
+            self.deferred_cleanups += 1
+        self.sstable_refs_lock.release()
+        self.validation_lock.release()

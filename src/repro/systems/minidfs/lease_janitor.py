@@ -1,0 +1,59 @@
+"""Lease recovery janitor for MiniDFS (maintenance path, not workload-driven).
+
+Reclaims leases whose holders stopped renewing and re-checks the block
+replicas they pinned.  No benchmark workload schedules it, so it adds no
+fault sites or observables; it is part of the race-rule pack's dogfood
+surface and carries two seeded concurrency defects:
+
+* lease reclamation nests ``replica_map_lock`` inside ``lease_map_lock``
+  while the replica auditor nests them the other way (ABBA lock-order
+  inversion); and
+* the janitor loop blocks on the recheck queue while holding the lease
+  map lock (await-under-lock), stalling every lease renewal until a
+  recheck request arrives.
+"""
+
+from __future__ import annotations
+
+
+class LeaseJanitor:
+    """Reclaims expired leases and re-audits the replicas they held."""
+
+    def __init__(self, lease_map_lock, replica_map_lock, recheck_queue):
+        self.lease_map_lock = lease_map_lock
+        self.replica_map_lock = replica_map_lock
+        self.recheck_queue = recheck_queue
+        self.reclaimed_leases = {}
+        self.audited_replicas = 0
+
+    def request_recheck(self, block_id: str) -> None:
+        """Called by the heartbeat path when a replica report looks stale."""
+        self.recheck_queue.put(block_id)
+
+    def reclaim_stale_leases(self):
+        """Pull a recheck request and retire the lease that pinned it.
+
+        Seeded defects: blocks on ``recheck_queue.get()`` with the lease
+        map lock held, and acquires ``replica_map_lock`` under
+        ``lease_map_lock`` (the auditor inverts that order).
+        """
+        yield self.lease_map_lock.acquire()
+        block_id = yield self.recheck_queue.get()
+        yield self.replica_map_lock.acquire()
+        self.reclaimed_leases[block_id] = True
+        self.replica_map_lock.release()
+        self.lease_map_lock.release()
+
+    def audit_pinned_replicas(self, block_id: str):
+        """Cross-check a replica's pinning lease.
+
+        Takes ``replica_map_lock`` first, then consults the lease map
+        under ``lease_map_lock`` — the inverse nesting of
+        :meth:`reclaim_stale_leases`.
+        """
+        yield self.replica_map_lock.acquire()
+        yield self.lease_map_lock.acquire()
+        if block_id in self.reclaimed_leases:
+            self.audited_replicas += 1
+        self.lease_map_lock.release()
+        self.replica_map_lock.release()

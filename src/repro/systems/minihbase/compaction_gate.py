@@ -1,0 +1,60 @@
+"""Compaction admission gate for MiniHBase (maintenance path, not workload-driven).
+
+Decides whether a region may start a compaction given its store-file
+count and whether the region is mid-close.  The benchmark workloads
+never invoke it, so it adds no fault sites or observables; it is part
+of the race-rule pack's dogfood surface and carries two seeded
+concurrency defects:
+
+* compaction admission nests ``region_close_lock`` inside
+  ``store_files_lock`` while the close path nests them the other way
+  (ABBA lock-order inversion — the split-WAL-era deadlock shape); and
+* the gate blocks on the throttle queue while holding the store-file
+  lock (await-under-lock), freezing flushes until a throttle permit
+  shows up.
+"""
+
+from __future__ import annotations
+
+
+class CompactionGate:
+    """Serializes compaction starts against region closes."""
+
+    def __init__(self, store_files_lock, region_close_lock, throttle_queue):
+        self.store_files_lock = store_files_lock
+        self.region_close_lock = region_close_lock
+        self.throttle_queue = throttle_queue
+        self.admitted_compactions = {}
+        self.blocked_closes = 0
+
+    def grant_throttle_permit(self, region: str) -> None:
+        """Called by the flush path when IO headroom frees up."""
+        self.throttle_queue.put(region)
+
+    def admit_compaction(self):
+        """Wait for a throttle permit, then admit unless the region is closing.
+
+        Seeded defects: blocks on ``throttle_queue.get()`` with the
+        store-file lock held, and acquires ``region_close_lock`` under
+        ``store_files_lock`` (the close path inverts that order).
+        """
+        yield self.store_files_lock.acquire()
+        region = yield self.throttle_queue.get()
+        yield self.region_close_lock.acquire()
+        self.admitted_compactions[region] = True
+        self.region_close_lock.release()
+        self.store_files_lock.release()
+
+    def quiesce_for_close(self, region: str):
+        """Block new compactions while a region close is in flight.
+
+        Takes ``region_close_lock`` first, then freezes the store-file
+        set under ``store_files_lock`` — the inverse nesting of
+        :meth:`admit_compaction`.
+        """
+        yield self.region_close_lock.acquire()
+        yield self.store_files_lock.acquire()
+        if region in self.admitted_compactions:
+            self.blocked_closes += 1
+        self.store_files_lock.release()
+        self.region_close_lock.release()

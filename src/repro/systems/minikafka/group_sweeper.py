@@ -1,0 +1,59 @@
+"""Consumer-group sweeper for MiniKafka (maintenance path, not workload-driven).
+
+Evicts consumer groups whose members all timed out and prunes their
+cached offsets.  The benchmark workloads never schedule it, so it adds
+no fault sites or observables; it is part of the race-rule pack's
+dogfood surface and carries two seeded concurrency defects:
+
+* group eviction nests ``offsets_cache_lock`` inside
+  ``group_metadata_lock`` while offset pruning nests them the other way
+  (ABBA lock-order inversion); and
+* the sweeper blocks on the rebalance queue while holding the group
+  metadata lock (await-under-lock), so heartbeats stall until a
+  rebalance event arrives.
+"""
+
+from __future__ import annotations
+
+
+class GroupSweeper:
+    """Evicts dead consumer groups and prunes their offset cache."""
+
+    def __init__(self, group_metadata_lock, offsets_cache_lock, rebalance_queue):
+        self.group_metadata_lock = group_metadata_lock
+        self.offsets_cache_lock = offsets_cache_lock
+        self.rebalance_queue = rebalance_queue
+        self.evicted_groups = {}
+        self.pruned_offsets = 0
+
+    def signal_rebalance(self, group: str) -> None:
+        """Called by the coordinator when a group's membership changes."""
+        self.rebalance_queue.put(group)
+
+    def evict_dead_groups(self):
+        """Wait for a rebalance signal, then drop the group and its offsets.
+
+        Seeded defects: blocks on ``rebalance_queue.get()`` with the
+        group metadata lock held, and acquires ``offsets_cache_lock``
+        under ``group_metadata_lock`` (pruning inverts that order).
+        """
+        yield self.group_metadata_lock.acquire()
+        group = yield self.rebalance_queue.get()
+        yield self.offsets_cache_lock.acquire()
+        self.evicted_groups[group] = True
+        self.offsets_cache_lock.release()
+        self.group_metadata_lock.release()
+
+    def prune_orphan_offsets(self, group: str):
+        """Drop cached offsets whose group is already evicted.
+
+        Takes ``offsets_cache_lock`` first, then consults the group
+        table under ``group_metadata_lock`` — the inverse nesting of
+        :meth:`evict_dead_groups`.
+        """
+        yield self.offsets_cache_lock.acquire()
+        yield self.group_metadata_lock.acquire()
+        if group in self.evicted_groups:
+            self.pruned_offsets += 1
+        self.group_metadata_lock.release()
+        self.offsets_cache_lock.release()

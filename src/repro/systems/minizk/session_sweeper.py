@@ -1,0 +1,59 @@
+"""Session expiry sweeper for MiniZK (maintenance path, not workload-driven).
+
+Walks the session table and the watch registry to expire dead sessions
+and fire their watches.  The benchmark workloads never schedule it, so
+it contributes no fault sites or observables; it exists as the race-rule
+pack's dogfood surface and carries two seeded concurrency defects:
+
+* the expiry path takes ``session_table_lock`` then
+  ``watch_registry_lock`` while the watch-reaper path takes them in the
+  opposite order (lock-order inversion, the ABBA deadlock shape); and
+* the sweep loop blocks on the expiry queue while still holding the
+  session table lock (await-under-lock), so session touches stall for
+  as long as the queue stays empty.
+"""
+
+from __future__ import annotations
+
+
+class SessionSweeper:
+    """Expires idle sessions and reaps their watches."""
+
+    def __init__(self, session_table_lock, watch_registry_lock, expiry_queue):
+        self.session_table_lock = session_table_lock
+        self.watch_registry_lock = watch_registry_lock
+        self.expiry_queue = expiry_queue
+        self.expired_sessions = {}
+        self.reaped_watches = 0
+
+    def enqueue_expiry(self, session_id: int) -> None:
+        """Called by the request path when a session's timeout lapses."""
+        self.expiry_queue.put(session_id)
+
+    def sweep_expired_sessions(self):
+        """Drain the expiry queue and drop each session plus its watches.
+
+        Seeded defects: blocks on ``expiry_queue.get()`` with the session
+        table lock held, and nests ``watch_registry_lock`` inside
+        ``session_table_lock`` (the reaper nests them the other way).
+        """
+        yield self.session_table_lock.acquire()
+        session_id = yield self.expiry_queue.get()
+        yield self.watch_registry_lock.acquire()
+        self.expired_sessions[session_id] = True
+        self.watch_registry_lock.release()
+        self.session_table_lock.release()
+
+    def reap_orphan_watches(self, session_id: int):
+        """Drop watches whose owning session is already gone.
+
+        Takes ``watch_registry_lock`` first, then peeks at the session
+        table under ``session_table_lock`` — the inverse nesting of
+        :meth:`sweep_expired_sessions`.
+        """
+        yield self.watch_registry_lock.acquire()
+        yield self.session_table_lock.acquire()
+        if session_id in self.expired_sessions:
+            self.reaped_watches += 1
+        self.session_table_lock.release()
+        self.watch_registry_lock.release()

@@ -1,0 +1,97 @@
+"""Tests for ``analyze_package``'s per-module facts cache.
+
+The cache keys on the module's source hash, so an on-disk edit between
+two ``analyze_package`` calls must re-extract exactly the edited module
+while every untouched module is served as the *same* facts object.
+"""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.system_model import analyze_package, clear_facts_cache
+
+
+@pytest.fixture
+def temp_package(tmp_path, monkeypatch):
+    """An importable two-module package under a temp directory."""
+    package = tmp_path / "factscachepkg"
+    package.mkdir()
+    (package / "__init__.py").write_text("")
+    (package / "alpha.py").write_text(
+        textwrap.dedent(
+            """
+            class Alpha:
+                def read(self):
+                    return self.env.disk_read("/alpha")
+            """
+        )
+    )
+    (package / "beta.py").write_text(
+        textwrap.dedent(
+            """
+            class Beta:
+                def write(self):
+                    self.env.disk_write("/beta", b"x")
+            """
+        )
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    clear_facts_cache()
+    yield package
+    clear_facts_cache()
+    for name in [m for m in sys.modules if m.startswith("factscachepkg")]:
+        del sys.modules[name]
+
+
+def facts_by_module(model):
+    return {facts.module: facts for facts in model.modules}
+
+
+class TestFactsCache:
+    def test_unchanged_modules_are_served_as_identical_objects(self, temp_package):
+        first = facts_by_module(analyze_package("factscachepkg"))
+        second = facts_by_module(analyze_package("factscachepkg"))
+        assert set(first) == set(second)
+        for name in first:
+            assert second[name] is first[name]
+
+    def test_editing_one_module_reanalyzes_only_that_module(self, temp_package):
+        first = facts_by_module(analyze_package("factscachepkg"))
+        (temp_package / "alpha.py").write_text(
+            textwrap.dedent(
+                """
+                class Alpha:
+                    def read(self):
+                        return self.env.disk_read("/alpha-v2")
+
+                    def sync(self):
+                        self.env.disk_sync("/alpha-v2")
+                """
+            )
+        )
+        second = facts_by_module(analyze_package("factscachepkg"))
+        alpha = "factscachepkg.alpha"
+        beta = "factscachepkg.beta"
+        assert second[alpha] is not first[alpha]
+        assert second[beta] is first[beta]
+        # The re-extracted facts reflect the edit.
+        assert {env.op for env in second[alpha].env_calls} == {
+            "disk_read",
+            "disk_sync",
+        }
+
+    def test_sourceless_module_is_skipped_with_usable_model(self, temp_package):
+        import factscachepkg.beta as beta_module
+
+        del beta_module.__file__
+        try:
+            with pytest.warns(UserWarning, match="no source file"):
+                model = analyze_package("factscachepkg")
+        finally:
+            beta_module.__file__ = str(temp_package / "beta.py")
+        # Beta is skipped, alpha still analyzes into a usable model.
+        assert set(facts_by_module(model)) == {"factscachepkg.alpha"}
+        assert {env.op for env in model.env_calls} == {"disk_read"}
+        assert model.functions_named("read")

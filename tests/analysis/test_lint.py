@@ -1,5 +1,6 @@
 """Tests for the fault-handling lint pass (rules, report, weights)."""
 
+import dataclasses
 import json
 import textwrap
 
@@ -396,6 +397,13 @@ class TestRunLint:
     def test_catalog_has_at_least_eight_rules(self):
         assert len(registered_rules()) >= 8
 
+    def test_concurrency_pack_registered(self):
+        assert {
+            "lock-order-inversion",
+            "await-under-lock",
+            "handler-unsync-write",
+        } <= set(registered_rules())
+
     def test_unknown_rule_rejected(self):
         model = build("x = 1")
         with pytest.raises(ValueError, match="unknown lint rule"):
@@ -445,6 +453,23 @@ class TestRunLint:
         assert payload["package"] == "repro.systems.minizk"
         assert payload["finding_count"] == len(report)
         assert payload["findings"][0]["rule"]
+
+    def test_by_rule_groups_in_rule_order(self):
+        report = lint_package("repro.systems.minizk")
+        grouped = report.by_rule()
+        assert tuple(grouped) == report.rule_ids
+        assert sum(len(group) for group in grouped.values()) == len(report)
+
+    def test_by_rule_buckets_unknown_rules_with_one_warning(self):
+        report = lint_package("repro.systems.minizk")
+        stray = dataclasses.replace(report.findings[0], rule="retired-rule")
+        report.findings.append(stray)
+        with pytest.warns(RuntimeWarning, match="retired-rule"):
+            grouped = report.by_rule()
+        assert grouped["unknown"] == [stray]
+        assert tuple(grouped) == report.rule_ids + ("unknown",)
+        # Known findings are unaffected by the stray one.
+        assert sum(len(group) for group in grouped.values()) == len(report)
 
     def test_site_weights_normalized(self):
         report = lint_package("repro.systems.minizk")

@@ -1,0 +1,120 @@
+"""The propagation-graph cache: memo tiers, disk persistence, corruption."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_package, build_propagation_graph
+from repro.cache import cached_propagation_graph, configure, workload_fingerprint
+from repro.cache import flowcache
+from repro.cache import runcache
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    runcache.reset()
+    flowcache.reset()
+    yield
+    runcache.reset()
+    flowcache.reset()
+
+
+def workload_a(cluster):
+    log = cluster.logger()
+
+    def task():
+        cluster.env.disk_write("/a", b"x")
+        log.info("a done")
+        yield cluster.sleep(0.01)
+
+    cluster.spawn("worker", task())
+
+
+@pytest.fixture(scope="module")
+def model():
+    return analyze_package("repro.systems.minizk")
+
+
+def test_fingerprinted_builds_are_memoized(model):
+    first = cached_propagation_graph(model, workload=workload_a)
+    second = cached_propagation_graph(model, workload=workload_a)
+    assert second is first
+    assert first.paths == build_propagation_graph(model).paths
+
+
+def test_no_workload_memoizes_per_model_object(model):
+    first = cached_propagation_graph(model)
+    assert cached_propagation_graph(model) is first
+    other = analyze_package("repro.systems.minizk")
+    assert cached_propagation_graph(other) is not first
+
+
+def test_disk_tier_follows_run_cache_configuration(model, tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        flowcache, "default_disk_dir", lambda: str(tmp_path / "flow")
+    )
+    configure(enabled=True, disk_dir=str(tmp_path / "run"))
+    graph = cached_propagation_graph(model, workload=workload_a)
+    fingerprint = workload_fingerprint(workload_a)
+    entry = tmp_path / "flow" / f"{fingerprint}.json"
+    assert entry.exists()
+    # A fresh process (cleared memo) is served from disk.
+    flowcache._MEMO.clear()
+    restored = cached_propagation_graph(model, workload=workload_a)
+    assert restored is not graph
+    assert restored.paths == graph.paths
+    assert restored.dead_pairs() == graph.dead_pairs()
+
+
+def test_without_disk_cache_nothing_is_persisted(model, tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        flowcache, "default_disk_dir", lambda: str(tmp_path / "flow")
+    )
+    cached_propagation_graph(model, workload=workload_a)
+    assert not (tmp_path / "flow").exists()
+
+
+def test_corrupt_entry_warns_once_and_rebuilds(model, tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        flowcache, "default_disk_dir", lambda: str(tmp_path / "flow")
+    )
+    configure(enabled=True, disk_dir=str(tmp_path / "run"))
+    graph = cached_propagation_graph(model, workload=workload_a)
+    fingerprint = workload_fingerprint(workload_a)
+    entry = tmp_path / "flow" / f"{fingerprint}.json"
+    entry.write_text("{not json")
+    flowcache._MEMO.clear()
+    with pytest.warns(RuntimeWarning, match="corrupt flow-cache entry"):
+        rebuilt = cached_propagation_graph(model, workload=workload_a)
+    assert rebuilt.paths == graph.paths
+    # The corrupt file was replaced by the rebuilt entry.
+    assert json.loads(entry.read_text())["fingerprint"] == fingerprint
+
+
+def test_fingerprint_mismatch_entry_rejected(model, tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        flowcache, "default_disk_dir", lambda: str(tmp_path / "flow")
+    )
+    configure(enabled=True, disk_dir=str(tmp_path / "run"))
+    graph = cached_propagation_graph(model, workload=workload_a)
+    fingerprint = workload_fingerprint(workload_a)
+    entry = tmp_path / "flow" / f"{fingerprint}.json"
+    payload = json.loads(entry.read_text())
+    payload["fingerprint"] = "someone-else"
+    entry.write_text(json.dumps(payload))
+    flowcache._MEMO.clear()
+    with pytest.warns(RuntimeWarning):
+        rebuilt = cached_propagation_graph(model, workload=workload_a)
+    assert rebuilt.paths == graph.paths
+
+
+def test_unwritable_disk_dir_degrades_to_memory(model, tmp_path, monkeypatch):
+    blocked = tmp_path / "blocked"
+    blocked.write_text("not a directory")
+    monkeypatch.setattr(
+        flowcache, "default_disk_dir", lambda: str(blocked / "flow")
+    )
+    configure(enabled=True, disk_dir=str(tmp_path / "run"))
+    with pytest.warns(RuntimeWarning):
+        first = cached_propagation_graph(model, workload=workload_a)
+    assert cached_propagation_graph(model, workload=workload_a) is first

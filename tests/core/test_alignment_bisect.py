@@ -8,6 +8,7 @@ the two implementations must agree bit-for-bit — including on queries
 sitting exactly on an anchor, before the first anchor, and past the end.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -88,3 +89,44 @@ def test_query_before_first_real_anchor_uses_virtual_start():
     timeline = TimelineMap([(5, 9)], 10, 12)
     # Interval (-1,-1) .. (5,9): position 2 maps halfway.
     assert timeline.to_failure(2) == -1 + (3 / 6) * 10
+
+
+# --------------------------------------------------- to_normal (inverse map)
+
+
+@given(
+    anchors=anchor_lists,
+    normal_len=lengths,
+    failure_len=lengths,
+    position=st.floats(-1.0, 120.0, allow_nan=False),
+)
+@settings(max_examples=300)
+def test_to_normal_inverts_to_failure(anchors, normal_len, failure_len, position):
+    # The cleaned anchor list is strictly increasing in both coordinates,
+    # so on the map's domain (indices at or past the virtual start anchor)
+    # the piecewise-linear map is a bijection and the inverse must
+    # round-trip everywhere (within float tolerance).
+    timeline = TimelineMap(anchors, normal_len, failure_len)
+    mapped = timeline.to_failure(position)
+    assert timeline.to_normal(mapped) == pytest.approx(position, abs=1e-6)
+
+
+@given(anchors=anchor_lists, position=st.floats(0, 100, allow_nan=False))
+@settings(max_examples=200)
+def test_to_normal_monotone_in_position(anchors, position):
+    timeline = TimelineMap(anchors, 100, 100)
+    assert timeline.to_normal(position + 0.5) >= (
+        timeline.to_normal(position) - 1e-9
+    )
+
+
+def test_to_normal_exactly_on_anchor():
+    timeline = TimelineMap([(3, 7), (6, 20)], 10, 25)
+    assert timeline.to_normal(7) == 3.0
+    assert timeline.to_normal(20) == 6.0
+
+
+def test_to_normal_extrapolates_past_the_end_anchor():
+    timeline = TimelineMap([(3, 7)], 10, 25)
+    # End anchor is (10, 25); beyond it the offset is carried over.
+    assert timeline.to_normal(30) == 10 + (30 - 25)

@@ -3,6 +3,8 @@
 import dataclasses
 import json
 
+import pytest
+
 from repro.obs.coverage import (
     NULL_COVERAGE,
     CoverageTracker,
@@ -149,6 +151,88 @@ class TestCoverageTracker:
         summary = tracker.summary()
         assert summary.planned_fraction == 0.0
         assert summary.fired_fraction == 0.0
+
+
+class TestStaticPruning:
+    """Pruned-space accounting and the dynamic-contradiction check."""
+
+    class LivePredicate:
+        def __init__(self, dead):
+            self.dead = dead
+
+        def live(self, site_id, exception, occurrence):
+            return (site_id, exception, occurrence) not in self.dead
+
+    def _space(self):
+        return enumerate_fault_space(
+            [Candidate("a", "IOError"), Candidate("b", "Timeout")],
+            {"a": 2, "b": 2},
+        )
+
+    def test_enumerate_with_static_prune_drops_dead_triples(self):
+        pruner = self.LivePredicate({("a", "IOError", 2), ("b", "Timeout", 1)})
+        space = enumerate_fault_space(
+            [Candidate("a", "IOError"), Candidate("b", "Timeout")],
+            {"a": 2, "b": 2},
+            prune="static",
+            pruner=pruner,
+        )
+        assert space == {("a", "IOError", 1), ("b", "Timeout", 2)}
+
+    def test_static_prune_requires_a_pruner(self):
+        with pytest.raises(ValueError, match="requires a pruner"):
+            enumerate_fault_space([Candidate("a", "IOError")], {}, prune="static")
+        with pytest.raises(ValueError, match="'none' or 'static'"):
+            enumerate_fault_space([Candidate("a", "IOError")], {}, prune="bogus")
+
+    def test_pruned_space_must_be_subset(self):
+        with pytest.raises(ValueError, match="subset"):
+            CoverageTracker(
+                self._space(), pruned_space={("zz", "IOError", 1)}
+            )
+
+    def test_firing_inside_pruned_space_is_not_a_contradiction(self):
+        pruned = frozenset({("a", "IOError", 1), ("b", "Timeout", 1)})
+        tracker = CoverageTracker(self._space(), pruned_space=pruned)
+        tracker.record_round(
+            1, [Instance("a", "IOError", 1)], Instance("a", "IOError", 1)
+        )
+        summary = tracker.summary()
+        assert summary.pruned_space_size == 2
+        assert summary.contradictions == ()
+
+    def test_firing_a_pruned_triple_is_recorded_as_contradiction(self):
+        pruned = frozenset({("a", "IOError", 1)})
+        tracker = CoverageTracker(self._space(), pruned_space=pruned)
+        fired = Instance("b", "Timeout", 2)
+        tracker.record_round(1, [fired], fired)
+        summary = tracker.summary()
+        assert summary.contradictions == (("b", "Timeout", 2),)
+
+    def test_to_dict_emits_pruning_keys_only_when_pruned(self):
+        plain = CoverageTracker(self._space())
+        plain.record_round(1, [Instance("a", "IOError", 1)], None)
+        document = plain.summary().to_dict()
+        assert "pruned_space" not in document
+        assert "contradictions" not in document
+
+        pruned = frozenset({("a", "IOError", 1), ("a", "IOError", 2)})
+        tracker = CoverageTracker(self._space(), pruned_space=pruned)
+        fired = Instance("b", "Timeout", 1)
+        tracker.record_round(1, [fired], fired)
+        document = tracker.summary().to_dict()
+        assert document["pruned_space"] == 2
+        assert document["pruned"] == 2
+        assert document["pruned_fraction"] == 0.5
+        assert document["contradictions"] == 1
+        assert document["contradiction_triples"] == [["b", "Timeout", 1]]
+        assert json.loads(json.dumps(document)) == document
+
+    def test_without_pruning_no_contradictions_ever(self):
+        tracker = CoverageTracker(self._space())
+        fired = Instance("b", "Timeout", 2)
+        tracker.record_round(1, [fired], fired)
+        assert tracker.summary().contradictions == ()
 
 
 class TestNullCoverage:

@@ -326,6 +326,95 @@ class TestLint:
         )
         assert code == 1
 
+    def test_out_writes_file_and_creates_parents(self, capsys, tmp_path):
+        out_path = tmp_path / "reports" / "sub" / "lint.json"
+        code, out = run_cli(
+            capsys,
+            "lint",
+            "repro.systems.minihbase",
+            "--format",
+            "json",
+            "--out",
+            str(out_path),
+        )
+        assert code == 0
+        assert out == ""  # the report goes to the file, not stdout
+        payload = json.loads(out_path.read_text())
+        assert payload["package"] == "repro.systems.minihbase"
+
+    def test_out_unwritable_exits_two(self, capsys, tmp_path):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("", encoding="utf-8")
+        code = main(
+            ["lint", "repro.systems.minizk", "--out", str(blocker / "x.json")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write lint report" in captured.err
+
+    def test_race_rules_flag_seeded_defects(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "lint",
+            "repro.systems.minizk",
+            "--rules",
+            "lock-order-inversion,await-under-lock",
+            "--format",
+            "json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"lock-order-inversion", "await-under-lock"}
+        # Race findings never implicate fault sites (prior stays intact).
+        assert all(f["site_ids"] == [] for f in payload["findings"])
+
+
+class TestAnalyze:
+    def test_text_table_for_one_case(self, capsys):
+        code, out = run_cli(capsys, "analyze", "f1")
+        assert code == 0
+        assert "static fault-space pruning" in out
+        assert "f1" in out
+        assert "pruned%" in out
+
+    def test_json_document_shape(self, capsys):
+        code, out = run_cli(capsys, "analyze", "f17", "--format", "json")
+        assert code == 0
+        document = json.loads(out)
+        assert document["contradictions"] == 0
+        case = document["cases"]["f17"]
+        assert case["reproduced"] is True
+        coverage = case["coverage"]
+        assert coverage["pruned_space"] <= coverage["space"]
+        # f17's dense space is where pruning pays: the acceptance floor.
+        assert coverage["pruned_fraction"] >= 0.25
+        assert case["graph"]["pairs"] >= case["graph"]["live_pairs"]
+
+    def test_out_writes_file_and_creates_parents(self, capsys, tmp_path):
+        out_path = tmp_path / "analysis" / "nested" / "f1.json"
+        code, out = run_cli(
+            capsys, "analyze", "f1", "--format", "json", "--out", str(out_path)
+        )
+        assert code == 0
+        assert out == ""
+        document = json.loads(out_path.read_text())
+        assert "f1" in document["cases"]
+
+    def test_out_unwritable_exits_two(self, capsys, tmp_path):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("", encoding="utf-8")
+        code = main(["analyze", "f1", "--out", str(blocker / "a.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write analysis" in captured.err
+
+    def test_unknown_case_exits_two(self, capsys):
+        code = main(["analyze", "f99"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown case id" in captured.err
+
 
 class TestParser:
     def test_missing_command_exits(self):
