@@ -1,0 +1,135 @@
+"""One compare-sweep leg for the sim-kernel benchmark, as a script.
+
+``test_sim_kernel.py`` measures the end-to-end checkpoint speedup by
+running each (case, checkpoint on/off) leg in a *fresh interpreter*:
+within one long-lived process, allocator and GC aging inflate whichever
+leg runs second by enough to drown the effect being measured.  This
+module is that leg.  Output is one JSON object on the last stdout line.
+
+A leg is the full reproduction workflow of the paper, twice over:
+
+1. **Search** — the feedback searches (anduril, multiply-feedback) plus
+   a bounded budget of the strongest occurrence-sampling baseline
+   (random).  Uniform sampling spends most of every run in the
+   post-injection tail, which no prefix checkpoint can eliminate, so
+   this phase mostly checks that checkpointing never *hurts* a broad
+   search.
+2. **Confirmation replays** — the reproduction plan is replayed
+   :data:`CONFIRM_REPLAYS` times with the run cache bypassed, the way a
+   developer iterates on a reproduced failure while debugging.  The
+   bench cases fail *deep* (the whole point of their late-failing
+   design), so each replay's fault-free prefix is 70-95% of the trace —
+   exactly the waste the checkpoint ladder exists to kill.
+
+Both legs run the identical composition; the only difference is the
+``checkpoint`` knob.  The leg also emits a digest of one replay result
+so the harness can assert fork-served and inline replays are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+#: Round budgets for the search phase.  max_seconds stays effectively
+#: unbounded so wall clock can never cut the two legs at different
+#: rounds, which would break outcome equality between them.
+SEARCH_ROUNDS = 40
+RANDOM_ROUNDS = 10
+#: Cache-bypassed replays of the reproduction plan per leg.
+CONFIRM_REPLAYS = 120
+
+
+def run_leg(case_id: str, checkpoint: bool) -> dict:
+    from bench_cases import bench_cases
+
+    from repro import cache as runcache
+    from repro.bench import run_anduril, run_baseline
+    from repro.injection.fir import InjectionPlan
+    from repro.sim.checkpoint import CheckpointPool, snapshot_fingerprint
+    from repro.sim.cluster import execute_workload
+
+    case = {c.case_id: c for c in bench_cases()}[case_id]
+    case.failure_log()  # generated once per process; keep it out of the timing
+    cache_dir = tempfile.mkdtemp(prefix="ckpt-sweep-")
+    pool = None
+    try:
+        runcache.reset()
+        runcache.configure(enabled=True, disk_dir=cache_dir)
+        cells = []
+        started = time.perf_counter()
+        outcome = run_anduril(
+            case,
+            max_rounds=SEARCH_ROUNDS,
+            max_seconds=3600.0,
+            checkpoint=checkpoint,
+        )
+        cells.append(["anduril", outcome.success, outcome.rounds])
+        for name, rounds in (
+            ("multiply-feedback", SEARCH_ROUNDS),
+            ("random", RANDOM_ROUNDS),
+        ):
+            strategy_outcome = run_baseline(
+                name,
+                case,
+                max_rounds=rounds,
+                max_seconds=3600.0,
+                checkpoint=checkpoint,
+            )
+            cells.append(
+                [name, strategy_outcome.success, strategy_outcome.rounds]
+            )
+        search_seconds = time.perf_counter() - started
+
+        # Confirmation replays: re-execute the reproduction plan with the
+        # cache bypassed (a cache hit would measure nothing).  The plan
+        # is the ground-truth one — identical in both legs by design,
+        # independent of what the search phase happened to find.
+        plan = InjectionPlan.single(case.ground_truth_instance())
+        replay_started = time.perf_counter()
+        probe = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed
+        )
+        if checkpoint:
+            pool = CheckpointPool(
+                case.workload, case.horizon, case.seed, probe.trace
+            )
+            runner = pool.runner
+        else:
+            runner = execute_workload
+        result = None
+        for _ in range(CONFIRM_REPLAYS):
+            result = runner(
+                case.workload, horizon=case.horizon, seed=case.seed, plan=plan
+            )
+        replay_seconds = time.perf_counter() - replay_started
+        digest = snapshot_fingerprint(
+            {
+                "log": result.log.to_text(),
+                "state": result.state,
+                "injected": result.injected,
+                "stuck": sorted(task.name for task in result.stuck),
+                "crashed": sorted(task.name for task in result.crashed),
+                "end_time": result.end_time,
+            }
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+        runcache.reset()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "cells": cells,
+        "search_seconds": round(search_seconds, 3),
+        "replay_seconds": round(replay_seconds, 3),
+        "seconds": round(search_seconds + replay_seconds, 3),
+        "replay_digest": digest,
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_leg(sys.argv[1], sys.argv[2] == "on")))

@@ -31,9 +31,12 @@ metrics (FIR decision latency, scheduler counters) without changing the
 search outcome.  Both append one entry per (strategy, case) cell to the
 run ledger (``benchmarks/out/ledger.jsonl``) unless ``--no-ledger``,
 and both memoize deterministic runs through :mod:`repro.cache` unless
-``--no-cache`` (``--cache-dir`` relocates the shared disk tier).
-``compare`` also takes a comma-separated case-id list and
-``--summary-out PATH`` for the machine-readable campaign summary.
+``--no-cache`` (``--cache-dir`` relocates the shared disk tier).  Round
+runs fork off a parked prefix snapshot (:mod:`repro.sim.checkpoint`)
+unless ``--no-checkpoint`` — outcome-invariant either way, and a no-op
+where ``os.fork`` is unavailable.  ``compare`` also takes a
+comma-separated case-id list and ``--summary-out PATH`` for the
+machine-readable campaign summary.
 """
 
 from __future__ import annotations
@@ -125,6 +128,20 @@ def _print_cache_stats() -> None:
     )
 
 
+def _print_checkpoint_stats() -> None:
+    """One stderr line of checkpoint/fork movement (silent when off/idle)."""
+    stats = bench_summary.checkpoint_section()
+    if not stats:
+        return
+    print(
+        f"[checkpoint: {stats.get('opens', 0)} snapshot(s), "
+        f"{stats.get('forks', 0)} fork(s), "
+        f"{stats.get('fallbacks', 0)} fallback(s), "
+        f"{stats.get('requests_saved', 0)} prefix request(s) skipped]",
+        file=sys.stderr,
+    )
+
+
 def cmd_list(_args) -> int:
     rows = [
         (case.case_id, case.issue, case.system, case.title)
@@ -160,6 +177,7 @@ def cmd_reproduce(args) -> int:
         recorder=recorder,
         track_coverage=True,
         prune=args.prune,
+        checkpoint=args.checkpoint,
     )
     result = explorer.explore()
     if recorder is not None:
@@ -199,6 +217,7 @@ def cmd_reproduce(args) -> int:
         args,
     )
     _print_cache_stats()
+    _print_checkpoint_stats()
     if not result.success:
         print(f"NOT reproduced: {result.message} ({result.rounds} rounds)")
         return 1
@@ -245,8 +264,16 @@ def cmd_compare(args) -> int:
         cases,
         strategies,
         jobs=jobs,
-        anduril_options=dict(max_rounds=args.max_rounds, profile=args.profile),
-        strategy_options=dict(max_rounds=args.max_rounds, max_seconds=60.0),
+        anduril_options=dict(
+            max_rounds=args.max_rounds,
+            profile=args.profile,
+            checkpoint=args.checkpoint,
+        ),
+        strategy_options=dict(
+            max_rounds=args.max_rounds,
+            max_seconds=60.0,
+            checkpoint=args.checkpoint,
+        ),
     )
     elapsed = time.perf_counter() - started
     if len(cases) == 1:
@@ -309,6 +336,7 @@ def cmd_compare(args) -> int:
     )
     _append_ledger(entries, args)
     _print_cache_stats()
+    _print_checkpoint_stats()
     if args.summary_out:
         bench_summary.clear()
         for case in cases:
@@ -557,6 +585,16 @@ def _add_cache_options(subparser) -> None:
     )
 
 
+def _add_checkpoint_options(subparser) -> None:
+    subparser.add_argument(
+        "--checkpoint",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fork round runs off a parked prefix snapshot (default on; "
+        "--no-checkpoint replays every run from t=0; outcome-invariant)",
+    )
+
+
 def _add_ledger_options(subparser) -> None:
     subparser.add_argument(
         "--no-ledger",
@@ -601,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
         "is identical either way)",
     )
     _add_cache_options(reproduce)
+    _add_checkpoint_options(reproduce)
     _add_ledger_options(reproduce)
 
     replay = commands.add_parser("replay", help="replay a reproduction script")
@@ -629,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-case run metrics and summarize them on stderr",
     )
     _add_cache_options(compare)
+    _add_checkpoint_options(compare)
     _add_ledger_options(compare)
 
     trace = commands.add_parser(

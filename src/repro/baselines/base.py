@@ -153,12 +153,17 @@ class StrategyRunner:
         max_rounds: int = 400,
         max_seconds: Optional[float] = 60.0,
         track_coverage: bool = False,
+        checkpoint: bool = False,
     ) -> None:
         self.max_rounds = max_rounds
         self.max_seconds = max_seconds
         #: Fault-space coverage accounting (off by default; the shared
         #: NULL_COVERAGE no-op tracker keeps the default path unchanged).
         self.track_coverage = track_coverage
+        #: Fork round runs off a parked prefix (``repro.sim.checkpoint``)
+        #: instead of replaying from t=0.  Outcome-invariant, opt-in, and
+        #: a no-op where ``os.fork`` is unavailable.
+        self.checkpoint = bool(checkpoint)
 
     def run(
         self,
@@ -173,6 +178,19 @@ class StrategyRunner:
         started = time.perf_counter()
         context = build_context(case)
         strategy.prepare(context)
+        pool = None
+        runner = execute_workload
+        if self.checkpoint:
+            from ..sim.checkpoint import CheckpointPool, checkpoint_supported
+
+            if checkpoint_supported():
+                pool = CheckpointPool(
+                    case.workload,
+                    case.horizon,
+                    case.seed,
+                    context.normal_run.trace,
+                )
+                runner = pool.runner
         coverage = NULL_COVERAGE
         if self.track_coverage:
             coverage = CoverageTracker(
@@ -195,46 +213,50 @@ class StrategyRunner:
                 coverage=coverage.summary(),
             )
 
-        while rounds < self.max_rounds:
-            if (
-                self.max_seconds is not None
-                and time.perf_counter() - started > self.max_seconds
-            ):
-                return finish(False, None, "time budget exhausted")
-            window = [
-                instance
-                for instance in strategy.next_window()
-                if (instance.site_id, instance.exception, instance.occurrence)
-                not in tried
-            ]
-            if not window:
-                return finish(False, None, "fault space exhausted")
-            rounds += 1
-            # A strategy's window may offer the same (site, occurrence)
-            # under two exceptions; only the first is armable per run.
-            plan = InjectionPlan.of(dedupe_instances(window))
-            result = cached_execute(
-                case.workload,
-                horizon=case.horizon,
-                seed=case.seed,
-                plan=plan,
-                runner=execute_workload,
-            )
-            injected = result.injected_instance
-            satisfied = False
-            if injected is not None:
-                tried.add(
-                    (injected.site_id, injected.exception, injected.occurrence)
+        try:
+            while rounds < self.max_rounds:
+                if (
+                    self.max_seconds is not None
+                    and time.perf_counter() - started > self.max_seconds
+                ):
+                    return finish(False, None, "time budget exhausted")
+                window = [
+                    instance
+                    for instance in strategy.next_window()
+                    if (instance.site_id, instance.exception, instance.occurrence)
+                    not in tried
+                ]
+                if not window:
+                    return finish(False, None, "fault space exhausted")
+                rounds += 1
+                # A strategy's window may offer the same (site, occurrence)
+                # under two exceptions; only the first is armable per run.
+                plan = InjectionPlan.of(dedupe_instances(window))
+                result = cached_execute(
+                    case.workload,
+                    horizon=case.horizon,
+                    seed=case.seed,
+                    plan=plan,
+                    runner=runner,
                 )
-                satisfied = case.oracle.satisfied(result)
-            else:
-                # None of the armed instances occurred; with a fixed seed
-                # they never will, so retire the whole window.
-                tried.update(
-                    (i.site_id, i.exception, i.occurrence) for i in window
-                )
-            coverage.record_round(rounds, plan.instances, injected)
-            strategy.observe(result, injected, satisfied)
-            if satisfied:
-                return finish(True, injected, "reproduced")
-        return finish(False, None, "round budget exhausted")
+                injected = result.injected_instance
+                satisfied = False
+                if injected is not None:
+                    tried.add(
+                        (injected.site_id, injected.exception, injected.occurrence)
+                    )
+                    satisfied = case.oracle.satisfied(result)
+                else:
+                    # None of the armed instances occurred; with a fixed seed
+                    # they never will, so retire the whole window.
+                    tried.update(
+                        (i.site_id, i.exception, i.occurrence) for i in window
+                    )
+                coverage.record_round(rounds, plan.instances, injected)
+                strategy.observe(result, injected, satisfied)
+                if satisfied:
+                    return finish(True, injected, "reproduced")
+            return finish(False, None, "round budget exhausted")
+        finally:
+            if pool is not None:
+                pool.close()

@@ -45,6 +45,9 @@ class AndurilOutcome:
     #: Run-cache movement attributable to this cell (hits/misses/
     #: alias_hits/... plus ``hit_rate``); empty when the cache is off.
     cache_stats: dict = dataclasses.field(default_factory=dict)
+    #: Checkpoint/fork movement attributable to this cell (opens/forks/
+    #: fallbacks/...); empty when checkpointing is off.
+    checkpoint_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -69,6 +72,8 @@ class StrategyOutcome:
     worker_counters: dict = dataclasses.field(default_factory=dict)
     #: See :attr:`AndurilOutcome.cache_stats`.
     cache_stats: dict = dataclasses.field(default_factory=dict)
+    #: See :attr:`AndurilOutcome.checkpoint_stats`.
+    checkpoint_stats: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -93,6 +98,20 @@ def _cache_delta(before: dict[str, float]) -> dict:
     lookups = served + stats.get("misses", 0)
     stats["hit_rate"] = round(served / lookups, 6) if lookups else 0.0
     return stats
+
+
+def _checkpoint_delta(before: dict[str, float]) -> dict:
+    """Checkpoint counter movement since ``before`` (empty when off).
+
+    Fork cost is accounted only in the process that drove the pool —
+    grandchildren die with their counters — so campaign merges never
+    double-count a fork-served run.
+    """
+    return {
+        name.split(".", 2)[2]: int(value)
+        for name, value in obs_metrics.delta_since(before).items()
+        if name.startswith("sim.checkpoint.")
+    }
 
 
 def run_anduril(
@@ -160,6 +179,7 @@ def run_anduril(
         metrics=metrics,
         coverage=result.coverage.to_dict() if result.coverage else None,
         cache_stats=_cache_delta(counters_before),
+        checkpoint_stats=_checkpoint_delta(counters_before),
     )
 
 
@@ -169,14 +189,22 @@ def run_baseline(
     max_rounds: int = 300,
     max_seconds: Optional[float] = 8.0,
     coverage: bool = True,
+    checkpoint: bool = False,
     **strategy_kwargs,
 ) -> StrategyOutcome:
+    """Run one baseline strategy on one case under the table budgets.
+
+    ``checkpoint`` is a runner knob (prefix-fork execution, outcome-
+    invariant), not a strategy knob, so it is a named parameter here;
+    everything in ``strategy_kwargs`` goes to the strategy constructor.
+    """
     counters_before = obs_metrics.snapshot()
     strategy = ALL_STRATEGIES[name](**strategy_kwargs)
     runner = StrategyRunner(
         max_rounds=max_rounds,
         max_seconds=max_seconds,
         track_coverage=coverage,
+        checkpoint=checkpoint,
     )
     result = runner.run(strategy, case, case_id=case.case_id)
     obs_metrics.increment("campaign.baseline_runs")
@@ -189,4 +217,5 @@ def run_baseline(
         seconds=result.elapsed_seconds,
         coverage=result.coverage.to_dict() if result.coverage else None,
         cache_stats=_cache_delta(counters_before),
+        checkpoint_stats=_checkpoint_delta(counters_before),
     )

@@ -48,6 +48,11 @@ def record_outcome(outcome) -> None:
         # Present only when the run cache was active; the equivalence
         # checker strips "cache" keys before comparing on/off summaries.
         entry["cache"] = case_cache
+    case_checkpoint = getattr(outcome, "checkpoint_stats", None)
+    if case_checkpoint:
+        # Same contract as "cache": accounting only, stripped by the
+        # equivalence checker so checkpoint on/off summaries compare.
+        entry["checkpoint"] = case_checkpoint
     _OUTCOMES[outcome.case_id] = entry
 
 
@@ -64,6 +69,9 @@ def record_strategy_outcome(outcome) -> None:
     case_cache = getattr(outcome, "cache_stats", None)
     if case_cache:
         entry["cache"] = case_cache
+    case_checkpoint = getattr(outcome, "checkpoint_stats", None)
+    if case_checkpoint:
+        entry["checkpoint"] = case_checkpoint
     _STRATEGY_OUTCOMES[(outcome.strategy, outcome.case_id)] = entry
 
 
@@ -97,18 +105,22 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
     if counters:
         # Operational counters (e.g. campaign.inline_fallbacks) for
         # post-hoc inspection; not part of the regression gate.  Run-cache
-        # counters get their own section below so that summaries with the
-        # cache on and off stay identical outside of it.
+        # and checkpoint counters get their own sections below so that
+        # summaries with those knobs on and off stay identical outside of
+        # them.
         plain = {
             key: counters[key]
             for key in sorted(counters)
-            if not key.startswith("cache.")
+            if not key.startswith(("cache.", "sim.checkpoint."))
         }
         if plain:
             document["counters"] = plain
     cache = cache_section(counters)
     if cache:
         document["cache"] = cache
+    checkpoint = checkpoint_section(counters)
+    if checkpoint:
+        document["checkpoint"] = checkpoint
     coverage = coverage_section(ordered)
     if coverage:
         document["coverage"] = coverage
@@ -134,6 +146,22 @@ def cache_section(counters: Optional[dict[str, float]] = None) -> dict:
     lookups = served + stats.get("misses", 0)
     stats["hit_rate"] = round(served / lookups, 6) if lookups else 0.0
     return stats
+
+
+def checkpoint_section(counters: Optional[dict[str, float]] = None) -> dict:
+    """Aggregate checkpoint/fork counters (``sim.checkpoint.*``).
+
+    Empty when checkpointing never ran — like the cache section, an
+    inactive feature must leave the summary without the section at all so
+    that on/off summaries stay byte-identical outside of it.
+    """
+    if counters is None:
+        counters = obs_metrics.snapshot()
+    return {
+        key.split(".", 2)[2]: int(value)
+        for key, value in sorted(counters.items())
+        if key.startswith("sim.checkpoint.")
+    }
 
 
 def coverage_section(anduril_cases: Optional[dict[str, dict]] = None) -> dict:

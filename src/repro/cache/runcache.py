@@ -66,7 +66,10 @@ from typing import Optional
 from ..obs import metrics as obs_metrics
 from ..obs.ledger import git_sha
 
-PAYLOAD_VERSION = 1
+# Version 2: TraceEvent and other run-record dataclasses grew
+# ``slots=True``, which changes their pickle state shape — version-1
+# entries would silently deserialize with corrupt field values.
+PAYLOAD_VERSION = 3
 
 #: Lookup/served outcomes reported by :meth:`RunCache.execute`.
 HIT = "hit"
@@ -225,7 +228,9 @@ class RunCache:
                 or payload.get("key") != key
             ):
                 raise ValueError("run-cache entry key/version mismatch")
-            return payload["result"]
+            from ..sim.checkpoint import _decode_result
+
+            return _decode_result(payload["result"])
         except FileNotFoundError:
             return None
         except Exception as error:
@@ -320,8 +325,18 @@ class RunCache:
         path = os.path.join(self.disk_dir, self._entry_name(key))
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
+            # Flatten the result first: pickling thousands of small
+            # LogRecord/TraceEvent dataclasses one by one costs ~10x the
+            # primitive-tuple encoding (see sim.checkpoint's codec, shared
+            # here so fork frames and cache entries stay byte-compatible).
+            from ..sim.checkpoint import _encode_result
+
             payload = pickle.dumps(
-                {"version": PAYLOAD_VERSION, "key": key, "result": result}
+                {
+                    "version": PAYLOAD_VERSION,
+                    "key": key,
+                    "result": _encode_result(result),
+                }
             )
             fd, temp_path = tempfile.mkstemp(
                 dir=self.disk_dir, suffix=".tmp"

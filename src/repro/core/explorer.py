@@ -207,6 +207,7 @@ class Explorer:
         track_coverage: bool = False,
         prune: str = "none",
         prune_radius: float = DEFAULT_RADIUS,
+        checkpoint: bool = False,
     ) -> None:
         if runs_per_round < 1:
             raise ValueError("runs_per_round must be at least 1")
@@ -258,6 +259,16 @@ class Explorer:
         #: itself is byte-identical with pruning on or off.
         self.prune = prune
         self.prune_radius = prune_radius
+        #: Process-level checkpoint/fork (``repro.sim.checkpoint``): run
+        #: each round's candidate from a holder parked at the plan's
+        #: first possible firing position instead of replaying the
+        #: fault-free prefix.  Library-level opt-in; outcome-invariant
+        #: (fork-served runs are byte-identical to full replays) and
+        #: composed *under* the run cache, so cache keys and stored
+        #: results are unchanged.  Ignored on platforms without
+        #: ``os.fork`` and on traced (recorder-attached) searches.
+        self.checkpoint = bool(checkpoint)
+        self._checkpoint_pool = None
         #: Round-level speculation: with ``jobs > 1`` worker processes
         #: pre-execute predicted future rounds while the committed round
         #: runs inline.  ``jobs=0``/``None`` means "one per CPU".  The
@@ -300,8 +311,47 @@ class Explorer:
             horizon=self.horizon,
             seed=seed,
             plan=plan,
-            runner=execute_workload,
+            runner=self._runner(),
         )
+
+    def _runner(self):
+        """The cache-miss executor: the checkpoint pool when active."""
+        pool = self._checkpoint_pool
+        if pool is not None and not pool.broken:
+            return pool.runner
+        return execute_workload
+
+    def _open_checkpoint_pool(self) -> None:
+        """Build the fork ladder from the probe trace, when enabled.
+
+        Requires a completed :meth:`prepare` (the fork points come from
+        the probe trace).  Traced searches are excluded: their runs
+        bypass the cache and must execute in-process so the recorder
+        observes them.
+        """
+        if (
+            not self.checkpoint
+            or self._checkpoint_pool is not None
+            or self._obs.enabled
+            or self._prepared is None
+        ):
+            return
+        from ..sim.checkpoint import CheckpointPool, checkpoint_supported
+
+        if not checkpoint_supported():
+            return
+        self._checkpoint_pool = CheckpointPool(
+            self.workload,
+            self.horizon,
+            self.seed,
+            self._prepared.normal_run.trace,
+            base_faults=self.base_faults,
+        )
+
+    def _close_checkpoint_pool(self) -> None:
+        pool, self._checkpoint_pool = self._checkpoint_pool, None
+        if pool is not None:
+            pool.close()
 
     def prepare(self) -> PreparedSearch:
         """Steps 1–2: probe run, observables, causal graph, priorities."""
@@ -440,14 +490,21 @@ class Explorer:
         worker count.
         """
         jobs = self.jobs if jobs is None else max(int(jobs), 1)
+        # Prepare first: the checkpoint pool's fork points come from the
+        # probe trace, and the engine's miss path should share the pool.
+        self.prepare()
+        self._open_checkpoint_pool()
         engine: Optional[SpeculativeExecutor] = None
         if jobs > 1:
-            engine = SpeculativeExecutor(self.workload, self.horizon, jobs)
+            engine = SpeculativeExecutor(
+                self.workload, self.horizon, jobs, runner=self._runner()
+            )
         try:
             return self._explore(engine)
         finally:
             if engine is not None:
                 engine.shutdown()
+            self._close_checkpoint_pool()
 
     def _explore(self, engine: Optional[SpeculativeExecutor]) -> ExplorationResult:
         started = time.perf_counter()

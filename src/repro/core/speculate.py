@@ -62,10 +62,22 @@ def _worker_run(
 class SpeculativeExecutor:
     """A run cache fed by a process pool of speculative executions."""
 
-    def __init__(self, workload: WorkloadFn, horizon: float, jobs: int) -> None:
+    def __init__(
+        self,
+        workload: WorkloadFn,
+        horizon: float,
+        jobs: int,
+        runner=None,
+    ) -> None:
         self.workload = workload
         self.horizon = horizon
         self.jobs = max(int(jobs), 1)
+        #: Inline executor for cache misses on the committed path.  The
+        #: Explorer passes its checkpoint-pool runner here so committed
+        #: runs fork off a parked prefix; workers always do full replays
+        #: in their own processes (their results are byte-identical, so
+        #: neither path is ever double-counted).
+        self._runner = runner if runner is not None else execute_workload
         self.hits = 0
         self.misses = 0
         self.submitted = 0
@@ -150,7 +162,7 @@ class SpeculativeExecutor:
             horizon=self.horizon,
             seed=seed,
             plan=plan,
-            runner=execute_workload,
+            runner=self._runner,
         )
         return result, False
 

@@ -45,7 +45,7 @@ def dedupe_instances(instances: Iterable[FaultInstance]) -> list[FaultInstance]:
     return unique
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One dynamic execution of a fault site."""
 
@@ -188,6 +188,13 @@ class FIR:
         #: ``repro.obs`` recorder; ``None`` keeps the hot path free of
         #: timing calls and event allocations (profiling off).
         self.recorder = None
+        #: Checkpoint hook: when set, ``on_site`` calls ``_trigger(self)``
+        #: the moment ``request_count`` reaches ``_trigger_at`` — after the
+        #: request is traced, before its injection decision.  The sim
+        #: checkpoint layer pauses a holder process here and forks
+        #: candidate runs that continue with a swapped-in plan.
+        self._trigger: Optional[Callable[["FIR"], None]] = None
+        self._trigger_at = 0
         self._log_index_fn: Callable[[], int] = lambda: 0
         self._clock: Callable[[], float] = lambda: 0.0
 
@@ -205,6 +212,51 @@ class FIR:
         self.fired = None
         self.always_fired = []
 
+    def swap_plan(self, plan: Optional[InjectionPlan]) -> None:
+        """Replace the plan mid-run, preserving fired/base-fault state.
+
+        Unlike :meth:`set_plan` this keeps ``fired``, ``always_fired``,
+        counts, and the trace — the contract a checkpoint fork needs: the
+        prefix ran under the base-only plan, and the candidate plan takes
+        over for the suffix as if it had been active all along (it could
+        not have fired earlier by construction of the fork point).
+        """
+        self.plan = plan
+
+    def set_trigger(
+        self, at_request: int, callback: Callable[["FIR"], None]
+    ) -> None:
+        """Invoke ``callback(self)`` when request ``at_request`` is reached.
+
+        ``at_request`` is a 1-based request ordinal.  The callback runs
+        after the request is counted and traced but *before* its
+        injection decision, and is one-shot (cleared before invocation).
+        """
+        if at_request < 1:
+            raise ValueError("at_request is a 1-based request ordinal")
+        self._trigger_at = int(at_request)
+        self._trigger = callback
+
+    def capture(self) -> dict:
+        """Data snapshot of the runtime's per-run state."""
+        return {
+            "counts": dict(self.counts),
+            "trace": list(self.trace),
+            "fired": self.fired,
+            "always_fired": list(self.always_fired),
+            "request_count": self.request_count,
+            "decision_seconds": self.decision_seconds,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore the per-run state captured by :meth:`capture`."""
+        self.counts = dict(snapshot["counts"])
+        self.trace = list(snapshot["trace"])
+        self.fired = snapshot["fired"]
+        self.always_fired = list(snapshot["always_fired"])
+        self.request_count = snapshot["request_count"]
+        self.decision_seconds = snapshot["decision_seconds"]
+
     def on_site(self, site: SiteRef) -> None:
         """Trace this execution of ``site`` and inject if the plan says so.
 
@@ -216,26 +268,34 @@ class FIR:
         recorder = self.recorder
         started = time.perf_counter() if recorder is not None else 0.0
         site_id = site.site_id
-        occurrence = self.counts.get(site_id, 0) + 1
-        self.counts[site_id] = occurrence
+        counts = self.counts
+        occurrence = counts.get(site_id, 0) + 1
+        counts[site_id] = occurrence
         self.request_count += 1
         if self.tracing:
             self.trace.append(
                 TraceEvent(
-                    site_id=site_id,
-                    occurrence=occurrence,
-                    time=self._clock(),
-                    log_index=self._log_index_fn(),
+                    site_id,
+                    occurrence,
+                    self._clock(),
+                    self._log_index_fn(),
                 )
             )
+        if self._trigger is not None and self.request_count == self._trigger_at:
+            # One-shot checkpoint hook: the holder process parks here (its
+            # trigger loop never returns); a forked child returns with the
+            # candidate plan swapped in and decides this request below.
+            trigger, self._trigger = self._trigger, None
+            trigger(self)
+        plan = self.plan
         instance = None
         is_base_fault = False
-        if self.plan is not None:
-            instance = self.plan.match_always(site_id, occurrence)
+        if plan is not None:
+            instance = plan.match_always(site_id, occurrence)
             if instance is not None:
                 is_base_fault = True
             elif self.fired is None:
-                instance = self.plan.match(site_id, occurrence)
+                instance = plan.match(site_id, occurrence)
         if recorder is not None:
             self.decision_seconds += time.perf_counter() - started
         if instance is not None:

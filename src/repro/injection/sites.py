@@ -11,6 +11,8 @@ what ties the causal graph to the runtime trace.
 from __future__ import annotations
 
 import dataclasses
+import functools
+import sys
 
 
 def normalize_path(filename: str) -> str:
@@ -36,9 +38,13 @@ class SiteRef:
     function: str
     op: str
 
-    @property
+    @functools.cached_property
     def site_id(self) -> str:
-        return f"{self.file}:{self.line}:{self.function}:{self.op}"
+        # Interned and cached: site ids are compared and hashed millions
+        # of times per campaign (FIR counts, plan lookups, trace events),
+        # so one canonical string per site keeps dict probes on the
+        # pointer-equality fast path.
+        return sys.intern(f"{self.file}:{self.line}:{self.function}:{self.op}")
 
     def __str__(self) -> str:
         return self.site_id

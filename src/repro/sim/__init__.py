@@ -7,6 +7,12 @@ primitives; all of their external I/O goes through :class:`repro.sim.env.Env`,
 whose call sites are the fault space ANDURIL searches.
 """
 
+from .checkpoint import (
+    Checkpoint,
+    CheckpointPool,
+    checkpoint_supported,
+    snapshot_fingerprint,
+)
 from .cluster import Cluster, RunResult, TaskSummary, execute_workload
 from .env import ENV_OPS, Env
 from .errors import (
@@ -31,6 +37,8 @@ from .storage import Disk
 from .sync import Condition, Executor, Future, Lock, Queue, SerialExecutor
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointPool",
     "Cluster",
     "Condition",
     "ConnectException",
@@ -63,7 +71,9 @@ __all__ = [
     "TaskState",
     "TaskSummary",
     "TimeoutIOException",
+    "checkpoint_supported",
     "execute_workload",
+    "snapshot_fingerprint",
     "exception_from_name",
     "is_subtype",
     "render_stack_trace",

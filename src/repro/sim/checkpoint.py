@@ -1,0 +1,671 @@
+"""Process-level checkpoint/fork: kill the fault-free prefix of a round.
+
+Every plan the Explorer tries in one round shares a long fault-free
+prefix — before the first armed instance fires, the run replays the
+probe trace exactly (§5.2.5 single-shot window semantics).  Replaying
+that prefix from t=0 for each candidate is the dominant cost on a
+single-CPU box, and it is pure waste.
+
+Generators cannot be pickled or deep-copied, so an in-process snapshot
+of the scheduler cannot resume tasks (see ``Simulator.capture``).  What
+*can* clone a pile of live generator frames, exactly and cheaply, is
+``os.fork``.  The scheme:
+
+1. A **holder** process forks off the parent and runs the workload under
+   the round's base-only plan, with an :meth:`~repro.injection.fir.FIR.
+   set_trigger` armed at request ordinal ``K`` (1-based, from the probe
+   trace).  When request ``K`` executes, the holder parks inside the
+   trigger — its entire sim state frozen mid-run — and serves fork
+   requests off a pipe.
+2. For each candidate plan, the holder forks a **grandchild** that swaps
+   the candidate plan in (:meth:`~repro.injection.fir.FIR.swap_plan`,
+   which preserves prefix state) and simply returns from the trigger:
+   the run continues from request ``K`` as if the plan had been active
+   all along.  The grandchild pickles its :class:`RunResult` back to the
+   parent over a pipe and exits.
+3. The parent keeps a small ladder of holders ("rungs") at different
+   depths and serves each plan from the deepest rung at or before the
+   plan's first possible firing position.
+
+The invariance contract: a fork-served run is byte-identical to a full
+replay.  The prefix is shared by construction (deterministic sim, same
+plan semantics up to ``K``), and the trigger fires after the request is
+counted and traced but before its injection decision, so the grandchild
+makes exactly the decisions a full replay would.
+
+Everything degrades gracefully: platforms without ``os.fork``, foreign
+workloads/seeds/horizons, recorder-attached runs, and any pipe or child
+failure all fall back to inline execution (counted under
+``sim.checkpoint.fallbacks``).
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import os
+import pickle
+import signal
+import statistics
+import struct
+import time
+import warnings
+from typing import Optional
+
+from ..injection.fir import FIR, InjectionPlan, TraceEvent
+from ..logs.record import Level, LogFile, LogRecord, SourceRef
+from ..obs import metrics as obs_metrics
+from .cluster import Cluster, RunResult, execute_workload
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointPool",
+    "checkpoint_supported",
+    "snapshot_fingerprint",
+]
+
+#: Opening a rung shallower than this saves too little to pay the fork
+#: plumbing for; such plans run inline.
+MIN_PREFIX_REQUESTS = 8
+#: ... and the same in relative terms: a fork shallower than this
+#: fraction of the probe trace replays most of the run anyway, so the
+#: fixed fork cost (fork + pipe + pickle, ~1-2 ms) eats the saving.
+#: With grid rungs the gap replayed above the rung is bounded, so even
+#: moderately shallow forks still skip their prefix; the floor only has
+#: to keep the fixed cost from dominating.
+MIN_PREFIX_FRACTION = 0.15
+#: Rungs held live per pool.  Each rung is one parked holder process,
+#: and rung depths are quantized to a grid of this many steps across
+#: the trace: a plan forks from the grid rung at or just below its fork
+#: point, so the replayed gap is at most one grid step (~1/8 of the
+#: trace) no matter in which order plans arrive.
+MAX_RUNGS = 8
+#: Holder processes forked per pool lifetime (rungs are never reopened).
+OPEN_BUDGET = 12
+#: Pipe failures tolerated before the whole pool stops forking.
+MAX_POOL_ERRORS = 2
+#: Deep forks (prefix >= half of the trace) timed against a duplicate
+#: inline replay before the pool trusts that forking pays on this
+#: workload/host; if the median fork loses, the pool retires itself.
+#: Only genuinely deep forks count — near the eligibility floor a fork
+#: roughly ties inline replay, and a tie there says nothing about the
+#: deep forks the pool exists for.
+CALIBRATION_RUNS = 2
+#: Minimum prefix fraction for a fork to count as a calibration sample.
+CALIBRATION_MIN_FRACTION = 0.5
+
+
+def checkpoint_supported() -> bool:
+    """Whether this platform can fork (POSIX; not Windows)."""
+    return hasattr(os, "fork")
+
+
+# ----------------------------------------------------------------- fingerprint
+
+
+def _canonical(value):
+    """Recursively order dicts/sets so ``repr`` is deterministic."""
+    if isinstance(value, dict):
+        return tuple(
+            (key, _canonical(item)) for key, item in sorted(value.items())
+        )
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(item) for item in value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, BaseException):
+        return (type(value).__name__, str(value))
+    return value
+
+
+def snapshot_fingerprint(snapshot: dict) -> str:
+    """Digest of a :meth:`Cluster.capture` snapshot.
+
+    Two runs with equal fingerprints at the same request ordinal are in
+    identical data states; the equivalence tests compare these across
+    fork and full-replay executions.
+    """
+    text = repr(_canonical(snapshot))
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+# --------------------------------------------------------------- pipe framing
+#
+# Messages are pickled blobs behind a 4-byte big-endian length prefix.
+# ``os.read``/``os.write`` may move fewer bytes than asked, so both
+# directions loop.  A writer never emits a partial frame by policy: the
+# blob is fully pickled before the first byte goes out, and error paths
+# exit without writing.
+
+_HEADER = struct.Struct("!I")
+
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exact(fd: int, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = os.read(fd, remaining)
+        if not chunk:
+            raise EOFError("checkpoint pipe closed")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _write_frame(fd: int, blob: bytes) -> None:
+    _write_all(fd, _HEADER.pack(len(blob)) + blob)
+
+
+def _write_message(fd: int, message: tuple) -> None:
+    _write_frame(fd, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _read_message(fd: int) -> tuple:
+    (length,) = _HEADER.unpack(_read_exact(fd, _HEADER.size))
+    return pickle.loads(_read_exact(fd, length))
+
+
+def _encode_result(result: RunResult) -> tuple:
+    """Flatten a :class:`RunResult` for the response pipe.
+
+    Generic pickling of a result spends most of its time reducing the
+    thousands of small ``LogRecord``/``TraceEvent`` dataclass instances
+    one by one; flattening them to primitive tuples first makes the
+    frame several times cheaper to serialize on the fork critical path.
+    The remaining fields are small and ship as-is.
+    """
+    return (
+        [
+            (
+                record.time,
+                record.thread,
+                int(record.level),
+                record.message,
+                None
+                if record.source is None
+                else (
+                    record.source.file,
+                    record.source.line,
+                    record.source.function,
+                ),
+            )
+            for record in result.log
+        ],
+        [
+            (event.site_id, event.occurrence, event.time, event.log_index)
+            for event in result.trace
+        ],
+        result.injected,
+        result.injected_instance,
+        result.stuck,
+        result.crashed,
+        result.state,
+        result.end_time,
+        result.site_counts,
+        result.injection_requests,
+        result.decision_seconds,
+        result.base_faults_fired,
+    )
+
+
+def _decode_result(payload: tuple) -> RunResult:
+    """Rebuild the :class:`RunResult` flattened by :func:`_encode_result`."""
+    (
+        records,
+        trace,
+        injected,
+        injected_instance,
+        stuck,
+        crashed,
+        state,
+        end_time,
+        site_counts,
+        injection_requests,
+        decision_seconds,
+        base_faults_fired,
+    ) = payload
+    return RunResult(
+        log=LogFile(
+            LogRecord(
+                when,
+                thread,
+                Level(level),
+                message,
+                None if source is None else SourceRef(*source),
+            )
+            for when, thread, level, message, source in records
+        ),
+        trace=[TraceEvent(*event) for event in trace],
+        injected=injected,
+        injected_instance=injected_instance,
+        stuck=stuck,
+        crashed=crashed,
+        state=state,
+        end_time=end_time,
+        site_counts=site_counts,
+        injection_requests=injection_requests,
+        decision_seconds=decision_seconds,
+        base_faults_fired=base_faults_fired,
+    )
+
+
+def _fork() -> int:
+    """``os.fork`` with the multi-threaded-process warning suppressed.
+
+    The parallel engine keeps a ``ProcessPoolExecutor`` management thread
+    alive, which makes CPython ≥3.12 warn on every fork.  The forked
+    children here never touch thread state — they run the single-threaded
+    sim and exit — so the warning is noise for this use.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return os.fork()
+
+
+# ------------------------------------------------------------------ processes
+
+
+def _run_with_trigger(
+    workload,
+    horizon: float,
+    seed: int,
+    plan: Optional[InjectionPlan],
+    at_request: int,
+    trigger,
+) -> RunResult:
+    """``execute_workload`` with a FIR trigger armed before the run."""
+    cluster = Cluster(seed=seed)
+    cluster.fir.set_plan(plan)
+    cluster.fir.set_trigger(at_request, trigger)
+    workload(cluster)
+    return cluster.run(horizon)
+
+
+def _holder_main(
+    req_r: int,
+    resp_w: int,
+    workload,
+    horizon: float,
+    seed: int,
+    base_plan: Optional[InjectionPlan],
+    at_request: int,
+) -> None:
+    """Body of the holder process; every path ends in ``os._exit``.
+
+    The holder runs the prefix to request ``at_request`` and parks in
+    the trigger serving fork requests.  A forked grandchild returns from
+    the trigger with the candidate plan swapped in, finishes the run,
+    and writes the sole success frame; the holder reports grandchild
+    failures (it writes only ``err`` frames, and only after ``waitpid``,
+    so the two writers never interleave).
+    """
+    role = {"fork": False}
+
+    def trigger(fir: FIR) -> None:
+        # Park the cyclic collector: a collection in holder or grandchild
+        # would walk the whole inherited heap and fault in copy-on-write
+        # pages wholesale.  (No gc.collect()/gc.freeze() here — both walk
+        # every tracked object, which IS that wholesale copy.)
+        gc.disable()
+        _write_message(resp_w, ("ready",))
+        while True:
+            try:
+                message = _read_message(req_r)
+            except (EOFError, OSError):
+                os._exit(0)
+            if message[0] == "close":
+                os._exit(0)
+            if message[0] != "run":
+                os._exit(4)
+            pid = _fork()
+            if pid == 0:
+                role["fork"] = True
+                fir.swap_plan(InjectionPlan.from_payload(message[1]))
+                return  # grandchild: resume the run under the candidate plan
+            _, status = os.waitpid(pid, 0)
+            if status != 0:
+                _write_message(
+                    resp_w, ("err", f"fork child exited with status {status}")
+                )
+
+    try:
+        result = _run_with_trigger(
+            workload, horizon, seed, base_plan, at_request, trigger
+        )
+    except BaseException:
+        os._exit(3 if role["fork"] else 4)
+    if role["fork"]:
+        try:
+            blob = pickle.dumps(
+                ("ok", _encode_result(result)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            os._exit(3)
+        _write_frame(resp_w, blob)
+        os._exit(0)
+    # The run finished without reaching the trigger (should not happen
+    # for fork points derived from the probe trace); refuse politely.
+    _write_message(resp_w, ("ready",))
+    while True:
+        try:
+            message = _read_message(req_r)
+        except (EOFError, OSError):
+            os._exit(0)
+        if message[0] == "close":
+            os._exit(0)
+        _write_message(resp_w, ("err", "checkpoint trigger never reached"))
+
+
+class Checkpoint:
+    """One parked holder process: the run frozen at request ``at_request``.
+
+    ``run(plan)`` forks a grandchild off the holder that finishes the run
+    under ``plan`` and returns its :class:`RunResult`, or ``None`` on any
+    failure (after which the checkpoint is closed and unusable).
+    """
+
+    def __init__(
+        self,
+        workload,
+        horizon: float,
+        seed: int,
+        base_plan: Optional[InjectionPlan],
+        at_request: int,
+    ) -> None:
+        self.at_request = at_request
+        self.closed = False
+        req_r, req_w = os.pipe()
+        resp_r, resp_w = os.pipe()
+        pid = _fork()
+        if pid == 0:
+            os.close(req_w)
+            os.close(resp_r)
+            try:
+                _holder_main(
+                    req_r, resp_w, workload, horizon, seed, base_plan,
+                    at_request,
+                )
+            finally:  # pragma: no cover - _holder_main always exits
+                os._exit(4)
+        os.close(req_r)
+        os.close(resp_w)
+        self._pid = pid
+        self._req_w = req_w
+        self._resp_r = resp_r
+        # Wait for the holder to finish the prefix and park in the trigger,
+        # so open cost stays in open() and run() times pure fork+suffix —
+        # the pool's calibration depends on that separation.
+        try:
+            ready = _read_message(self._resp_r)
+        except (OSError, EOFError, pickle.PickleError):
+            self.close()
+            return
+        if not isinstance(ready, tuple) or ready[0] != "ready":
+            self.close()
+
+    def run(self, plan: InjectionPlan) -> Optional[RunResult]:
+        """Fork one candidate run off the parked prefix."""
+        if self.closed:
+            return None
+        try:
+            _write_message(self._req_w, ("run", plan.to_payload()))
+            response = _read_message(self._resp_r)
+        except (OSError, EOFError, pickle.PickleError):
+            self.close()
+            return None
+        if not isinstance(response, tuple) or response[0] != "ok":
+            self.close()
+            return None
+        try:
+            return _decode_result(response[1])
+        except (TypeError, ValueError):
+            self.close()
+            return None
+
+    def close(self) -> None:
+        """Tear the holder down without waiting for it to finish."""
+        if self.closed:
+            return
+        self.closed = True
+        for fd in (self._req_w, self._resp_r):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        try:
+            os.kill(self._pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):
+            pass
+        try:
+            os.waitpid(self._pid, 0)
+        except (OSError, ChildProcessError):
+            pass
+
+
+# ----------------------------------------------------------------------- pool
+
+
+class CheckpointPool:
+    """A ladder of checkpoints for one (workload, horizon, seed) context.
+
+    Fork points come from the probe trace: a plan's earliest possible
+    firing position is the minimum probe-trace position over its armed
+    ``(site, occurrence)`` pairs — pairs absent from the probe cannot
+    fire before the run diverges, and the run only diverges at the first
+    fire.  The pool keeps up to :data:`MAX_RUNGS` holders at distinct
+    depths and serves each plan from the deepest rung at or before its
+    firing position, opening deeper rungs while budget lasts.
+
+    ``runner`` matches the executor contract of
+    :func:`repro.cache.runcache.cached_execute`, so checkpointing
+    composes *under* the cache: same keys, same stored results, same
+    outcomes — a fork-served miss is indistinguishable from an inline
+    miss.
+    """
+
+    def __init__(
+        self,
+        workload,
+        horizon: float,
+        seed: int,
+        probe_trace: list[TraceEvent],
+        base_faults=(),
+    ) -> None:
+        self.workload = workload
+        self.horizon = horizon
+        self.seed = seed
+        self._base_faults = list(base_faults)
+        self._base_key = tuple(
+            (inst.site_id, inst.exception, inst.occurrence)
+            for inst in self._base_faults
+        )
+        self._base_plan = InjectionPlan.of([], always=self._base_faults)
+        self._order: dict[tuple[str, int], int] = {}
+        for position, event in enumerate(probe_trace, start=1):
+            self._order.setdefault((event.site_id, event.occurrence), position)
+        self._total_requests = len(probe_trace)
+        self._rungs: dict[int, Checkpoint] = {}
+        self._opens_left = OPEN_BUDGET
+        self._errors = 0
+        #: ``(fork_seconds, inline_seconds)`` pairs for deep forks; once
+        #: :data:`CALIBRATION_RUNS` are in, the pool keeps forking only
+        #: if the fork path actually wins on this workload and host.
+        self._calibration: list[tuple[float, float]] = []
+        self.broken = not checkpoint_supported() or self._total_requests == 0
+
+    # ------------------------------------------------------------- fork points
+
+    def fork_point(self, plan: Optional[InjectionPlan]) -> Optional[int]:
+        """Latest safe fork request for ``plan``, or ``None`` if ineligible.
+
+        Plans whose armed pairs never occur in the probe trace can never
+        fire, so the deepest point of the trace is safe; plans carrying
+        different base faults than the pool's probe are foreign and get
+        ``None``.
+        """
+        if plan is None:
+            return None
+        always_key = tuple(
+            (inst.site_id, inst.exception, inst.occurrence)
+            for inst in plan.always
+        )
+        if always_key != self._base_key:
+            return None
+        first = self._total_requests
+        for instance in plan.instances:
+            position = self._order.get((instance.site_id, instance.occurrence))
+            if position is not None and position < first:
+                first = position
+        return first
+
+    # ----------------------------------------------------------------- running
+
+    def runner(
+        self,
+        workload,
+        horizon: float,
+        seed: int = 0,
+        plan: Optional[InjectionPlan] = None,
+        tracing: bool = True,
+        recorder=None,
+    ) -> RunResult:
+        """Drop-in for ``execute_workload``; forks when safe, else inline."""
+        if (
+            not self.broken
+            and recorder is None
+            and tracing
+            and workload is self.workload
+            and horizon == self.horizon
+            and seed == self.seed
+            and plan is not None
+            and plan.instances
+        ):
+            result = self._run_forked(plan)
+            if result is not None:
+                return result
+            obs_metrics.increment("sim.checkpoint.fallbacks")
+        return execute_workload(
+            workload,
+            horizon=horizon,
+            seed=seed,
+            plan=plan,
+            tracing=tracing,
+            recorder=recorder,
+        )
+
+    def _run_forked(self, plan: InjectionPlan) -> Optional[RunResult]:
+        fork_point = self.fork_point(plan)
+        if fork_point is None or fork_point < max(
+            MIN_PREFIX_REQUESTS, self._total_requests * MIN_PREFIX_FRACTION
+        ):
+            return None
+        rung = self._pick_rung(fork_point)
+        if rung is None:
+            return None
+        started = time.perf_counter()
+        result = rung.run(plan)
+        fork_seconds = time.perf_counter() - started
+        obs_metrics.increment("sim.checkpoint.fork_seconds", fork_seconds)
+        if result is None:
+            self._rungs.pop(rung.at_request, None)
+            self._errors += 1
+            obs_metrics.increment("sim.checkpoint.errors")
+            if self._errors >= MAX_POOL_ERRORS:
+                self.broken = True
+                self.close()
+            return None
+        obs_metrics.increment("sim.checkpoint.forks")
+        obs_metrics.increment(
+            "sim.checkpoint.requests_saved", rung.at_request - 1
+        )
+        self._calibrate(plan, fork_point, fork_seconds)
+        return result
+
+    def _calibrate(
+        self, plan: InjectionPlan, fork_point: int, fork_seconds: float
+    ) -> None:
+        """Retire the pool when forking loses to plain replay.
+
+        Mini systems can be so cheap to replay that fork-and-pickle
+        overhead outweighs the skipped prefix.  The first few *deep*
+        forks (prefix >= :data:`CALIBRATION_MIN_FRACTION` of the trace —
+        a shallow fork losing proves nothing) each pay for one duplicate
+        inline replay of the same plan; deterministic execution makes
+        the duplicate free of side effects, and its wall clock is the
+        ground truth.  If the median deep fork is not faster, the pool
+        closes and every later run falls back inline (counted under
+        ``sim.checkpoint.retired``).
+        """
+        if len(self._calibration) >= CALIBRATION_RUNS:
+            return
+        if fork_point < self._total_requests * CALIBRATION_MIN_FRACTION:
+            return
+        started = time.perf_counter()
+        execute_workload(
+            self.workload, horizon=self.horizon, seed=self.seed, plan=plan
+        )
+        inline_seconds = time.perf_counter() - started
+        obs_metrics.increment(
+            "sim.checkpoint.calibration_seconds", inline_seconds
+        )
+        self._calibration.append((fork_seconds, inline_seconds))
+        if len(self._calibration) < CALIBRATION_RUNS:
+            return
+        forked = statistics.median(f for f, _ in self._calibration)
+        inline = statistics.median(i for _, i in self._calibration)
+        if forked >= inline:
+            self.broken = True
+            obs_metrics.increment("sim.checkpoint.retired")
+            self.close()
+
+    def _pick_rung(self, fork_point: int) -> Optional[Checkpoint]:
+        """Deepest usable rung for ``fork_point``, opening one if worth it.
+
+        Rung depths sit on a fixed grid (:data:`MAX_RUNGS` steps across
+        the trace).  Serving a plan from the grid rung at or just below
+        its fork point bounds the replayed gap to one grid step; opening
+        at the plan's exact depth instead would let an early shallow
+        rung capture every later, deeper plan and waste most of the
+        prefix it could have skipped.
+        """
+        step = max(1, self._total_requests // MAX_RUNGS)
+        target = max((fork_point // step) * step, MIN_PREFIX_REQUESTS)
+        best: Optional[Checkpoint] = None
+        for depth, rung in self._rungs.items():
+            if depth <= fork_point and (best is None or depth > best.at_request):
+                best = rung
+        if best is not None and best.at_request >= target:
+            return best
+        if self._opens_left <= 0 or len(self._rungs) >= MAX_RUNGS:
+            return best
+        self._opens_left -= 1
+        obs_metrics.increment("sim.checkpoint.opens")
+        started = time.perf_counter()
+        rung = Checkpoint(
+            self.workload, self.horizon, self.seed, self._base_plan, target
+        )
+        obs_metrics.increment(
+            "sim.checkpoint.open_seconds", time.perf_counter() - started
+        )
+        self._rungs[target] = rung
+        return rung
+
+    def close(self) -> None:
+        """Kill every holder; the pool keeps falling back inline after."""
+        rungs, self._rungs = list(self._rungs.values()), {}
+        for rung in rungs:
+            rung.close()
+
+    def __enter__(self) -> "CheckpointPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

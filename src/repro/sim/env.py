@@ -42,6 +42,14 @@ ENV_OPS: dict[str, tuple[str, ...]] = {
 }
 
 
+#: Interned SiteRefs keyed by (code object, line, op).  A mini system has
+#: a few hundred static sites but executes them millions of times per
+#: campaign; reusing one SiteRef per site skips the per-call dataclass
+#: allocation and keeps its cached ``site_id`` warm.  Keying on the code
+#: object (not the filename string) makes lookups pointer-compares.
+_SITE_CACHE: dict[tuple[Any, int, str], SiteRef] = {}
+
+
 class Env:
     """Environment handle bound to one cluster.
 
@@ -55,12 +63,17 @@ class Env:
     def _site(self, op: str) -> None:
         """Report the *caller's* location as a fault site (may raise)."""
         frame = sys._getframe(2)
-        site = SiteRef(
-            file=normalize_path(frame.f_code.co_filename),
-            line=frame.f_lineno,
-            function=frame.f_code.co_name,
-            op=op,
-        )
+        code = frame.f_code
+        key = (code, frame.f_lineno, op)
+        site = _SITE_CACHE.get(key)
+        if site is None:
+            site = SiteRef(
+                file=normalize_path(code.co_filename),
+                line=frame.f_lineno,
+                function=code.co_name,
+                op=op,
+            )
+            _SITE_CACHE[key] = site
         self._cluster.fir.on_site(site)
 
     # -------------------------------------------------------------------- disk

@@ -36,7 +36,7 @@ class TaskState(enum.Enum):
     KILLED = "killed"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class StackFrame:
     """One frame of a task's virtual stack."""
 
@@ -59,11 +59,23 @@ class Sleep:
         self.delay = delay
 
     def subscribe(self, sim: "Simulator", task: "Task") -> None:
-        sim.call_at(sim.now + self.delay, lambda: sim._resume(task, value=None))
+        sim.resume_at(sim.now + self.delay, task)
 
 
 class Task:
     """A named simulated thread wrapping a generator."""
+
+    __slots__ = (
+        "name",
+        "gen",
+        "state",
+        "result",
+        "error",
+        "error_traceback",
+        "waiting_on",
+        "_cancel_wakeup",
+        "_watchers",
+    )
 
     def __init__(self, name: str, gen: TaskGen) -> None:
         self.name = name
@@ -122,13 +134,21 @@ class Join:
 
     def subscribe(self, sim: "Simulator", waiter: Task) -> None:
         if not self.task.alive:
-            sim.call_soon(lambda: sim._resume(waiter, value=self.task.result))
+            # The task already finished, so its result is final.
+            sim.resume_soon(waiter, value=self.task.result)
             return
 
         def on_done(done: Task) -> None:
             sim._resume(waiter, value=done.result)
 
         self.task._watchers.append(on_done)
+
+
+#: Heap-entry sentinel marking a task wakeup scheduled by ``resume_at``.
+#: The run loop dispatches these straight into ``Simulator._resume``
+#: instead of through a per-wakeup closure — wakeups are by far the most
+#: common event, and the closure allocations dominated the hot loop.
+_RESUME: Any = object()
 
 
 class Simulator:
@@ -142,7 +162,12 @@ class Simulator:
         #: Scheduler events popped off the heap (a run-level counter the
         #: ``repro.obs`` layer reports; deterministic per ``(seed, plan)``).
         self.events_executed = 0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: Entries are 6-slot lists ``[when, seq, fn, task, value, exc]``.
+        #: ``fn`` is ``None`` for a cancelled entry (cancellation mutates
+        #: the entry in place instead of wrapping ``fn`` in a guard
+        #: closure) and ``_RESUME`` for a task wakeup.  ``seq`` is unique,
+        #: so heap comparisons never reach the non-orderable slots.
+        self._heap: list[list] = []
         self._seq = 0
         self._crash_handlers: list[Callable[[Task], None]] = []
 
@@ -153,21 +178,43 @@ class Simulator:
         if when < self.now:
             when = self.now
         self._seq += 1
-        cancelled = {"done": False}
-
-        def guarded() -> None:
-            if not cancelled["done"]:
-                fn()
-
-        heapq.heappush(self._heap, (when, self._seq, guarded))
+        entry = [when, self._seq, fn, None, None, None]
+        heapq.heappush(self._heap, entry)
 
         def cancel() -> None:
-            cancelled["done"] = True
+            entry[2] = None
 
         return cancel
 
     def call_soon(self, fn: Callable[[], None]) -> Callable[[], None]:
         return self.call_at(self.now, fn)
+
+    def resume_at(
+        self,
+        when: float,
+        task: Task,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> Callable[[], None]:
+        """Schedule ``_resume(task, value, exc)`` without a closure."""
+        if when < self.now:
+            when = self.now
+        self._seq += 1
+        entry = [when, self._seq, _RESUME, task, value, exc]
+        heapq.heappush(self._heap, entry)
+
+        def cancel() -> None:
+            entry[2] = None
+
+        return cancel
+
+    def resume_soon(
+        self,
+        task: Task,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> Callable[[], None]:
+        return self.resume_at(self.now, task, value, exc)
 
     # ------------------------------------------------------------------- tasks
 
@@ -205,15 +252,57 @@ class Simulator:
 
     def run(self, until: float) -> None:
         """Run events until the queue drains or virtual ``until`` is reached."""
-        while self._heap:
-            when, _seq, fn = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when = heap[0][0]
             if when > until:
                 break
-            heapq.heappop(self._heap)
-            self.now = max(self.now, when)
+            entry = pop(heap)
+            if when > self.now:
+                self.now = when
+            # Cancelled entries still count: the pre-rewrite loop executed
+            # them as guarded no-ops, and ``events_executed`` feeds the
+            # deterministic run signature.
             self.events_executed += 1
-            fn()
+            fn = entry[2]
+            if fn is None:
+                continue
+            if fn is _RESUME:
+                self._resume(entry[3], value=entry[4], exc=entry[5])
+            else:
+                fn()
         self.now = max(self.now, until)
+
+    # ------------------------------------------------------------- checkpoint
+
+    def capture(self) -> dict:
+        """Snapshot the scheduler's restorable scalar state.
+
+        Tasks and pending heap entries wrap live generators, which cannot
+        be serialized or rebuilt in-process — process-level forking (see
+        :mod:`repro.sim.checkpoint`) is what snapshots those.  This
+        captures everything else, plus a digest of the pending schedule
+        for fingerprinting.
+        """
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "events_executed": self.events_executed,
+            "rng_state": self.random.getstate(),
+            "task_states": [(task.name, task.state.value) for task in self.tasks],
+            "pending": [(entry[0], entry[1]) for entry in self._heap],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore the scalar state captured by :meth:`capture`.
+
+        Does not touch tasks or the event heap (see :meth:`capture`).
+        """
+        self.now = snapshot["now"]
+        self._seq = snapshot["seq"]
+        self.events_executed = snapshot["events_executed"]
+        self.random.setstate(snapshot["rng_state"])
 
     def blocked_tasks(self) -> list[Task]:
         return [task for task in self.tasks if task.state is TaskState.BLOCKED]

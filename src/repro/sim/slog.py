@@ -33,6 +33,18 @@ class LogCollector:
     def append(self, record: LogRecord) -> None:
         self.log.append(record)
 
+    # ------------------------------------------------------------- checkpoint
+
+    def capture(self) -> dict:
+        """Snapshot the records emitted so far (records are immutable)."""
+        return {"records": list(self.log)}
+
+    def restore(self, snapshot: dict) -> None:
+        log = LogFile()
+        for record in snapshot["records"]:
+            log.append(record)
+        self.log = log
+
 
 def render_stack_trace(exc: BaseException, limit: int = 12) -> str:
     """Render an exception's traceback in Java log style.

@@ -38,8 +38,8 @@ class _WaitEffect:
         """Register cleanup and (optionally) a timeout wakeup."""
         cancel_timer: Callable[[], None] = lambda: None
         if timeout is not None:
-            cancel_timer = sim.call_at(
-                sim.now + timeout, lambda: sim._resume(task, value=on_timeout)
+            cancel_timer = sim.resume_at(
+                sim.now + timeout, task, value=on_timeout
             )
 
         def cleanup() -> None:
@@ -68,20 +68,22 @@ class Condition:
     def notify_all(self) -> None:
         waiters, self._waiters = self._waiters, []
         for task in waiters:
-            self._sim.call_soon(
-                lambda t=task: self._sim._resume(t, value=True)
-            )
+            self._sim.resume_soon(task, value=True)
 
     def notify(self) -> None:
         if self._waiters:
             task = self._waiters.pop(0)
-            self._sim.call_soon(lambda: self._sim._resume(task, value=True))
+            self._sim.resume_soon(task, value=True)
 
     def _discard(self, task: Task) -> None:
         try:
             self._waiters.remove(task)
         except ValueError:
             pass
+
+    def capture(self) -> dict:
+        """Snapshot for fingerprinting (waiters referenced by name)."""
+        return {"name": self.name, "waiters": [t.name for t in self._waiters]}
 
 
 class _ConditionWait(_WaitEffect):
@@ -128,7 +130,7 @@ class Lock:
         if self._waiters:
             task = self._waiters.pop(0)
             self._holder = task
-            self._sim.call_soon(lambda: self._sim._resume(task, value=True))
+            self._sim.resume_soon(task, value=True)
 
     def force_release(self) -> None:
         """Drop the lock regardless of holder (crash-cleanup analog)."""
@@ -141,6 +143,14 @@ class Lock:
         except ValueError:
             pass
 
+    def capture(self) -> dict:
+        """Snapshot for fingerprinting (tasks referenced by name)."""
+        return {
+            "name": self.name,
+            "holder": self.holder_name,
+            "waiters": [t.name for t in self._waiters],
+        }
+
 
 class _LockAcquire(_WaitEffect):
     def __init__(self, lock: Lock) -> None:
@@ -150,7 +160,7 @@ class _LockAcquire(_WaitEffect):
     def subscribe(self, sim: Simulator, task: Task) -> None:
         if self._lock._holder is None:
             self._lock._holder = task
-            sim.call_soon(lambda: sim._resume(task, value=True))
+            sim.resume_soon(task, value=True)
             task._cancel_wakeup = None
             return
         self._lock._waiters.append(task)
@@ -218,7 +228,7 @@ class Queue:
         """Hand an item to a waiting getter or store it."""
         if self._getters:
             getter = self._getters.pop(0)
-            self._sim.call_soon(lambda: self._sim._resume(getter, value=item))
+            self._sim.resume_soon(getter, value=item)
         else:
             self._items.append(item)
 
@@ -228,7 +238,24 @@ class Queue:
         ):
             putter, item = self._putters.pop(0)
             self._items.append(item)
-            self._sim.call_soon(lambda: self._sim._resume(putter, value=None))
+            self._sim.resume_soon(putter, value=None)
+
+    # ------------------------------------------------------------- checkpoint
+
+    def capture(self) -> dict:
+        """Snapshot the queue's restorable state (items) plus waiter names."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "items": list(self._items),
+            "getters": [t.name for t in self._getters],
+            "putters": [t.name for t, _ in self._putters],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore the stored items (waiters are live tasks; not restored)."""
+        self.capacity = snapshot["capacity"]
+        self._items = collections.deque(snapshot["items"])
 
     def _discard_getter(self, task: Task) -> None:
         try:
@@ -250,7 +277,7 @@ class _QueuePut(_WaitEffect):
         queue = self._queue
         if queue.capacity is None or len(queue._items) < queue.capacity or queue._getters:
             queue._deliver(self._item)
-            sim.call_soon(lambda: sim._resume(task, value=None))
+            sim.resume_soon(task, value=None)
             task._cancel_wakeup = None
             return
         queue._putters.append((task, self._item))
@@ -268,7 +295,7 @@ class _QueueGet(_WaitEffect):
         if queue._items:
             item = queue._items.popleft()
             queue._admit_putter()
-            sim.call_soon(lambda: sim._resume(task, value=item))
+            sim.resume_soon(task, value=item)
             task._cancel_wakeup = None
             return
         queue._getters.append(task)
@@ -343,13 +370,30 @@ class Future:
             self._schedule_wake(task)
 
     def _schedule_wake(self, task: Task) -> None:
+        # The future is write-once and already done here, so capturing the
+        # outcome now (rather than at fire time) is equivalent.
         if self._exception is not None:
-            wrapped = ExecutionException(self._exception)
-            self._sim.call_soon(lambda: self._sim._resume(task, exc=wrapped))
+            self._sim.resume_soon(task, exc=ExecutionException(self._exception))
         else:
-            self._sim.call_soon(
-                lambda: self._sim._resume(task, value=self._result)
-            )
+            self._sim.resume_soon(task, value=self._result)
+
+    # ------------------------------------------------------------- checkpoint
+
+    def capture(self) -> dict:
+        """Snapshot the future's restorable state plus waiter names."""
+        return {
+            "name": self.name,
+            "done": self._done,
+            "result": self._result,
+            "exception": self._exception,
+            "waiters": [t.name for t in self._waiters],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Restore completion state (waiters are live tasks; not restored)."""
+        self._done = snapshot["done"]
+        self._result = snapshot["result"]
+        self._exception = snapshot["exception"]
 
 
 GenFn = Callable[..., Generator[Any, Any, Any]]

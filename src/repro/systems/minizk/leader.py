@@ -14,6 +14,8 @@ Two seeded defects live here:
 
 from __future__ import annotations
 
+import zlib
+
 from ...sim.errors import IOException, SocketException
 from ..base import Component
 
@@ -99,7 +101,11 @@ class LeaderServer(Component):
             except IOException as error:
                 self.log.warn("Dropped malformed session packet: %s", error)
                 continue
-            session_id = f"0x{abs(hash(message.src)) % (1 << 32):08x}"
+            # crc32, not hash(): str hashing is randomized per process,
+            # and session ids must not differ between two replays of the
+            # same seed (they land in the log, which equivalence checks
+            # compare across processes).
+            session_id = f"0x{zlib.crc32(message.src.encode()):08x}"
             try:
                 self.env.sock_send(self.owner, message.src, "session_ok", session_id)
             except SocketException as error:

@@ -1,0 +1,410 @@
+"""Checkpoint/fork correctness: the snapshot layer and its invariance.
+
+Three layers of guarantees, bottom up:
+
+* every sim component's ``capture``/``restore`` round-trips its data
+  state exactly (the fingerprints the equivalence checks build on);
+* a ``Checkpoint`` fork-served run is byte-identical to a full inline
+  replay — fixed cases, plus a hypothesis sweep over random workloads,
+  seeds, and fork depths;
+* the ``CheckpointPool`` runner composes with the Explorer without
+  changing any outcome: ``ExplorationResult.signature()`` matches
+  checkpoint on/off at jobs 1 and 4.
+
+Everything process-level skips on platforms without ``os.fork``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.failures import get_case
+from repro.injection.fir import InjectionPlan
+from repro.injection.sites import FaultInstance
+from repro.sim import (
+    Checkpoint,
+    CheckpointPool,
+    Cluster,
+    checkpoint_supported,
+    execute_workload,
+    snapshot_fingerprint,
+)
+from repro.sim.checkpoint import _decode_result, _encode_result
+from repro.sim.errors import IOException
+
+needs_fork = pytest.mark.skipif(
+    not checkpoint_supported(), reason="requires os.fork (POSIX)"
+)
+
+
+def run_signature(result):
+    """Everything a run produced, minus wall-clock measurements."""
+    return (
+        result.log.to_text(),
+        tuple(result.trace),
+        result.injected,
+        result.injected_instance,
+        result.injection_requests,
+        tuple(sorted(result.site_counts.items())),
+        tuple(result.stuck),
+        tuple(result.crashed),
+        result.end_time,
+        tuple(result.base_faults_fired),
+    )
+
+
+# ----------------------------------------------------------- capture/restore
+
+
+def _run_cluster(case):
+    cluster = Cluster(seed=case.seed)
+    case.workload(cluster)
+    cluster.run(case.horizon)
+    return cluster
+
+
+class TestCaptureRestore:
+    """Mutate-then-restore returns every component to its captured state."""
+
+    def test_cluster_roundtrip(self):
+        cluster = _run_cluster(get_case("f1"))
+        snapshot = cluster.capture()
+        fingerprint = snapshot_fingerprint(snapshot)
+        # Mutate every layer of the data state.
+        cluster.disk.write("/scratch", b"mutation")
+        cluster.state["mutated"] = True
+        cluster.fir.counts["bogus-site"] = 99
+        cluster.sim.now += 123.0
+        assert snapshot_fingerprint(cluster.capture()) != fingerprint
+        cluster.restore(snapshot)
+        assert snapshot_fingerprint(cluster.capture()) == fingerprint
+
+    def test_disk_roundtrip(self):
+        cluster = _run_cluster(get_case("f9"))
+        snapshot = cluster.disk.capture()
+        cluster.disk.write("/x", b"y")
+        cluster.disk.restore(snapshot)
+        assert cluster.disk.capture() == snapshot
+
+    def test_network_roundtrip(self):
+        cluster = _run_cluster(get_case("f13"))
+        snapshot = cluster.net.capture()
+        cluster.net.register("late-endpoint")
+        cluster.net.restore(snapshot)
+        assert cluster.net.capture() == snapshot
+
+    def test_fir_roundtrip(self):
+        cluster = _run_cluster(get_case("f19"))
+        snapshot = cluster.fir.capture()
+        assert snapshot["request_count"] > 0
+        cluster.fir.counts.clear()
+        cluster.fir.trace.clear()
+        cluster.fir.request_count = -1
+        cluster.fir.restore(snapshot)
+        assert cluster.fir.capture() == snapshot
+
+    def test_scheduler_roundtrip(self):
+        cluster = _run_cluster(get_case("f22"))
+        snapshot = cluster.sim.capture()
+        cluster.sim.now += 7.5
+        cluster.sim.random.random()
+        cluster.sim.restore(snapshot)
+        restored = cluster.sim.capture()
+        assert restored["now"] == snapshot["now"]
+        assert restored["rng_state"] == snapshot["rng_state"]
+        assert restored["events_executed"] == snapshot["events_executed"]
+
+    def test_slog_roundtrip(self):
+        cluster = _run_cluster(get_case("f1"))
+        snapshot = cluster.collector.capture()
+        cluster.logger().info("post-snapshot noise")
+        cluster.collector.restore(snapshot)
+        assert cluster.collector.capture() == snapshot
+
+    def test_identical_runs_have_identical_fingerprints(self):
+        case = get_case("f1")
+        first = _run_cluster(case).capture()
+        second = _run_cluster(case).capture()
+        assert snapshot_fingerprint(first) == snapshot_fingerprint(second)
+
+
+# -------------------------------------------------------------------- codec
+
+
+class TestResultCodec:
+    def test_roundtrip_preserves_signature(self):
+        case = get_case("f1")
+        plan = InjectionPlan.single(case.ground_truth_instance())
+        result = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed, plan=plan
+        )
+        decoded = _decode_result(_encode_result(result))
+        assert run_signature(decoded) == run_signature(result)
+        assert decoded.state == result.state
+        assert decoded.decision_seconds == result.decision_seconds
+
+    def test_roundtrip_fault_free(self):
+        case = get_case("f13")
+        result = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed
+        )
+        decoded = _decode_result(_encode_result(result))
+        assert run_signature(decoded) == run_signature(result)
+
+
+# -------------------------------------------------------- checkpoint process
+
+
+@needs_fork
+class TestCheckpointFork:
+    def test_fork_equals_full_replay(self):
+        case = get_case("f1")
+        probe = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed
+        )
+        fork_point = max(len(probe.trace) // 2, 1)
+        with_plans = [
+            InjectionPlan.single(
+                FaultInstance(event.site_id, "IOException", event.occurrence)
+            )
+            for event in probe.trace[fork_point - 1 : fork_point + 2]
+        ]
+        checkpoint = Checkpoint(
+            case.workload, case.horizon, case.seed, None, fork_point
+        )
+        try:
+            for plan in with_plans:
+                forked = checkpoint.run(plan)
+                inline = execute_workload(
+                    case.workload,
+                    horizon=case.horizon,
+                    seed=case.seed,
+                    plan=plan,
+                )
+                assert forked is not None
+                assert run_signature(forked) == run_signature(inline)
+        finally:
+            checkpoint.close()
+
+    def test_trigger_never_reached_degrades(self):
+        """A fork point past the end of the run refuses without hanging."""
+        case = get_case("f1")
+        probe = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed
+        )
+        checkpoint = Checkpoint(
+            case.workload, case.horizon, case.seed, None,
+            len(probe.trace) + 1000,
+        )
+        try:
+            target = probe.trace[-1]
+            plan = InjectionPlan.single(
+                FaultInstance(target.site_id, "IOException", target.occurrence)
+            )
+            assert checkpoint.run(plan) is None
+        finally:
+            checkpoint.close()
+
+    def test_closed_checkpoint_returns_none(self):
+        case = get_case("f1")
+        checkpoint = Checkpoint(case.workload, case.horizon, case.seed, None, 8)
+        checkpoint.close()
+        plan = InjectionPlan.single(
+            FaultInstance("any-site", "IOException", 1)
+        )
+        assert checkpoint.run(plan) is None
+
+
+# ---------------------------------------------------------------------- pool
+
+
+@needs_fork
+class TestCheckpointPool:
+    def make_pool(self, case):
+        probe = execute_workload(
+            case.workload, horizon=case.horizon, seed=case.seed
+        )
+        return (
+            CheckpointPool(case.workload, case.horizon, case.seed, probe.trace),
+            probe,
+        )
+
+    def test_fork_point_semantics(self):
+        case = get_case("f1")
+        pool, probe = self.make_pool(case)
+        with pool:
+            target = probe.trace[len(probe.trace) // 2]
+            plan = InjectionPlan.single(
+                FaultInstance(target.site_id, "IOException", target.occurrence)
+            )
+            assert pool.fork_point(plan) == len(probe.trace) // 2 + 1
+            # A pair absent from the probe can never fire: deepest point.
+            ghost = InjectionPlan.single(
+                FaultInstance("no-such-site", "IOException", 1)
+            )
+            assert pool.fork_point(ghost) == len(probe.trace)
+            # Foreign base faults make the probe trace inapplicable.
+            foreign = InjectionPlan.of(
+                [FaultInstance(target.site_id, "IOException", 1)],
+                always=[FaultInstance("base-site", "IOException", 1)],
+            )
+            assert pool.fork_point(foreign) is None
+            assert pool.fork_point(None) is None
+
+    def test_runner_matches_inline(self):
+        case = get_case("f1")
+        pool, probe = self.make_pool(case)
+        with pool:
+            for index in (len(probe.trace) // 2, len(probe.trace) - 1):
+                event = probe.trace[index]
+                plan = InjectionPlan.single(
+                    FaultInstance(
+                        event.site_id, "IOException", event.occurrence
+                    )
+                )
+                served = pool.runner(
+                    case.workload,
+                    case.horizon,
+                    seed=case.seed,
+                    plan=plan,
+                )
+                inline = execute_workload(
+                    case.workload,
+                    horizon=case.horizon,
+                    seed=case.seed,
+                    plan=plan,
+                )
+                assert run_signature(served) == run_signature(inline)
+
+    def test_runner_falls_back_on_foreign_context(self):
+        case = get_case("f1")
+        pool, probe = self.make_pool(case)
+        with pool:
+            event = probe.trace[-1]
+            plan = InjectionPlan.single(
+                FaultInstance(event.site_id, "IOException", event.occurrence)
+            )
+            # Different seed: must not be served from the pool's holders.
+            foreign = pool.runner(
+                case.workload, case.horizon, seed=case.seed + 1, plan=plan
+            )
+            inline = execute_workload(
+                case.workload,
+                horizon=case.horizon,
+                seed=case.seed + 1,
+                plan=plan,
+            )
+            assert run_signature(foreign) == run_signature(inline)
+            # Fault-free runs never fork (nothing to arm).
+            free = pool.runner(case.workload, case.horizon, seed=case.seed)
+            probe_again = execute_workload(
+                case.workload, horizon=case.horizon, seed=case.seed
+            )
+            assert run_signature(free) == run_signature(probe_again)
+
+
+# ------------------------------------------------------- hypothesis property
+
+
+def make_workload(spec):
+    """Closure workload from (kind, param) specs — forkable, not picklable."""
+
+    def workload(cluster):
+        env = cluster.env
+        log = cluster.logger()
+        inbox = cluster.net.register("sink")
+
+        def sink():
+            while True:
+                raw = yield inbox.get(timeout=2.0)
+                if raw is None:
+                    continue
+                try:
+                    message = env.sock_recv(raw)
+                except IOException as error:
+                    log.warn("sink dropped packet: %s", error)
+                    continue
+                log.info("sink got %s", message.payload)
+
+        def driver():
+            for kind, param in spec:
+                if kind == "write":
+                    try:
+                        env.disk_write(f"/f{param}", b"x" * (param + 1))
+                    except IOException as error:
+                        log.warn("write %d failed: %s", param, error)
+                elif kind == "send":
+                    try:
+                        env.sock_send("driver", "sink", "data", param)
+                    except IOException as error:
+                        log.warn("send %d failed: %s", param, error)
+                elif kind == "sleep":
+                    yield cluster.sleep(0.05 * (param + 1))
+                elif kind == "jitter":
+                    yield cluster.sleep(
+                        0.01 * (1 + cluster.sim.random.random())
+                    )
+            log.info("driver finished")
+            yield cluster.sleep(0.0)
+
+        cluster.spawn("sink", sink())
+        cluster.spawn("driver", driver())
+
+    return workload
+
+
+ACTIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "send", "sleep", "jitter"]),
+        st.integers(0, 5),
+    ),
+    min_size=2,
+    max_size=12,
+)
+
+
+@needs_fork
+@given(
+    spec=ACTIONS,
+    seed=st.integers(0, 50),
+    depth=st.floats(0.1, 1.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_fork_suffix_equals_full_replay(spec, seed, depth):
+    """For any workload, seed, and fork depth: forked == inline, exactly."""
+    workload = make_workload(spec)
+    probe = execute_workload(workload, horizon=5.0, seed=seed)
+    if len(probe.trace) < 2:
+        return
+    fork_point = max(1, min(len(probe.trace), int(len(probe.trace) * depth)))
+    target = probe.trace[fork_point - 1]
+    plan = InjectionPlan.single(
+        FaultInstance(target.site_id, "IOException", target.occurrence)
+    )
+    checkpoint = Checkpoint(workload, 5.0, seed, None, fork_point)
+    try:
+        forked = checkpoint.run(plan)
+        inline = execute_workload(workload, horizon=5.0, seed=seed, plan=plan)
+        assert forked is not None
+        assert run_signature(forked) == run_signature(inline)
+    finally:
+        checkpoint.close()
+
+
+# ----------------------------------------------------------------- explorer
+
+
+@needs_fork
+class TestExplorerEquivalence:
+    @pytest.mark.parametrize("case_id", ["f1", "f9", "f13", "f19", "f22"])
+    def test_signature_identical_checkpoint_on_off(self, case_id):
+        case = get_case(case_id)
+        plain = case.explorer(max_rounds=40).explore(jobs=1)
+        forked = case.explorer(max_rounds=40, checkpoint=True).explore(jobs=1)
+        assert forked.signature() == plain.signature()
+
+    def test_signature_identical_checkpoint_jobs4(self):
+        case = get_case("f1")
+        plain = case.explorer(max_rounds=40).explore(jobs=1)
+        forked = case.explorer(max_rounds=40, checkpoint=True).explore(jobs=4)
+        assert forked.signature() == plain.signature()

@@ -12,6 +12,13 @@ build when the campaign got *worse*:
   ``--min-median-seconds`` so sub-millisecond campaigns don't flap on
   runner noise.
 
+With ``--simkernel-baseline``/``--simkernel-current``, the gate also
+compares the simulator-kernel micro-benchmark artifact
+(``benchmarks/out/BENCH_simkernel.json``): an events/sec drop beyond
+``--simkernel-max-drop`` (default 25%) fails the build, ignored while
+the baseline throughput sits below ``--simkernel-min-events`` so tiny
+or throttled runners don't flap the gate.
+
 With ``--history LEDGER``, the baseline is derived from the run ledger
 (``benchmarks/out/ledger.jsonl``) instead: the last ``--history-window``
 ANDURIL entries per case (majority success, median rounds/seconds) form
@@ -184,6 +191,42 @@ def compare(
     return problems
 
 
+def load_simkernel(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if "kernel" not in document:
+        raise ValueError(
+            f"{path}: not a simkernel benchmark (missing 'kernel')"
+        )
+    return document
+
+
+def compare_simkernel(
+    baseline: dict,
+    current: dict,
+    max_drop: float,
+    min_events_per_sec: float,
+) -> list[str]:
+    """Regressions in the kernel micro-benchmark (empty = gate passes).
+
+    Only the events/sec throughput gates — checkpoint capture/fork costs
+    and per-system speedups are informational (they move with machine
+    load far more than the tight kernel loop does).
+    """
+    problems: list[str] = []
+    base_rate = float(baseline.get("kernel", {}).get("events_per_sec", 0.0))
+    cur_rate = float(current.get("kernel", {}).get("events_per_sec", 0.0))
+    if base_rate < min_events_per_sec:
+        return problems
+    floor = base_rate * (1.0 - max_drop)
+    if cur_rate < floor:
+        problems.append(
+            f"sim-kernel throughput regressed: {cur_rate:,.0f} events/s < "
+            f"{base_rate:,.0f} * {1.0 - max_drop:.2f} (= {floor:,.0f})"
+        )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline summary JSON")
@@ -219,7 +262,39 @@ def main(argv=None) -> int:
         help="ignore ledger entries recorded under this git SHA (pass the "
         "commit under test so the rolling baseline only sees prior runs)",
     )
+    parser.add_argument(
+        "--simkernel-baseline",
+        metavar="JSON",
+        help="committed simulator-kernel benchmark artifact "
+        "(BENCH_simkernel.json); requires --simkernel-current",
+    )
+    parser.add_argument(
+        "--simkernel-current",
+        metavar="JSON",
+        help="freshly generated simulator-kernel benchmark artifact",
+    )
+    parser.add_argument(
+        "--simkernel-max-drop",
+        type=float,
+        default=0.25,
+        help="tolerated events/sec drop (fraction, default 0.25)",
+    )
+    parser.add_argument(
+        "--simkernel-min-events",
+        type=float,
+        default=10000.0,
+        help="skip the kernel check below this baseline events/sec "
+        "(noise floor for tiny or throttled runners)",
+    )
     args = parser.parse_args(argv)
+
+    if bool(args.simkernel_baseline) != bool(args.simkernel_current):
+        print(
+            "error: --simkernel-baseline and --simkernel-current must be "
+            "given together",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         baseline = load_summary(args.baseline)
@@ -249,6 +324,28 @@ def main(argv=None) -> int:
     problems = compare(
         baseline, current, args.max_slowdown, args.min_median_seconds
     )
+    if args.simkernel_baseline:
+        try:
+            sk_baseline = load_simkernel(args.simkernel_baseline)
+            sk_current = load_simkernel(args.simkernel_current)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        problems.extend(
+            compare_simkernel(
+                sk_baseline,
+                sk_current,
+                args.simkernel_max_drop,
+                args.simkernel_min_events,
+            )
+        )
+        print(
+            "sim-kernel: baseline "
+            f"{float(sk_baseline['kernel'].get('events_per_sec', 0.0)):,.0f} "
+            "events/s, current "
+            f"{float(sk_current['kernel'].get('events_per_sec', 0.0)):,.0f} "
+            "events/s"
+        )
     print(
         f"{baseline_label}: "
         f"{baseline.get('successes')}/{baseline.get('case_count')} "

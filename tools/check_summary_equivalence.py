@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Assert campaign summaries are equivalent modulo timing and cache.
 
-The run cache (``repro.cache``) and the parallel campaign engine both
-promise *outcome invariance*: turning the cache on or off, or changing
-``--jobs``, may only move wall-clock numbers and cache bookkeeping —
-never rounds, successes, or coverage.  This gate makes that promise
-testable in CI:
+The run cache (``repro.cache``), the checkpoint/fork runner
+(``repro.sim.checkpoint``), and the parallel campaign engine all
+promise *outcome invariance*: turning the cache or checkpointing on or
+off, or changing ``--jobs``, may only move wall-clock numbers and
+cache/checkpoint bookkeeping — never rounds, successes, or coverage.
+This gate makes that promise testable in CI:
 
     python tools/check_summary_equivalence.py a.json b.json [c.json ...]
 
@@ -22,8 +23,9 @@ import json
 import sys
 
 #: Keys that may legitimately differ between equivalent campaigns.
-#: Wall-clock fields move with machine load; ``cache`` sections exist
-#: only when the cache is on; ``counters``/``metrics`` hold operational
+#: Wall-clock fields move with machine load; ``cache``/``checkpoint``
+#: sections exist only when those runner knobs are on (and fork counts
+#: move with scheduling); ``counters``/``metrics`` hold operational
 #: telemetry (speculation hit rates, fallback counts) that varies with
 #: scheduling.  Everything else must match exactly.
 VOLATILE_KEYS = frozenset(
@@ -33,6 +35,7 @@ VOLATILE_KEYS = frozenset(
         "total_seconds",
         "prepare_seconds",
         "cache",
+        "checkpoint",
         "counters",
         "metrics",
     }
