@@ -26,9 +26,12 @@ Commands:
   pruned space, and any dynamic contradictions (a fired triple the
   analysis had called unreachable exits 1).
 
-``reproduce`` and ``compare`` accept ``--profile`` to sample run-level
-metrics (FIR decision latency, scheduler counters) without changing the
-search outcome.  Both append one entry per (strategy, case) cell to the
+``reproduce``, ``compare``, ``inspect``, and ``analyze`` accept
+``--fault-dims exceptions|soft|all`` to override which fault dimensions
+the search enumerates (raised exceptions, corrupted return values, or
+both; default: each case's own setting).  ``reproduce`` and ``compare``
+accept ``--profile`` to sample run-level metrics (FIR decision latency,
+scheduler counters) without changing the search outcome.  Both append one entry per (strategy, case) cell to the
 run ledger (``benchmarks/out/ledger.jsonl``) unless ``--no-ledger``,
 and both memoize deterministic runs through :mod:`repro.cache` unless
 ``--no-cache`` (``--cache-dir`` relocates the shared disk tier).  Round
@@ -167,6 +170,7 @@ def _print_profile(recorder) -> None:
 def cmd_reproduce(args) -> int:
     _configure_cache(args)
     case = get_case(args.case_id)
+    _apply_fault_dims(args, [case])
     print(f"{case.issue}: {case.title}")
     print(f"oracle: {case.oracle.description}")
     recorder = TraceRecorder() if args.profile else None
@@ -258,6 +262,7 @@ def cmd_compare(args) -> int:
     if not cases:
         print(f"error: no case ids in {args.case_id!r}", file=sys.stderr)
         return 2
+    _apply_fault_dims(args, cases)
     strategies = list(ALL_STRATEGIES)
     started = time.perf_counter()
     anduril_by_case, cells = run_compare_campaign(
@@ -438,6 +443,7 @@ def cmd_report(args) -> int:
 
 def cmd_inspect(args) -> int:
     case = get_case(args.case_id)
+    _apply_fault_dims(args, [case])
     prepared = case.explorer().prepare()
     print(f"{case.issue}: {case.title}")
     print(f"failure log lines: {len(case.failure_log())}")
@@ -494,6 +500,7 @@ def cmd_analyze(args) -> int:
     if not cases:
         print(f"error: no case ids in {args.case_id!r}", file=sys.stderr)
         return 2
+    _apply_fault_dims(args, cases)
     case_docs: dict[str, dict] = {}
     total_contradictions = 0
     for case in cases:
@@ -572,6 +579,32 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _add_fault_dims_option(subparser) -> None:
+    subparser.add_argument(
+        "--fault-dims",
+        choices=("exceptions", "soft", "all"),
+        default=None,
+        help="fault dimensions to enumerate: exceptions = raise at env "
+        "ops (legacy), soft = corrupt values env ops return, all = both "
+        "(default: each case's own setting)",
+    )
+
+
+def _apply_fault_dims(args, cases) -> None:
+    """Apply a ``--fault-dims`` override to each case in this run.
+
+    The override is also exported through ``REPRO_FAULT_DIMS`` so
+    spawn-method campaign workers — which re-import the registry and look
+    cases up by id — reconstruct it (the same relay as ``REPRO_CACHE``).
+    """
+    dims = getattr(args, "fault_dims", None)
+    if not dims:
+        return
+    os.environ["REPRO_FAULT_DIMS"] = dims
+    for case in cases:
+        case.fault_dims = dims
+
+
 def _add_cache_options(subparser) -> None:
     subparser.add_argument(
         "--cache",
@@ -638,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         "triples from the coverage denominator (default; search outcome "
         "is identical either way)",
     )
+    _add_fault_dims_option(reproduce)
     _add_cache_options(reproduce)
     _add_checkpoint_options(reproduce)
     _add_ledger_options(reproduce)
@@ -667,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record per-case run metrics and summarize them on stderr",
     )
+    _add_fault_dims_option(compare)
     _add_cache_options(compare)
     _add_checkpoint_options(compare)
     _add_ledger_options(compare)
@@ -709,6 +744,7 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser("inspect", help="show the prepared search")
     inspect.add_argument("case_id")
     inspect.add_argument("--top", type=int, default=10)
+    _add_fault_dims_option(inspect)
 
     lint = commands.add_parser(
         "lint", help="detect fault-handling defects in a package"
@@ -754,6 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="temporal pruning radius in normal-run log lines "
         f"(default {DEFAULT_RADIUS:g})",
     )
+    _add_fault_dims_option(analyze)
     _add_cache_options(analyze)
     return parser
 

@@ -39,6 +39,8 @@ from .model import (
     NodeKind,
     SOURCE_KINDS,
     SourceInfo,
+    external_corruption_node,
+    filter_candidates_by_dims,
     graph_fault_candidates,
 )
 from .system_model import SystemModel, analyze_package
@@ -74,7 +76,9 @@ __all__ = [
     "TryFact",
     "analyze_package",
     "build_propagation_graph",
+    "external_corruption_node",
     "extract_module_facts",
+    "filter_candidates_by_dims",
     "graph_fault_candidates",
     "lint_package",
     "reachability_weights",

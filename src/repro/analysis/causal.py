@@ -26,6 +26,8 @@ import dataclasses
 import time
 from typing import Iterable, Optional
 
+from ..injection.corruptions import corruption_kinds_for_op
+from ..injection.sites import CORRUPT_PREFIX
 from .ast_facts import HandlerFact
 from .exceptions import (
     KIND_ASYNC,
@@ -42,6 +44,7 @@ from .model import (
     NodeKind,
     SOURCE_KINDS,
     condition_node,
+    external_corruption_node,
     external_exception_node,
     handler_node,
     internal_exception_node,
@@ -67,7 +70,10 @@ class AnalysisTimings:
 
 class CausalGraphBuilder:
     def __init__(
-        self, model: SystemModel, analysis: Optional[ExceptionAnalysis] = None
+        self,
+        model: SystemModel,
+        analysis: Optional[ExceptionAnalysis] = None,
+        fault_dims: str = "exceptions",
     ) -> None:
         self.model = model
         self.timings = AnalysisTimings()
@@ -75,6 +81,12 @@ class CausalGraphBuilder:
             analysis = ExceptionAnalysis(model)
         self.analysis = analysis
         self.timings.exception_seconds = analysis.elapsed_seconds
+        #: Which fault dimensions to enumerate candidates for:
+        #: ``exceptions`` (legacy, default), ``soft``, or ``all``.  The
+        #: exception BFS always runs (it builds the graph structure); the
+        #: soft pass below only attaches corruption sources when asked,
+        #: so exception-only graphs are bit-for-bit unchanged.
+        self.fault_dims = fault_dims
 
     # ---------------------------------------------------------------- building
 
@@ -107,10 +119,40 @@ class CausalGraphBuilder:
                 if prior.node_id not in visited:
                     visited.add(prior.node_id)
                     queue.append(prior)
+        if self.fault_dims in ("soft", "all"):
+            self._attach_corruption_sources(graph)
         self.timings.chaining_seconds = (
             time.perf_counter() - started - self.timings.slicing_seconds
         )
         return graph
+
+    def _attach_corruption_sources(self, graph: CausalGraph) -> None:
+        """Attach soft-fault sources (Data-Poisoning dimension).
+
+        A corrupted return value flows into whatever the enclosing
+        function computes *after* the env call, so every location or
+        condition node of a function is causally posterior to the
+        corruptible env calls at earlier-or-equal lines of that function.
+        Interprocedural reach then comes for free: the exception BFS
+        already chains those locations/conditions to the observables
+        through slicing and invocation edges.
+        """
+        for node_id in sorted(graph.nodes):
+            node = graph.nodes[node_id]
+            if node.kind not in (NodeKind.LOCATION, NodeKind.CONDITION):
+                continue
+            if not node.function:
+                continue
+            for env_call in self.model.env_calls_in(node.function):
+                if env_call.file != node.file or env_call.line > node.line:
+                    continue
+                for kind in corruption_kinds_for_op(env_call.op):
+                    graph.add_edge(
+                        external_corruption_node(
+                            env_call.site_id, CORRUPT_PREFIX + kind
+                        ),
+                        node,
+                    )
 
     # ----------------------------------------------------------- causally-prior
 

@@ -11,6 +11,9 @@ Node kinds mirror the paper exactly:
 * ``new-exception`` — a ``throw new`` inside system code.
 * ``external-exception`` — an exception thrown by a library call (our env
   boundary); with new-exception nodes, these are the fault-site sources.
+* ``external-corruption`` — a library call returning *corrupt data* (the
+  soft-fault dimension): the op succeeds but the value is poisoned by a
+  registered corruption (``corrupt:<kind>``).
 
 Edges run *prior → node* ("cause → effect"); sinks are the location nodes
 of the relevant observables' logging statements.
@@ -31,11 +34,18 @@ class NodeKind(enum.Enum):
     INTERNAL_EXCEPTION = "internal-exception"
     NEW_EXCEPTION = "new-exception"
     EXTERNAL_EXCEPTION = "external-exception"
+    EXTERNAL_CORRUPTION = "external-corruption"
 
 
 #: Kinds at which the recursive causally-prior analysis stops (Algorithm 1
 #: line 5): these are the sources of the graph.
-SOURCE_KINDS = frozenset({NodeKind.NEW_EXCEPTION, NodeKind.EXTERNAL_EXCEPTION})
+SOURCE_KINDS = frozenset(
+    {
+        NodeKind.NEW_EXCEPTION,
+        NodeKind.EXTERNAL_EXCEPTION,
+        NodeKind.EXTERNAL_CORRUPTION,
+    }
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,6 +121,26 @@ def external_exception_node(site_id: str, exception: str) -> Node:
     )
 
 
+def external_corruption_node(site_id: str, spec: str) -> Node:
+    """A soft-fault source: env op at ``site_id`` returns corrupted data.
+
+    ``spec`` is the full canonical spec string (``corrupt:<kind>``); it is
+    stored in the node's ``exception`` slot so every spec-string consumer
+    (candidate enumeration, coverage, provenance) reads one field
+    regardless of dimension.
+    """
+    file, line, function, op = _split_site(site_id)
+    return Node(
+        NodeKind.EXTERNAL_CORRUPTION,
+        f"extval:{site_id}:{spec}",
+        file,
+        line,
+        function,
+        spec,
+        detail=op,
+    )
+
+
 def _split_site(site_id: str) -> tuple[str, int, str, str]:
     parts = site_id.rsplit(":", 3)
     return parts[0], int(parts[1]), parts[2], parts[3]
@@ -169,11 +199,12 @@ class CausalGraph:
         ]
 
     def external_sources(self) -> list[Node]:
-        """The injectable fault sites (external-exception nodes)."""
+        """The injectable fault sites (exception and corruption nodes)."""
         return [
             node
             for node in self.nodes.values()
             if node.kind is NodeKind.EXTERNAL_EXCEPTION
+            or node.kind is NodeKind.EXTERNAL_CORRUPTION
         ]
 
     def priors(self, node_id: str) -> set[str]:
@@ -205,20 +236,48 @@ class CausalGraph:
 
 @dataclasses.dataclass(frozen=True)
 class SourceInfo:
-    """An injectable fault candidate extracted from the graph."""
+    """An injectable fault candidate extracted from the graph.
+
+    ``exception`` holds the canonical fault-spec string — a bare
+    exception name for the raise dimension, ``corrupt:<kind>`` for the
+    soft dimension (the field name predates the second dimension).
+    """
 
     node_id: str
     site_id: str
     exception: str
 
 
+def filter_candidates_by_dims(
+    candidates: list[SourceInfo], fault_dims: str
+) -> list[SourceInfo]:
+    """Restrict candidates to the requested fault dimensions.
+
+    ``exceptions`` keeps raise specs, ``soft`` keeps corruptions, ``all``
+    keeps everything.  Relative order is preserved.
+    """
+    if fault_dims == "all":
+        return candidates
+    want_corrupt = fault_dims == "soft"
+    return [
+        info
+        for info in candidates
+        if info.exception.startswith("corrupt:") == want_corrupt
+    ]
+
+
 def graph_fault_candidates(graph: CausalGraph) -> list[SourceInfo]:
-    """Enumerate injectable (site, exception) candidates from the graph."""
+    """Enumerate injectable (site, fault-spec) candidates from the graph."""
     out: list[SourceInfo] = []
     for node in graph.external_sources():
-        # node_id = "extexc:<site_id>:<Exception>"
-        body = node.node_id[len("extexc:"):]
-        site_id = body.rsplit(":", 1)[0]
+        # node_id = "<prefix>:<site_id>:<spec>".  The spec itself may
+        # contain a colon (``corrupt:<kind>``), so strip it by length
+        # instead of splitting on the right-most colon.
+        prefix = (
+            "extexc:" if node.kind is NodeKind.EXTERNAL_EXCEPTION else "extval:"
+        )
+        body = node.node_id[len(prefix):]
+        site_id = body[: len(body) - len(node.exception) - 1]
         out.append(SourceInfo(node.node_id, site_id, node.exception))
     out.sort(key=lambda info: (info.site_id, info.exception))
     return out

@@ -248,9 +248,29 @@ class SystemModel:
         return sum(len(env_call.exception_types) for env_call in self.env_calls)
 
 
-def analyze_package(package_name: str) -> SystemModel:
-    """Analyze every module of an importable package into a SystemModel."""
+def analyze_package(
+    package_name: str, addons: Iterable[str] = ()
+) -> SystemModel:
+    """Analyze every module of an importable package into a SystemModel.
+
+    A package may declare ``ADDON_MODULES`` — optional components (extra
+    daemons) that ship with the package but are only part of a deployment
+    when its workload spawns them.  Those modules are excluded from the
+    model unless named in ``addons``, so a case's static fault space
+    covers exactly the code its deployment runs: baselines that sweep the
+    whole model (FATE, random) are unaffected by add-ons that other cases
+    deploy.
+    """
     package = importlib.import_module(package_name)
+    declared = frozenset(getattr(package, "ADDON_MODULES", ()))
+    wanted = frozenset(addons)
+    unknown = wanted - declared
+    if unknown:
+        raise ValueError(
+            f"{package_name} does not declare addon module(s): "
+            f"{', '.join(sorted(unknown))}"
+        )
+    skip = declared - wanted
     module_facts: list[ModuleFacts] = []
     paths = getattr(package, "__path__", None)
     if paths is None:
@@ -259,7 +279,7 @@ def analyze_package(package_name: str) -> SystemModel:
             module_facts.append(facts)
     else:
         for info in pkgutil.walk_packages(paths, prefix=package_name + "."):
-            if not info.ispkg:
+            if not info.ispkg and info.name not in skip:
                 facts = _facts_for_module(info.name)
                 if facts is not None:
                     module_facts.append(facts)

@@ -19,7 +19,11 @@ from typing import Optional, Protocol
 
 from ..analysis.causal import CausalGraphBuilder, DistanceIndex
 from ..cache import cached_execute
-from ..analysis.model import SourceInfo, graph_fault_candidates
+from ..analysis.model import (
+    SourceInfo,
+    filter_candidates_by_dims,
+    graph_fault_candidates,
+)
 from ..analysis.system_model import SystemModel
 from ..core.alignment import TimelineMap
 from ..core.observables import ObservableSet
@@ -90,9 +94,16 @@ def build_context(case: CaseLike) -> SearchContext:
     )
     initial = observables.initialize(normal_run.log)
 
-    graph = CausalGraphBuilder(model).build(observables.mapped_keys())
+    # Strategies search the same fault dimensions as the case's Explorer
+    # would (CaseLike is a Protocol, so reach for the attribute politely).
+    fault_dims = getattr(case, "fault_dims", "exceptions")
+    graph = CausalGraphBuilder(model, fault_dims=fault_dims).build(
+        observables.mapped_keys()
+    )
     index = DistanceIndex(graph)
-    candidates = graph_fault_candidates(graph)
+    candidates = filter_candidates_by_dims(
+        graph_fault_candidates(graph), fault_dims
+    )
     timeline = TimelineMap(initial.matched, len(normal_run.log), len(failure_log))
 
     instances_by_site: dict[str, list[TraceEvent]] = {}

@@ -83,6 +83,13 @@ def execute_task(task: CampaignTask):
     from ..failures import get_case
 
     case = get_case(task.case_id)
+    # The CLI's --fault-dims override travels to spawn-method workers via
+    # the environment (mirrors REPRO_CACHE): workers look cases up by id
+    # from a freshly-imported registry, so a parent-side attribute change
+    # alone would not reach them.
+    dims = os.environ.get("REPRO_FAULT_DIMS")
+    if dims:
+        case.fault_dims = dims
     options = dict(task.options)
     before = obs_metrics.snapshot()
     if task.strategy is None:

@@ -69,7 +69,11 @@ from ..obs.ledger import git_sha
 # Version 2: TraceEvent and other run-record dataclasses grew
 # ``slots=True``, which changes their pickle state shape — version-1
 # entries would silently deserialize with corrupt field values.
-PAYLOAD_VERSION = 3
+# Version 4: fault identity generalized to (site, fault-spec) —
+# ``FaultInstance.exception`` became ``FaultInstance.spec``, changing the
+# pickled ``__dict__`` shape of every plan-bearing entry; version-3
+# entries would deserialize with the spec under the old attribute name.
+PAYLOAD_VERSION = 4
 
 #: Lookup/served outcomes reported by :meth:`RunCache.execute`.
 HIT = "hit"

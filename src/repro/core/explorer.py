@@ -24,7 +24,11 @@ from typing import Optional
 from ..analysis.causal import CausalGraphBuilder, DistanceIndex
 from ..analysis.flow import PropagationGraph, reachability_weights
 from ..analysis.lint import run_lint
-from ..analysis.model import CausalGraph, graph_fault_candidates
+from ..analysis.model import (
+    CausalGraph,
+    filter_candidates_by_dims,
+    graph_fault_candidates,
+)
 from ..analysis.system_model import SystemModel, analyze_package
 from ..cache import cached_execute
 from ..cache.flowcache import cached_propagation_graph
@@ -208,11 +212,14 @@ class Explorer:
         prune: str = "none",
         prune_radius: float = DEFAULT_RADIUS,
         checkpoint: bool = False,
+        fault_dims: str = "exceptions",
     ) -> None:
         if runs_per_round < 1:
             raise ValueError("runs_per_round must be at least 1")
         if prune not in ("none", "static"):
             raise ValueError("prune must be 'none' or 'static'")
+        if fault_dims not in ("exceptions", "soft", "all"):
+            raise ValueError("fault_dims must be 'exceptions', 'soft', or 'all'")
         if model is None:
             if package is None:
                 raise ValueError("either package or model is required")
@@ -269,6 +276,11 @@ class Explorer:
         #: ``os.fork`` and on traced (recorder-attached) searches.
         self.checkpoint = bool(checkpoint)
         self._checkpoint_pool = None
+        #: Fault dimensions the search enumerates candidates over:
+        #: ``exceptions`` (legacy raise specs only — the default, which
+        #: keeps pre-existing campaigns byte-identical), ``soft`` (value
+        #: corruptions only), or ``all``.
+        self.fault_dims = fault_dims
         #: Round-level speculation: with ``jobs > 1`` worker processes
         #: pre-execute predicted future rounds while the committed round
         #: runs inline.  ``jobs=0``/``None`` means "one per CPU".  The
@@ -382,10 +394,12 @@ class Explorer:
         )
         initial_compare = observables.initialize(normal_log)
 
-        builder = CausalGraphBuilder(self.model)
+        builder = CausalGraphBuilder(self.model, fault_dims=self.fault_dims)
         graph = builder.build(observables.mapped_keys())
         index = DistanceIndex(graph)
-        candidates = graph_fault_candidates(graph)
+        candidates = filter_candidates_by_dims(
+            graph_fault_candidates(graph), self.fault_dims
+        )
 
         timeline = TimelineMap(
             initial_compare.matched, len(normal_log), len(self.failure_log)

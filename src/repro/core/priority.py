@@ -230,7 +230,7 @@ class FaultPriorityPool:
             entry = WindowEntry(
                 instance=FaultInstance(
                     site_id=candidate.site_id,
-                    exception=candidate.exception,
+                    spec=candidate.exception,
                     occurrence=best_instance.occurrence,
                 ),
                 site_priority=site_priority,

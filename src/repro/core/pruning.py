@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from ..analysis.flow import PropagationGraph
+from ..injection.sites import is_corruption_spec
 
 #: Default temporal radius in probe-run log messages.  Committed
 #: explorations fire within ~2 messages of a relevant observable's
@@ -86,7 +87,14 @@ class StaticPruner:
 
     def live(self, site_id: str, exception: str, occurrence: int) -> bool:
         """False only when *both* static criteria rule the triple out."""
-        if (site_id, exception) in self._dead_pairs:
+        if is_corruption_spec(exception):
+            # The flow pass reasons about exception propagation only; it
+            # has nothing to say about a poisoned return value, so a
+            # corruption spec is never pair-dead.  The temporal criterion
+            # below still applies (it needs only probe timestamps and
+            # causal-graph reachability, both dimension-agnostic).
+            pass
+        elif (site_id, exception) in self._dead_pairs:
             return False
         log_index = self._event_index.get((site_id, occurrence))
         if log_index is None:

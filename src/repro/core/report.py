@@ -86,7 +86,7 @@ class ReproductionScript:
             system=data["system"],
             instance=FaultInstance(
                 site_id=data["site_id"],
-                exception=data["exception"],
+                spec=data["exception"],
                 occurrence=data["occurrence"],
             ),
             seed=data["seed"],
@@ -95,7 +95,7 @@ class ReproductionScript:
             extra_instances=tuple(
                 FaultInstance(
                     site_id=extra["site_id"],
-                    exception=extra["exception"],
+                    spec=extra["exception"],
                     occurrence=extra["occurrence"],
                 )
                 for extra in data.get("extra", [])

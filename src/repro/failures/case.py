@@ -27,16 +27,19 @@ from ..logs.record import LogFile
 from ..cache import cached_execute
 from ..sim.cluster import RunResult, WorkloadFn, execute_workload
 
-_MODEL_CACHE: dict[str, SystemModel] = {}
+_MODEL_CACHE: dict[tuple[str, tuple[str, ...]], SystemModel] = {}
 _FAILURE_LOG_CACHE: dict[str, LogFile] = {}
 
 
-def system_model(package: str) -> SystemModel:
-    """Analyze a system package once and cache the model."""
-    model = _MODEL_CACHE.get(package)
+def system_model(
+    package: str, addons: tuple[str, ...] = ()
+) -> SystemModel:
+    """Analyze a system package once per deployment and cache the model."""
+    key = (package, tuple(sorted(addons)))
+    model = _MODEL_CACHE.get(key)
     if model is None:
-        model = analyze_package(package)
-        _MODEL_CACHE[package] = model
+        model = analyze_package(package, addons)
+        _MODEL_CACHE[key] = model
     return model
 
 
@@ -51,6 +54,9 @@ class GroundTruth:
     ``function`` is the bare name of the function containing the env call;
     ``module_suffix`` disambiguates when several functions share the name.
     ``index`` selects among multiple matching env calls in that function.
+    ``exception`` holds a canonical fault-spec string: a bare exception
+    type name for the raise dimension, ``corrupt:<kind>`` for a soft
+    fault (the field name predates the second dimension).
     """
 
     function: str
@@ -78,7 +84,7 @@ class GroundTruth:
     def resolve_instance(self, model: SystemModel) -> FaultInstance:
         return FaultInstance(
             site_id=self.resolve_site(model),
-            exception=self.exception,
+            spec=self.exception,
             occurrence=self.occurrence,
         )
 
@@ -110,11 +116,22 @@ class FailureCase:
     #: like the paper, one parser configuration covers four systems and a
     #: second covers Kafka.
     log_style: str = "log4j"
+    #: Fault dimensions the search needs for this case: ``exceptions``
+    #: (the legacy default — keeps pre-spec campaigns byte-identical),
+    #: ``soft``, or ``all``.  Soft-fault-only cases set ``all`` so both
+    #: dimensions compete in the ranking, as a real campaign would run.
+    fault_dims: str = "exceptions"
+    #: Optional system components (declared in the package's
+    #: ``ADDON_MODULES``) this case's workload deploys.  The static model
+    #: — and with it every strategy's fault space — covers exactly the
+    #: deployed modules, so cases that do not spawn an add-on daemon are
+    #: untouched by its existence.
+    addon_modules: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ helpers
 
     def model(self) -> SystemModel:
-        return system_model(self.package)
+        return system_model(self.package, self.addon_modules)
 
     def ground_truth_instance(self) -> FaultInstance:
         return self.ground_truth.resolve_instance(self.model())
@@ -172,6 +189,7 @@ class FailureCase:
             case_id=self.case_id,
             system=self.system,
             vary_seed=self.vary_seed,
+            fault_dims=self.fault_dims,
         )
         settings.update(overrides)
         return Explorer(**settings)

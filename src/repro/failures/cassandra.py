@@ -1,13 +1,19 @@
-"""MiniCassandra failure cases: f21 (C*-17663) and f22 (C*-6415)."""
+"""MiniCassandra failure cases: f21 (C*-17663), f22 (C*-6415) and f27 (soft-fault)."""
 
 from __future__ import annotations
 
 from ..core.oracle import (
     CrashedTaskOracle,
     LogMessageOracle,
+    StatePredicateOracle,
     StuckTaskOracle,
 )
 from ..sim.cluster import Cluster
+from ..systems.minicass.hint_replayer import (
+    HintReplayer,
+    REPLAY_TARGET,
+    REPLAYER_ENDPOINT,
+)
 from ..systems.minicass.repair import RepairCoordinator, WriteDriver
 from ..systems.minicass.replica import Replica
 from ..systems.minicass.streaming import StreamingService
@@ -33,6 +39,18 @@ def streaming_workload(cluster: Cluster) -> None:
     files = [(f"/cass/stream/file{i}", 16 * (i + 1)) for i in range(4)]
     StreamingService(cluster, files).start()
     WriteDriver(cluster, REPLICAS, count=8).start()
+
+
+def hint_replay_workload(cluster: Cluster) -> None:
+    """Replicas and writes plus the hinted-handoff replayer (f27)."""
+    replicas = [Replica(cluster, name) for name in REPLICAS]
+    for replica in replicas:
+        replica.start()
+    WriteDriver(cluster, REPLICAS, count=8).start()
+    replayer = HintReplayer(cluster, period=1.2)
+    cluster.net.register(REPLAYER_ENDPOINT)
+    cluster.net.register(REPLAY_TARGET)
+    cluster.spawn(REPLAYER_ENDPOINT, replayer.hint_replay_loop())
 
 
 register(
@@ -103,5 +121,42 @@ register(
                 module_suffix="minicass/replica.py",
             ),
         ],
+    )
+)
+
+
+register(
+    FailureCase(
+        case_id="f27",
+        issue="CASSANDRA-SOFT-27",
+        title="Short hint transfer is acknowledged as a full delivery",
+        system="cassandra",
+        package=PACKAGE,
+        description=(
+            "The hint replayer acknowledges delivery without comparing "
+            "the transferred byte count to the hint size, so a short "
+            "transfer silently drops the hint's tail after the delivery "
+            "is already acknowledged.  Transfer exceptions defer the "
+            "hint to the next round, so only corrupt transfer results "
+            "can acknowledge a short delivery."
+        ),
+        workload=hint_replay_workload,
+        horizon=12.0,
+        oracle=(
+            LogMessageOracle("Hint replay to hint-target delivered")
+            & StatePredicateOracle(
+                lambda state: state.get("hint_short_delivery", 0) > 0,
+                "short hint delivery acknowledged",
+            )
+        ),
+        ground_truth=GroundTruth(
+            function="replay_hint_once",
+            op="net_transfer",
+            exception="corrupt:truncate_read",
+            occurrence=2,
+            module_suffix="minicass/hint_replayer.py",
+        ),
+        fault_dims="all",
+        addon_modules=("repro.systems.minicass.hint_replayer",),
     )
 )

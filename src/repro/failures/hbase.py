@@ -1,4 +1,4 @@
-"""MiniHBase failure cases: f12–f17 (HBase-18137 … HBase-25905)."""
+"""MiniHBase failure cases: f12–f17 (HBase-18137 … HBase-25905) and f26 (soft-fault)."""
 
 from __future__ import annotations
 
@@ -17,6 +17,7 @@ from ..systems.minihbase.replication import (
     ReplicationSource,
 )
 from ..systems.minihbase.splitlog import SplitLogManager, SplitWorker
+from ..systems.minihbase.wal_trimmer import TRIMMER_ENDPOINT, WalTrimmer
 from .case import FailureCase, GroundTruth, register
 
 PACKAGE = "repro.systems.minihbase"
@@ -68,6 +69,13 @@ def split_workload(cluster: Cluster) -> None:
     SplitLogManager(
         cluster, ("split-worker1", "split-worker2"), wal_paths
     ).start()
+
+
+def wal_trim_workload(cluster: Cluster) -> None:
+    """The WAL workload plus the old-segment trimmer (f26)."""
+    wal_workload(cluster)
+    trimmer = WalTrimmer(cluster, period=1.8)
+    cluster.spawn(TRIMMER_ENDPOINT, trimmer.wal_trim_loop())
 
 
 def procedure_workload(cluster: Cluster) -> None:
@@ -272,5 +280,40 @@ register(
             module_suffix="minihbase/hdfs_stream.py",
         ),
         failure_seed=7,
+    )
+)
+
+register(
+    FailureCase(
+        case_id="f26",
+        issue="HBASE-SOFT-26",
+        title="WAL trimmer retires the active segment after a reordered listing",
+        system="hbase",
+        package=PACKAGE,
+        description=(
+            "The trimmer assumes the directory listing is oldest-first "
+            "and deletes its head; a reordered listing puts the active "
+            "segment first, so the trimmer deletes the segment it is "
+            "still writing.  Listing or delete exceptions only skip the "
+            "round, so no injected exception can lose the active segment."
+        ),
+        workload=wal_trim_workload,
+        horizon=12.0,
+        oracle=(
+            LogMessageOracle("WAL trimmer deleted the active segment")
+            & StatePredicateOracle(
+                lambda state: bool(state.get("trim_lost_active")),
+                "active WAL segment deleted",
+            )
+        ),
+        ground_truth=GroundTruth(
+            function="trim_wal_once",
+            op="disk_list",
+            exception="corrupt:reorder_fields",
+            occurrence=3,
+            module_suffix="minihbase/wal_trimmer.py",
+        ),
+        fault_dims="all",
+        addon_modules=("repro.systems.minihbase.wal_trimmer",),
     )
 )

@@ -1,4 +1,4 @@
-"""MiniDFS failure cases: f5–f11 (HDFS-4233 … HDFS-15032)."""
+"""MiniDFS failure cases: f5–f11 (HDFS-4233 … HDFS-15032) and f23 (soft-fault)."""
 
 from __future__ import annotations
 
@@ -12,6 +12,7 @@ from ..systems.minidfs.balancer import Balancer
 from ..systems.minidfs.checkpoint import CheckpointDaemon
 from ..systems.minidfs.client import DfsClient
 from ..systems.minidfs.datanode import DataNode
+from ..systems.minidfs.image_auditor import AUDITOR_ENDPOINT, ImageAuditor
 from ..systems.minidfs.namenode import NN_ENDPOINT, NameNode
 from .case import FailureCase, GroundTruth, register
 
@@ -66,6 +67,15 @@ def dying_client_workload(cluster: Cluster) -> None:
         "doomed", _client_script(doomed, ["/data/tmp"], blocks=30, read=False)
     )
     cluster.sim.call_at(1.8, lambda: cluster.sim.kill(task))
+
+
+def image_audit_workload(cluster: Cluster) -> None:
+    """The write workload plus the fsimage integrity auditor (f23)."""
+    _base_cluster(cluster)
+    client = DfsClient(cluster, "dfsclient")
+    cluster.spawn("dfsclient", _client_script(client, ["/data/a", "/data/b"]))
+    auditor = ImageAuditor(cluster, period=2.0)
+    cluster.spawn(AUDITOR_ENDPOINT, auditor.image_audit_loop())
 
 
 def balancer_workload(cluster: Cluster) -> None:
@@ -296,5 +306,42 @@ register(
             occurrence=3,
             module_suffix="minidfs/balancer.py",
         ),
+    )
+)
+
+
+register(
+    FailureCase(
+        case_id="f23",
+        issue="HDFS-SOFT-23",
+        title="Truncated fsimage read-back is advertised before it is verified",
+        system="hdfs",
+        package=PACKAGE,
+        description=(
+            "The audit re-read of a freshly written checkpoint image "
+            "verifies only the magic header before the image is "
+            "advertised; a short read with an intact header is noticed "
+            "only after downstream consumers already saw the txid.  Every "
+            "exception on the audit path is downgraded to a skipped "
+            "round, so only corrupt read data can trigger the failure."
+        ),
+        workload=image_audit_workload,
+        horizon=12.0,
+        oracle=(
+            LogMessageOracle("Advertised checkpoint image")
+            & StatePredicateOracle(
+                lambda state: state.get("aud_truncated_txid", -1) > 0,
+                "truncated image advertised",
+            )
+        ),
+        ground_truth=GroundTruth(
+            function="audit_fsimage_once",
+            op="disk_read",
+            exception="corrupt:truncate_read",
+            occurrence=1,
+            module_suffix="minidfs/image_auditor.py",
+        ),
+        fault_dims="all",
+        addon_modules=("repro.systems.minidfs.image_auditor",),
     )
 )

@@ -1,4 +1,4 @@
-"""MiniKafka failure cases: f18 (KA-12508), f19 (KA-9374), f20 (KA-10048)."""
+"""MiniKafka failure cases: f18–f20 (KA-12508 … KA-10048) and f24 (soft-fault)."""
 
 from __future__ import annotations
 
@@ -11,6 +11,11 @@ from ..sim.cluster import Cluster
 from ..systems.minikafka.broker import Broker, BrokerClient
 from ..systems.minikafka.connect import ConfigService, Herder
 from ..systems.minikafka.mirror import FailoverConsumer, MirrorTask, Producer
+from ..systems.minikafka.offset_relay import (
+    OffsetRelay,
+    RELAY_ENDPOINT,
+    RELAY_FEEDER,
+)
 from ..systems.minikafka.table import INPUT_TOPIC, EmitOnChangeProcessor
 from .case import FailureCase, GroundTruth, register
 
@@ -62,6 +67,16 @@ def connect_workload(cluster: Cluster) -> None:
             yield feeder.jitter(0.4)
 
     cluster.spawn("connect-traffic", traffic())
+
+
+def offset_relay_workload(cluster: Cluster) -> None:
+    """A broker plus the cross-cluster offset relay (f24)."""
+    Broker(cluster, "broker1").start()
+    relay = OffsetRelay(cluster, period=0.5)
+    cluster.net.register(RELAY_ENDPOINT)
+    cluster.net.register(RELAY_FEEDER)
+    cluster.spawn(RELAY_FEEDER, relay.offset_feed_loop())
+    cluster.spawn(RELAY_ENDPOINT, relay.offset_relay_loop())
 
 
 def mirror_workload(cluster: Cluster) -> None:
@@ -182,5 +197,42 @@ register(
         ),
         failure_seed=7,
         log_style="kafka",
+    )
+)
+
+
+register(
+    FailureCase(
+        case_id="f24",
+        issue="KAFKA-SOFT-24",
+        title="Offset relay commits a stale fetched offset behind the high-water mark",
+        system="kafka",
+        package=PACKAGE,
+        description=(
+            "The offset relay commits whatever offset it fetched with no "
+            "monotonicity check against its high-water mark, so one stale "
+            "or mangled offset payload silently rewinds the committed "
+            "position.  Fetch exceptions only skip the record, so only a "
+            "corrupt payload can regress the commit."
+        ),
+        workload=offset_relay_workload,
+        horizon=8.0,
+        oracle=(
+            LogMessageOracle("Offset relay committed")
+            & StatePredicateOracle(
+                lambda state: state.get("relay_regressed") is True,
+                "committed offset regressed",
+            )
+        ),
+        ground_truth=GroundTruth(
+            function="offset_relay_loop",
+            op="sock_recv",
+            exception="corrupt:stale_payload",
+            occurrence=4,
+            module_suffix="minikafka/offset_relay.py",
+        ),
+        log_style="kafka",
+        fault_dims="all",
+        addon_modules=("repro.systems.minikafka.offset_relay",),
     )
 )

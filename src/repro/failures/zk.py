@@ -1,4 +1,4 @@
-"""MiniZK failure cases: f1 (ZK-2247), f2 (ZK-3157), f3 (ZK-4203), f4 (ZK-3006)."""
+"""MiniZK failure cases: f1–f4 (ZK-2247 … ZK-3006) and f25 (soft-fault)."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ from ..core.oracle import (
 )
 from ..sim.cluster import Cluster
 from ..systems.minizk import ZkClient, ZkServer
+from ..systems.minizk.snapshot_loader import LOADER_ENDPOINT, SnapshotLoader
 from .case import FailureCase, GroundTruth, register
 
 PACKAGE = "repro.systems.minizk"
@@ -51,6 +52,13 @@ def restart_workload(cluster: Cluster) -> None:
         yield from client.run()
 
     cluster.spawn("cli1", delayed_start())
+
+
+def snapshot_workload(cluster: Cluster) -> None:
+    """The write workload plus the observer-side snapshot loader (f25)."""
+    _boot_cluster(cluster)
+    loader = SnapshotLoader(cluster, quorum_epoch=7, period=1.6)
+    cluster.spawn(LOADER_ENDPOINT, loader.snapshot_serve_loop())
 
 
 register(
@@ -172,5 +180,41 @@ register(
             occurrence=1,
             module_suffix="minizk/txnlog.py",
         ),
+    )
+)
+
+
+register(
+    FailureCase(
+        case_id="f25",
+        issue="ZK-SOFT-25",
+        title="Snapshot served from the wrong epoch after a corrupt header decode",
+        system="zookeeper",
+        package=PACKAGE,
+        description=(
+            "The snapshot loader trusts the epoch decoded from the "
+            "snapshot header without cross-checking the quorum epoch, so "
+            "a corrupted header makes it serve a snapshot from the wrong "
+            "epoch.  Decode exceptions keep the previous snapshot, so "
+            "only corrupt decoded data can skew the served epoch."
+        ),
+        workload=snapshot_workload,
+        horizon=12.0,
+        oracle=(
+            LogMessageOracle("Serving snapshot from epoch")
+            & StatePredicateOracle(
+                lambda state: state.get("snapld_epoch_skew") is True,
+                "served epoch diverged from quorum epoch",
+            )
+        ),
+        ground_truth=GroundTruth(
+            function="load_snapshot_once",
+            op="codec_decode",
+            exception="corrupt:bitflip_field",
+            occurrence=2,
+            module_suffix="minizk/snapshot_loader.py",
+        ),
+        fault_dims="all",
+        addon_modules=("repro.systems.minizk.snapshot_loader",),
     )
 )

@@ -1,0 +1,173 @@
+"""Registered value corruptions: the soft-fault dimension.
+
+A corruption is a deterministic pure function applied to the value an env
+op *would have returned* — the op succeeds, but the caller sees corrupt
+data (truncated read, stale payload, reordered fields, flipped bit,
+plausible-but-wrong value).  This is the fault-type registry idiom from
+fault-injection adapters: each kind has a name, the plan stores the name
+(``corrupt:<kind>``), and the FIR resolves it at the site.
+
+Appliers are duck-typed over the simulator's value shapes (bytes, str,
+int, list, tuple, dict, and ``Message``-like dataclasses with a
+``payload`` field, which are corrupted payload-first so the envelope
+stays routable).  They never raise: a value a kind cannot express a
+corruption for passes through unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+Applier = Callable[[Any], Any]
+
+
+def _is_message(value: Any) -> bool:
+    return dataclasses.is_dataclass(value) and hasattr(value, "payload")
+
+
+def _on_payload(value: Any, applier: Applier) -> Any:
+    return dataclasses.replace(value, payload=applier(value.payload))
+
+
+def truncate_read(value: Any) -> Any:
+    """Keep only the first half (short read / partial transfer)."""
+    if _is_message(value):
+        return _on_payload(value, truncate_read)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (bytes, bytearray, str, list)):
+        return value[: len(value) // 2]
+    if isinstance(value, int):
+        return value // 2
+    if isinstance(value, tuple):
+        return tuple(truncate_read(item) for item in value)
+    if isinstance(value, dict):
+        return {key: truncate_read(item) for key, item in value.items()}
+    return value
+
+
+def stale_payload(value: Any) -> Any:
+    """Replace the value with its time-zero analog (stale cache read)."""
+    if _is_message(value):
+        return _on_payload(value, stale_payload)
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, int):
+        return 0
+    if isinstance(value, float):
+        return 0.0
+    if isinstance(value, str):
+        return ""
+    if isinstance(value, (bytes, bytearray)):
+        return b""
+    if isinstance(value, list):
+        return []
+    if isinstance(value, tuple):
+        return tuple(stale_payload(item) for item in value)
+    if isinstance(value, dict):
+        return {key: stale_payload(item) for key, item in value.items()}
+    return value
+
+
+def reorder_fields(value: Any) -> Any:
+    """Reverse element / field order (reordered delivery, shuffled listing)."""
+    if _is_message(value):
+        return _on_payload(value, reorder_fields)
+    if isinstance(value, (list, str)):
+        return value[::-1]
+    if isinstance(value, tuple):
+        return tuple(reversed(value))
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(reversed(value))
+    if isinstance(value, dict):
+        return dict(reversed(list(value.items())))
+    return value
+
+
+def bitflip_field(value: Any) -> Any:
+    """Flip one bit of the first field (single-event upset analog)."""
+    if _is_message(value):
+        return _on_payload(value, bitflip_field)
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, float):
+        return -value
+    if isinstance(value, (bytes, bytearray)):
+        if not value:
+            return bytes(value)
+        return bytes([value[0] ^ 0x80]) + bytes(value[1:])
+    if isinstance(value, str):
+        return (value[0].swapcase() + value[1:]) if value else value
+    if isinstance(value, tuple):
+        return (bitflip_field(value[0]),) + tuple(value[1:]) if value else value
+    if isinstance(value, list):
+        return [bitflip_field(value[0])] + value[1:] if value else value
+    return value
+
+
+def plausible_wrong_value(value: Any) -> Any:
+    """Off-by-one into a value that still looks valid."""
+    if _is_message(value):
+        return _on_payload(value, plausible_wrong_value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, list):
+        return value[:-1]
+    if isinstance(value, tuple):
+        return tuple(plausible_wrong_value(item) for item in value)
+    if isinstance(value, dict):
+        return {key: plausible_wrong_value(item) for key, item in value.items()}
+    return value
+
+
+#: Registered corruption kinds, in canonical enumeration order.
+CORRUPTIONS: dict[str, Applier] = {
+    "truncate_read": truncate_read,
+    "stale_payload": stale_payload,
+    "reorder_fields": reorder_fields,
+    "bitflip_field": bitflip_field,
+    "plausible_wrong_value": plausible_wrong_value,
+}
+
+#: Per-op corruption capabilities — read-path env ops only (a write op
+#: has no return value to poison).  The analyzer enumerates soft-fault
+#: candidates from this table exactly as it enumerates exception
+#: candidates from ``ENV_OPS``, so the static and dynamic soft fault
+#: spaces agree by construction.
+ENV_OP_CORRUPTIONS: dict[str, tuple[str, ...]] = {
+    "disk_read": ("truncate_read", "stale_payload", "bitflip_field"),
+    "disk_list": ("truncate_read", "reorder_fields"),
+    "sock_recv": (
+        "truncate_read",
+        "stale_payload",
+        "reorder_fields",
+        "bitflip_field",
+    ),
+    "codec_decode": (
+        "truncate_read",
+        "stale_payload",
+        "reorder_fields",
+        "bitflip_field",
+        "plausible_wrong_value",
+    ),
+    "net_transfer": ("truncate_read", "plausible_wrong_value"),
+}
+
+
+def corruption_kinds_for_op(op: str) -> tuple[str, ...]:
+    """The corruption kinds applicable to env op ``op`` (maybe empty)."""
+    return ENV_OP_CORRUPTIONS.get(op, ())
+
+
+def corruption_for(kind: str, op: str) -> Optional[Applier]:
+    """Resolve a corruption applier, or ``None`` if ``op`` can't carry it."""
+    if kind not in ENV_OP_CORRUPTIONS.get(op, ()):
+        return None
+    return CORRUPTIONS.get(kind)

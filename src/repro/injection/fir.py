@@ -6,8 +6,11 @@ Every environment-boundary call in system code funnels through
 * ``traceSite`` — record (site, occurrence, virtual time, logical log
   index) so the feedback algorithm can compute temporal distances
   (§5.2.3); and
-* ``throwIfEnabled`` — consult the active injection plan and raise the
-  planned exception when this site's current occurrence matches.
+* ``throwIfEnabled`` — consult the active injection plan and, when this
+  site's current occurrence matches, either raise the planned exception
+  (``raise`` specs) or hand the caller a value-corruption applier
+  (``corrupt:<kind>`` specs) that the env op runs its computed result
+  through before returning it.
 
 A plan holds a *window* of fault instances (§5.2.5): the first instance
 that actually occurs in the run is injected, and at most one injection
@@ -18,10 +21,11 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..obs import VIRTUAL
-from .sites import FaultInstance, SiteRef
+from .corruptions import corruption_for
+from .sites import FaultInstance, SiteRef, is_corruption_spec, parse_fault_spec
 
 
 def dedupe_instances(instances: Iterable[FaultInstance]) -> list[FaultInstance]:
@@ -90,8 +94,8 @@ class InjectionPlan:
             if previous is not None:
                 raise ValueError(
                     f"duplicate {label} instance for site {inst.site_id} "
-                    f"occurrence {inst.occurrence}: {previous.exception} vs "
-                    f"{inst.exception} (dedupe the window before building "
+                    f"occurrence {inst.occurrence}: {previous.spec} vs "
+                    f"{inst.spec} (dedupe the window before building "
                     f"the plan)"
                 )
             by_key[key] = inst
@@ -124,13 +128,16 @@ class InjectionPlan:
     # drive byte-identical runs of the deterministic simulator.
 
     def to_payload(self) -> dict:
+        # A raise spec's canonical form is the bare exception name, so
+        # payloads (and ``key()`` below) are value-identical to the
+        # pre-spec ``(site, exception, occurrence)`` schema.
         return {
             "instances": [
-                (inst.site_id, inst.exception, inst.occurrence)
+                (inst.site_id, inst.spec, inst.occurrence)
                 for inst in self.instances
             ],
             "always": [
-                (inst.site_id, inst.exception, inst.occurrence)
+                (inst.site_id, inst.spec, inst.occurrence)
                 for inst in self.always
             ],
         }
@@ -145,11 +152,11 @@ class InjectionPlan:
     def key(self) -> tuple:
         return (
             tuple(
-                (inst.site_id, inst.exception, inst.occurrence)
+                (inst.site_id, inst.spec, inst.occurrence)
                 for inst in self.instances
             ),
             tuple(
-                (inst.site_id, inst.exception, inst.occurrence)
+                (inst.site_id, inst.spec, inst.occurrence)
                 for inst in self.always
             ),
         )
@@ -238,7 +245,13 @@ class FIR:
         self._trigger = callback
 
     def capture(self) -> dict:
-        """Data snapshot of the runtime's per-run state."""
+        """Data snapshot of the runtime's per-run state.
+
+        ``tracing`` and the checkpoint trigger (``_trigger`` /
+        ``_trigger_at``) are part of that state: a speculation-pool
+        snapshot/restore cycle across an armed trigger must neither lose
+        the pending callback nor leak it into an unrelated run.
+        """
         return {
             "counts": dict(self.counts),
             "trace": list(self.trace),
@@ -246,6 +259,9 @@ class FIR:
             "always_fired": list(self.always_fired),
             "request_count": self.request_count,
             "decision_seconds": self.decision_seconds,
+            "tracing": self.tracing,
+            "trigger": self._trigger,
+            "trigger_at": self._trigger_at,
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -256,9 +272,18 @@ class FIR:
         self.always_fired = list(snapshot["always_fired"])
         self.request_count = snapshot["request_count"]
         self.decision_seconds = snapshot["decision_seconds"]
+        self.tracing = snapshot["tracing"]
+        self._trigger = snapshot["trigger"]
+        self._trigger_at = snapshot["trigger_at"]
 
-    def on_site(self, site: SiteRef) -> None:
+    def on_site(self, site: SiteRef) -> Optional[Callable[[Any], Any]]:
         """Trace this execution of ``site`` and inject if the plan says so.
+
+        Raise specs raise the planned exception here.  Corruption specs
+        instead *return* the registered corruption applier: the env op
+        runs its computed result through it before handing the value to
+        the caller, so the op "succeeds" with poisoned data.  Returns
+        ``None`` when nothing (or an exception) was injected.
 
         Decision timing is sampled only when a ``repro.obs`` recorder is
         attached (profiling): the default path pays no ``perf_counter``
@@ -299,10 +324,16 @@ class FIR:
         if recorder is not None:
             self.decision_seconds += time.perf_counter() - started
         if instance is not None:
-            # Imported lazily: repro.sim imports this module at package
-            # init time, so a top-level import would be circular.
-            from ..sim.errors import exception_from_name
-
+            applier = None
+            if is_corruption_spec(instance.spec):
+                # A corruption only fires where the op can carry it; an
+                # unsupported (hand-written) plan entry is a non-match so
+                # the window stays armed rather than "firing" invisibly.
+                applier = corruption_for(
+                    parse_fault_spec(instance.spec).name, site.op
+                )
+                if applier is None:
+                    return None
             if is_base_fault:
                 self.always_fired.append(instance)
             else:
@@ -315,17 +346,24 @@ class FIR:
                     ts=self._clock(),
                     site=site_id,
                     occurrence=occurrence,
-                    exception=instance.exception,
+                    exception=instance.spec,
                     base_fault=is_base_fault,
                     log_index=self._log_index_fn(),
                 )
+            if applier is not None:
+                return applier
+            # Imported lazily: repro.sim imports this module at package
+            # init time, so a top-level import would be circular.
+            from ..sim.errors import exception_from_name
+
             exc = exception_from_name(
-                instance.exception,
-                f"injected {instance.exception} at {site_id} (occurrence "
+                parse_fault_spec(instance.spec).name,
+                f"injected {instance.spec} at {site_id} (occurrence "
                 f"{instance.occurrence})",
             )
             exc.injected_by_fir = True
             raise exc
+        return None
 
     # -------------------------------------------------------------- reporting
 

@@ -1,32 +1,119 @@
-"""Fault-site identity.
+"""Fault-site and fault-spec identity.
 
-A *static fault site* is a program point that can throw an exception
-(§2.1): here, a call into the environment boundary (:mod:`repro.sim.env`)
-identified by (normalized file, line, enclosing function, env operation).
-The same identity is computed two ways — statically by the AST analyzer
-and dynamically from the caller's frame — and the two must agree, which is
+A *static fault site* is a program point that can misbehave (§2.1): here,
+a call into the environment boundary (:mod:`repro.sim.env`) identified by
+(normalized file, line, enclosing function, env operation).  The same
+identity is computed two ways — statically by the AST analyzer and
+dynamically from the caller's frame — and the two must agree, which is
 what ties the causal graph to the runtime trace.
+
+A *fault spec* says what goes wrong at a site.  Two dimensions exist:
+
+* ``raise`` — the op raises a named exception (the paper's fault model).
+  Its canonical spec string is the bare exception name (``IOException``),
+  which keeps every legacy ``(site, exception)`` triple — plan payloads,
+  cache keys, ledger lines, coverage triples — byte-identical.
+* ``corrupt`` — the op succeeds but its return value is corrupted in
+  flight by a registered corruption (:mod:`repro.injection.corruptions`).
+  Canonical form ``corrupt:<kind>``, e.g. ``corrupt:truncate_read``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import functools
+import os
 import sys
 
+#: Spec-string prefixes.  A bare name (no prefix) is a raise spec.
+CORRUPT_PREFIX = "corrupt:"
+RAISE_PREFIX = "raise:"
 
+#: Directory that contains the ``repro`` package (the import root).  Site
+#: paths are stored relative to it: ``repro/sim/env.py``.
+_PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_PACKAGE_PARENT = os.path.dirname(_PACKAGE_ROOT)
+
+#: Top-level entries of the installed package (``sim``, ``injection``,
+#: ``__main__.py``, ...).  Used to recognize *equivalent* checkouts: a
+#: foreign ``/repro/<x>/...`` path anchors only when ``<x>`` is one of
+#: these, which a stray ``/home/repro/work/...`` never is.
+try:
+    _TOP_LEVEL_ENTRIES = frozenset(os.listdir(_PACKAGE_ROOT))
+except OSError:  # zipapp or frozen install: fall back to prefix-only
+    _TOP_LEVEL_ENTRIES = frozenset()
+
+
+@functools.lru_cache(maxsize=None)
 def normalize_path(filename: str) -> str:
     """Normalize an absolute source path to a repo-relative module path.
 
     Both the static analyzer (which walks files on disk) and the FIR
     (which sees ``frame.f_code.co_filename``) funnel through this function,
     so site identities line up regardless of install location.
+
+    The anchor is the *actual* package root (the directory holding the
+    ``repro`` package), not the last ``/repro/`` substring of the path — a
+    checkout under e.g. ``/home/repro/work/...`` must not be split at the
+    user's home directory.  Separators are normalized first so Windows
+    paths produce the same identities.
     """
-    marker = "/repro/"
-    index = filename.rfind(marker)
-    if index >= 0:
-        return filename[index + 1:]
-    return filename.rsplit("/", 1)[-1]
+    path = filename.replace("\\", "/")
+    parent = _PACKAGE_PARENT.replace("\\", "/").rstrip("/") + "/"
+    if path.startswith(parent):
+        return path[len(parent):]
+    # Foreign prefix (site-packages install, another checkout): accept
+    # the right-most ``/repro/`` segment whose remainder starts with a
+    # real top-level entry of this package, so equivalent checkouts agree
+    # on identities while ``/home/repro/work/...`` never anchors at the
+    # user's home directory.
+    index = len(path)
+    while True:
+        index = path.rfind("/repro/", 0, index)
+        if index < 0:
+            break
+        remainder = path[index + len("/repro/"):]
+        if remainder.split("/", 1)[0] in _TOP_LEVEL_ENTRIES:
+            return "repro/" + remainder
+    return path.rsplit("/", 1)[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """A parsed fault spec: what to do to an env op at a site."""
+
+    kind: str   # "raise" | "corrupt"
+    name: str   # exception type name, or corruption kind
+
+    @property
+    def spec_id(self) -> str:
+        """Canonical string form (bare exception name for raise specs)."""
+        if self.kind == "corrupt":
+            return CORRUPT_PREFIX + self.name
+        return self.name
+
+    def __str__(self) -> str:
+        return self.spec_id
+
+
+@functools.lru_cache(maxsize=None)
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a spec string; a bare name parses as a raise spec."""
+    if text.startswith(CORRUPT_PREFIX):
+        return FaultSpec("corrupt", text[len(CORRUPT_PREFIX):])
+    if text.startswith(RAISE_PREFIX):
+        return FaultSpec("raise", text[len(RAISE_PREFIX):])
+    return FaultSpec("raise", text)
+
+
+def is_corruption_spec(text: str) -> bool:
+    """Whether a spec string names a value corruption (vs an exception)."""
+    return text.startswith(CORRUPT_PREFIX)
+
+
+def canonical_spec(text: str) -> str:
+    """Canonicalize a spec string (``raise:X`` collapses to bare ``X``)."""
+    return parse_fault_spec(text).spec_id
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,13 +139,28 @@ class SiteRef:
 
 @dataclasses.dataclass(frozen=True)
 class FaultCandidate:
-    """A static fault candidate: a site plus a concrete exception type."""
+    """A static fault candidate: a site plus a concrete fault spec."""
 
     site_id: str
-    exception: str
+    spec: str
+
+    @property
+    def exception(self) -> str:
+        # Legacy accessor: raise specs are stored as bare exception
+        # names, so reading ``.exception`` keeps every pre-spec call
+        # site (reports, provenance, baselines) working unchanged.
+        return self.spec
+
+    @property
+    def fault_spec(self) -> FaultSpec:
+        return parse_fault_spec(self.spec)
+
+    @property
+    def is_corruption(self) -> bool:
+        return is_corruption_spec(self.spec)
 
     def __str__(self) -> str:
-        return f"{self.site_id}!{self.exception}"
+        return f"{self.site_id}!{self.spec}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,12 +172,24 @@ class FaultInstance:
     """
 
     site_id: str
-    exception: str
+    spec: str
     occurrence: int
 
     @property
+    def exception(self) -> str:
+        return self.spec
+
+    @property
+    def fault_spec(self) -> FaultSpec:
+        return parse_fault_spec(self.spec)
+
+    @property
+    def is_corruption(self) -> bool:
+        return is_corruption_spec(self.spec)
+
+    @property
     def candidate(self) -> FaultCandidate:
-        return FaultCandidate(self.site_id, self.exception)
+        return FaultCandidate(self.site_id, self.spec)
 
     def __str__(self) -> str:
-        return f"{self.site_id}!{self.exception}@{self.occurrence}"
+        return f"{self.site_id}!{self.spec}@{self.occurrence}"

@@ -16,8 +16,9 @@ static and dynamic fault spaces agree by construction.
 from __future__ import annotations
 
 import sys
-from typing import Any, TYPE_CHECKING
+from typing import Any, Callable, Optional, TYPE_CHECKING
 
+from ..injection.corruptions import ENV_OP_CORRUPTIONS  # noqa: F401 (re-export)
 from ..injection.sites import SiteRef, normalize_path
 from .errors import TimeoutIOException
 from .network import Message
@@ -42,12 +43,27 @@ ENV_OPS: dict[str, tuple[str, ...]] = {
 }
 
 
-#: Interned SiteRefs keyed by (code object, line, op).  A mini system has
+#: Interned SiteRefs keyed by (filename, line, op).  A mini system has
 #: a few hundred static sites but executes them millions of times per
 #: campaign; reusing one SiteRef per site skips the per-call dataclass
-#: allocation and keeps its cached ``site_id`` warm.  Keying on the code
-#: object (not the filename string) makes lookups pointer-compares.
-_SITE_CACHE: dict[tuple[Any, int, str], SiteRef] = {}
+#: allocation and keeps its cached ``site_id`` warm.  Keying on the
+#: filename string (whose hash is computed once and cached by the str
+#: object) rather than the code object keeps entries valid across module
+#: reloads — a regenerated module gets fresh code objects but the same
+#: file/line identity — and stops the cache pinning dead code objects.
+_SITE_CACHE: dict[tuple[str, int, str], SiteRef] = {}
+
+
+def clear_site_cache() -> None:
+    """Drop all interned sites (call when a workload module is reloaded).
+
+    Entries are keyed by file/line, so a reload of *unchanged* source
+    keeps serving correct identities even without a clear; clearing is
+    for edited/regenerated modules (the ``repro gen`` direction) where a
+    cached line may no longer match the new source, and it bounds the
+    cache across many generated workloads.
+    """
+    _SITE_CACHE.clear()
 
 
 class Env:
@@ -60,11 +76,15 @@ class Env:
     def __init__(self, cluster: "Cluster") -> None:
         self._cluster = cluster
 
-    def _site(self, op: str) -> None:
-        """Report the *caller's* location as a fault site (may raise)."""
+    def _site(self, op: str) -> Optional[Callable[[Any], Any]]:
+        """Report the *caller's* location as a fault site.
+
+        May raise (injected exception), and may return a value-corruption
+        applier that the read-path ops run their result through.
+        """
         frame = sys._getframe(2)
         code = frame.f_code
-        key = (code, frame.f_lineno, op)
+        key = (code.co_filename, frame.f_lineno, op)
         site = _SITE_CACHE.get(key)
         if site is None:
             site = SiteRef(
@@ -74,7 +94,7 @@ class Env:
                 op=op,
             )
             _SITE_CACHE[key] = site
-        self._cluster.fir.on_site(site)
+        return self._cluster.fir.on_site(site)
 
     # -------------------------------------------------------------------- disk
 
@@ -87,16 +107,18 @@ class Env:
         self._cluster.disk.append(path, data)
 
     def disk_read(self, path: str) -> bytes:
-        self._site("disk_read")
-        return self._cluster.disk.read(path)
+        corrupt = self._site("disk_read")
+        data = self._cluster.disk.read(path)
+        return corrupt(data) if corrupt is not None else data
 
     def disk_delete(self, path: str) -> None:
         self._site("disk_delete")
         self._cluster.disk.delete(path)
 
     def disk_list(self, prefix: str) -> list[str]:
-        self._site("disk_list")
-        return self._cluster.disk.listdir(prefix)
+        corrupt = self._site("disk_list")
+        names = self._cluster.disk.listdir(prefix)
+        return corrupt(names) if corrupt is not None else names
 
     def disk_sync(self, path: str) -> None:
         self._site("disk_sync")
@@ -127,13 +149,13 @@ class Env:
 
     def sock_recv(self, message: Message) -> Message:
         """Deserialize a message pulled off an inbox (receive-side site)."""
-        self._site("sock_recv")
-        return message
+        corrupt = self._site("sock_recv")
+        return corrupt(message) if corrupt is not None else message
 
     def codec_decode(self, blob: Any) -> Any:
         """Decode serialized data (protobuf / WAL codec analog)."""
-        self._site("codec_decode")
-        return blob
+        corrupt = self._site("codec_decode")
+        return corrupt(blob) if corrupt is not None else blob
 
     def net_transfer(self, src: str, dst: str, size: int) -> int:
         """Bulk data transfer (image upload, balancer move, streaming).
@@ -141,9 +163,9 @@ class Env:
         Unlike :meth:`sock_send`, a transfer is interruptible, so it can
         also fail with ``InterruptedException``.
         """
-        self._site("net_transfer")
+        corrupt = self._site("net_transfer")
         if not self._cluster.net.reachable(src, dst):
             from .errors import SocketException
 
             raise SocketException(f"transfer from {src} to {dst} failed")
-        return size
+        return corrupt(size) if corrupt is not None else size

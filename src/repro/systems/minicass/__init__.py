@@ -9,4 +9,8 @@ deeper root cause), and file streaming over a shared channel proxy
 from .repair import RepairCoordinator
 from .replica import Replica
 
+#: Optional components only present in deployments that spawn them (see
+#: ``repro.analysis.system_model.analyze_package``).
+ADDON_MODULES = ("repro.systems.minicass.hint_replayer",)
+
 __all__ = ["RepairCoordinator", "Replica"]

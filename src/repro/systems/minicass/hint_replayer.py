@@ -1,0 +1,60 @@
+"""Hinted-handoff replayer for MiniCass (hint delivery path).
+
+Replays stored hints to a recovered replica over bulk transfers.  Seeded
+*soft-fault* defect (only corrupt data can trigger it): the hint is
+marked delivered without comparing the transferred byte count to the
+hint size, so a short transfer silently drops the hint's tail — noticed
+only after the delivery is already acknowledged.  Transfer exceptions
+are caught and the hint retried next round, so no injected *exception*
+can acknowledge a short delivery.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import SimException
+from ..base import Component
+
+REPLAYER_ENDPOINT = "hint-replayer"
+REPLAY_TARGET = "hint-target"
+
+
+class HintReplayer(Component):
+    """Delivers queued hints to a recovered replica."""
+
+    def __init__(self, cluster, period: float = 1.2) -> None:
+        super().__init__(cluster, name=REPLAYER_ENDPOINT)
+        self.hint_period = period
+        self.hint_round = 0
+        self.hint_delivered = 0
+
+    def hint_replay_loop(self):
+        while True:
+            yield self.jitter(self.hint_period)
+            yield from self.replay_hint_once()
+
+    def replay_hint_once(self):
+        """Transfer one queued hint and acknowledge its delivery."""
+        self.hint_round += 1
+        hint_size = 64 + 8 * self.hint_round
+        try:
+            hint_sent = self.env.net_transfer(
+                REPLAYER_ENDPOINT, REPLAY_TARGET, size=hint_size
+            )
+        except SimException as hint_error:
+            self.log.warn("Hint replay deferred: %s", hint_error)
+            return
+        # Seeded defect: the hint is acknowledged without comparing the
+        # transferred byte count to the hint size.
+        self.hint_delivered += 1
+        hint_shared = self.cluster.state
+        hint_shared["hint_delivered"] = self.hint_delivered
+        if hint_sent < hint_size:
+            # Detected only after the delivery is already acknowledged.
+            hint_shared["hint_short_delivery"] = hint_size - hint_sent
+            self.log.error(
+                "Hint replay to %s delivered %d of %d bytes",
+                REPLAY_TARGET,
+                hint_sent,
+                hint_size,
+            )
+        yield self.sleep(0.05)

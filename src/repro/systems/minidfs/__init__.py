@@ -11,4 +11,8 @@ from .namenode import NameNode
 from .datanode import DataNode
 from .client import DfsClient
 
+#: Optional components only present in deployments that spawn them (see
+#: ``repro.analysis.system_model.analyze_package``).
+ADDON_MODULES = ("repro.systems.minidfs.image_auditor",)
+
 __all__ = ["DataNode", "DfsClient", "NameNode"]

@@ -1,0 +1,68 @@
+"""Fsimage integrity auditor for MiniDFS (HDFS-2-style audit path).
+
+Writes a checkpoint image, syncs it, and reads it back to verify before
+advertising it to downstream consumers.  Seeded *soft-fault* defect
+(only corrupt data can trigger it): the read-back verification checks
+the magic header **only** — a short read with an intact header passes —
+so a truncated image is advertised first and noticed too late.  Every
+exception on the audit path is caught and downgraded to a warning (the
+round is skipped), so no injected *exception* can reach the late error.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import SimException
+from ..base import Component
+
+AUDITOR_ENDPOINT = "image-auditor"
+
+#: Magic header of an audit image; the (insufficient) verification
+#: checks nothing beyond it.
+AUDIT_MAGIC = b"FSIMG1"
+
+
+class ImageAuditor(Component):
+    """Audits freshly written checkpoint images before advertising them."""
+
+    def __init__(self, cluster, period: float = 2.0) -> None:
+        super().__init__(cluster, name=AUDITOR_ENDPOINT)
+        self.aud_period = period
+        self.aud_round = 0
+        self.aud_advertised_txid = -1
+
+    def image_audit_loop(self):
+        while True:
+            yield self.jitter(self.aud_period)
+            yield from self.audit_fsimage_once()
+
+    def audit_fsimage_once(self):
+        """Write, sync, re-read, and advertise one audit image."""
+        self.aud_round += 1
+        aud_txid = 40 + self.aud_round
+        aud_path = f"/audit/fsimage.{aud_txid}"
+        aud_blob = AUDIT_MAGIC + str(aud_txid).encode() + b"." * 24
+        try:
+            self.env.disk_write(aud_path, aud_blob)
+            self.env.disk_sync(aud_path)
+            aud_reread = self.env.disk_read(aud_path)
+        except SimException as aud_error:
+            self.log.warn("Image audit round skipped: %s", aud_error)
+            return
+        if not aud_reread.startswith(AUDIT_MAGIC):
+            self.log.warn("Audited image %s has a bad header", aud_path)
+            return
+        # Seeded defect: only the header is verified before the image is
+        # advertised; a short read with an intact header passes.
+        self.aud_advertised_txid = aud_txid
+        aud_shared = self.cluster.state
+        aud_shared["aud_advertised_txid"] = aud_txid
+        if len(aud_reread) < len(aud_blob):
+            # Detected only after the advertisement already happened.
+            aud_shared["aud_truncated_txid"] = aud_txid
+            self.log.error(
+                "Advertised checkpoint image %s is truncated: %d of %d bytes",
+                aud_path,
+                len(aud_reread),
+                len(aud_blob),
+            )
+        yield self.sleep(0.05)

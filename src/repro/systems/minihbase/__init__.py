@@ -13,4 +13,8 @@ claimable locks (HBase-16144), a WAL reader for replication
 from .regionserver import RegionServer
 from .wal import AsyncWal, LogRoller
 
+#: Optional components only present in deployments that spawn them (see
+#: ``repro.analysis.system_model.analyze_package``).
+ADDON_MODULES = ("repro.systems.minihbase.wal_trimmer",)
+
 __all__ = ["AsyncWal", "LogRoller", "RegionServer"]

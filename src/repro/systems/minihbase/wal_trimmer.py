@@ -1,0 +1,67 @@
+"""WAL segment trimmer for MiniHBase (old-log cleanup path).
+
+Writes WAL segments and periodically trims the oldest one.  Seeded
+*soft-fault* defect (only corrupt data can trigger it): the trimmer
+assumes the directory listing is oldest-first and deletes its head
+without verifying the order, so a reordered listing deletes the newest
+(active) segment — noticed only after the delete, when the expected
+active segment is gone.  Listing and delete exceptions are caught and
+the trim round skipped, so no injected *exception* can delete the wrong
+segment.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import SimException
+from ..base import Component
+
+TRIMMER_ENDPOINT = "wal-trimmer"
+
+TRIM_DIR = "/trim/wals/"
+
+
+class WalTrimmer(Component):
+    """Retires the oldest WAL segment once enough have accumulated."""
+
+    def __init__(self, cluster, period: float = 1.8) -> None:
+        super().__init__(cluster, name=TRIMMER_ENDPOINT)
+        self.trim_period = period
+        self.trim_counter = 0
+        self.trim_retired = 0
+
+    def wal_trim_loop(self):
+        while True:
+            yield self.jitter(self.trim_period)
+            yield from self.trim_wal_once()
+
+    def trim_wal_once(self):
+        """Write a fresh segment, then retire the oldest one."""
+        self.trim_counter += 1
+        trim_active = f"{TRIM_DIR}seg{self.trim_counter:05d}"
+        try:
+            self.env.disk_write(trim_active, b"wal" + str(self.trim_counter).encode())
+            trim_names = self.env.disk_list(TRIM_DIR)
+        except SimException as trim_error:
+            self.log.warn("WAL trim round skipped: %s", trim_error)
+            return
+        if len(trim_names) < 3:
+            return
+        # Seeded defect: the listing is assumed oldest-first; its head is
+        # deleted without verifying the order.
+        trim_victim = trim_names[0]
+        try:
+            self.env.disk_delete(trim_victim)
+            trim_after = self.env.disk_list(TRIM_DIR)
+        except SimException as trim_error:
+            self.log.warn("WAL segment retire failed: %s", trim_error)
+            return
+        self.trim_retired += 1
+        trim_shared = self.cluster.state
+        trim_shared["trim_retired"] = self.trim_retired
+        if trim_active not in trim_after:
+            # Detected only after the active segment is already gone.
+            trim_shared["trim_lost_active"] = trim_active
+            self.log.error(
+                "WAL trimmer deleted the active segment %s", trim_active
+            )
+        yield self.sleep(0.05)

@@ -9,4 +9,8 @@ syncs and consumer failover (KAFKA-10048).
 from .broker import Broker
 from .table import EmitOnChangeProcessor
 
+#: Optional components only present in deployments that spawn them (see
+#: ``repro.analysis.system_model.analyze_package``).
+ADDON_MODULES = ("repro.systems.minikafka.offset_relay",)
+
 __all__ = ["Broker", "EmitOnChangeProcessor"]

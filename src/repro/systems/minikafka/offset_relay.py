@@ -1,0 +1,74 @@
+"""Consumer-offset relay for MiniKafka (cross-cluster offset shipper).
+
+A feeder streams monotonically increasing offsets to the relay, which
+commits each fetched offset downstream.  Seeded *soft-fault* defect
+(only corrupt data can trigger it): the fetched offset is committed with
+no monotonicity check against the high-water mark, so a stale or mangled
+offset payload silently rewinds the committed position — detected only
+after the fact.  Fetch exceptions are caught and the record skipped, so
+no injected *exception* can regress the committed offset.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import SimException
+from ..base import Component
+
+RELAY_ENDPOINT = "offset-relay"
+RELAY_FEEDER = "relay-feeder"
+
+
+class OffsetRelay(Component):
+    """Ships consumer offsets from a feeder stream to a committed mark."""
+
+    def __init__(self, cluster, period: float = 0.5) -> None:
+        super().__init__(cluster, name=RELAY_ENDPOINT)
+        self.relay_period = period
+        self.relay_committed = 0
+        self.relay_highwater = 0
+
+    def offset_feed_loop(self):
+        relay_next = 0
+        while True:
+            yield self.jitter(self.relay_period)
+            try:
+                self.env.sock_send(
+                    RELAY_FEEDER, RELAY_ENDPOINT, "relay_offset", relay_next
+                )
+            except SimException as relay_error:
+                self.log.warn("Offset feed send failed: %s", relay_error)
+                continue
+            self.log.info("Offset feeder published offset %d", relay_next)
+            relay_next += 1
+
+    def offset_relay_loop(self):
+        relay_inbox = self.net.inbox(RELAY_ENDPOINT)
+        while True:
+            relay_raw = yield relay_inbox.get()
+            try:
+                relay_msg = self.env.sock_recv(relay_raw)
+            except SimException as relay_error:
+                self.log.warn(
+                    "Offset fetch failed; skipping record: %s", relay_error
+                )
+                continue
+            relay_fetched = relay_msg.payload
+            # Seeded defect: the fetched offset is committed without a
+            # monotonicity check against the high-water mark.
+            self.relay_committed = relay_fetched + 1
+            if self.relay_highwater < relay_fetched + 1:
+                self.relay_highwater = relay_fetched + 1
+            relay_shared = self.cluster.state
+            relay_shared["relay_committed"] = self.relay_committed
+            self.log.info(
+                "Offset relay advanced committed mark to %d",
+                self.relay_committed,
+            )
+            if self.relay_committed < self.relay_highwater:
+                # Detected only after the commit already regressed.
+                relay_shared["relay_regressed"] = True
+                self.log.error(
+                    "Offset relay committed %d behind high-water mark %d",
+                    self.relay_committed,
+                    self.relay_highwater,
+                )

@@ -9,4 +9,8 @@ mirror ZK-2247, ZK-3157, ZK-4203, and ZK-3006.
 from .client import ZkClient
 from .node import ZkServer
 
+#: Optional components only present in deployments that spawn them (see
+#: ``repro.analysis.system_model.analyze_package``).
+ADDON_MODULES = ("repro.systems.minizk.snapshot_loader",)
+
 __all__ = ["ZkClient", "ZkServer"]

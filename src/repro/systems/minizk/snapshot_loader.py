@@ -1,0 +1,61 @@
+"""Snapshot loader for MiniZK (observer-side snapshot serving).
+
+Periodically decodes the latest snapshot header and serves reads from
+it.  Seeded *soft-fault* defect (only corrupt data can trigger it): the
+epoch decoded from the snapshot header is trusted without cross-checking
+the quorum epoch, so a corrupted header makes the loader serve a
+snapshot from the wrong epoch — noticed only after it is already being
+served.  Decode exceptions are caught and the previous snapshot kept, so
+no injected *exception* can change the served epoch.
+"""
+
+from __future__ import annotations
+
+from ...sim.errors import SimException
+from ..base import Component
+
+LOADER_ENDPOINT = "snapshot-loader"
+
+
+class SnapshotLoader(Component):
+    """Serves reads from the most recently decoded snapshot."""
+
+    def __init__(self, cluster, quorum_epoch: int = 7, period: float = 1.6) -> None:
+        super().__init__(cluster, name=LOADER_ENDPOINT)
+        self.snapld_quorum_epoch = quorum_epoch
+        self.snapld_period = period
+        self.snapld_round = 0
+        self.snapld_served_epoch = -1
+
+    def snapshot_serve_loop(self):
+        while True:
+            yield self.jitter(self.snapld_period)
+            yield from self.load_snapshot_once()
+
+    def load_snapshot_once(self):
+        """Decode the snapshot header and start serving from it."""
+        self.snapld_round += 1
+        snapld_blob = (self.snapld_quorum_epoch, 100 + self.snapld_round)
+        try:
+            snapld_decoded = self.env.codec_decode(snapld_blob)
+        except SimException as snapld_error:
+            self.log.warn(
+                "Snapshot decode failed; keeping previous epoch: %s",
+                snapld_error,
+            )
+            return
+        snapld_epoch = snapld_decoded[0]
+        # Seeded defect: the decoded epoch is trusted without a
+        # cross-check against the quorum epoch before serving starts.
+        self.snapld_served_epoch = snapld_epoch
+        snapld_shared = self.cluster.state
+        snapld_shared["snapld_served_epoch"] = snapld_epoch
+        if snapld_epoch != self.snapld_quorum_epoch:
+            # Detected only after the snapshot is already being served.
+            snapld_shared["snapld_epoch_skew"] = True
+            self.log.error(
+                "Serving snapshot from epoch %d while quorum epoch is %d",
+                snapld_epoch,
+                self.snapld_quorum_epoch,
+            )
+        yield self.sleep(0.05)

@@ -1,4 +1,4 @@
-"""Dataset invariants for all 22 failure cases.
+"""Dataset invariants for all 27 failure cases.
 
 These mirror the paper's setup requirements (§2): the failure is
 fault-induced (the workload alone never satisfies the oracle), the known
@@ -15,9 +15,9 @@ from repro.sim.cluster import execute_workload
 CASES = all_cases()
 
 
-def test_catalog_has_22_cases():
-    assert len(CASES) == 22
-    assert [case.case_id for case in CASES] == [f"f{i}" for i in range(1, 23)]
+def test_catalog_has_27_cases():
+    assert len(CASES) == 27
+    assert [case.case_id for case in CASES] == [f"f{i}" for i in range(1, 28)]
 
 
 def test_five_systems_covered():
@@ -29,11 +29,11 @@ def test_paper_distribution_of_cases():
     by_system = {}
     for case in CASES:
         by_system.setdefault(case.system, []).append(case.case_id)
-    assert len(by_system["zookeeper"]) == 4
-    assert len(by_system["hdfs"]) == 7
-    assert len(by_system["hbase"]) == 6
-    assert len(by_system["kafka"]) == 3
-    assert len(by_system["cassandra"]) == 2
+    assert len(by_system["zookeeper"]) == 5
+    assert len(by_system["hdfs"]) == 8
+    assert len(by_system["hbase"]) == 7
+    assert len(by_system["kafka"]) == 4
+    assert len(by_system["cassandra"]) == 3
 
 
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c.case_id)
@@ -56,13 +56,19 @@ class TestPerCase:
         gt_site = case.ground_truth.resolve_site(case.model())
         assert prepared.pool.rank_of_site(gt_site) is not None
 
-    def test_wrong_exception_type_rejected_by_env(self, case):
-        # The ground-truth site's op must actually be able to raise the
-        # declared exception type.
-        from repro.sim.env import ENV_OPS
+    def test_fault_spec_valid_for_env_op(self, case):
+        # The ground-truth site's op must actually support the declared
+        # fault spec: a raisable exception type, or a corruption kind
+        # registered for that op.
+        from repro.injection.sites import parse_fault_spec
+        from repro.sim.env import ENV_OP_CORRUPTIONS, ENV_OPS
 
         op = case.ground_truth.op
-        assert case.ground_truth.exception in ENV_OPS[op]
+        spec = parse_fault_spec(case.ground_truth.exception)
+        if spec.kind == "corrupt":
+            assert spec.name in ENV_OP_CORRUPTIONS[op]
+        else:
+            assert spec.name in ENV_OPS[op]
 
 
 class TestAlternates:

@@ -1,0 +1,132 @@
+"""Unit tests for the registered value corruptions (soft-fault dimension)."""
+
+import copy
+
+import pytest
+
+from repro.injection.corruptions import (
+    CORRUPTIONS,
+    ENV_OP_CORRUPTIONS,
+    bitflip_field,
+    corruption_for,
+    corruption_kinds_for_op,
+    plausible_wrong_value,
+    reorder_fields,
+    stale_payload,
+    truncate_read,
+)
+from repro.sim.env import ENV_OPS
+from repro.sim.network import Message
+
+SAMPLE_VALUES = [
+    b"0123456789",
+    "checkpoint-41",
+    41,
+    -3,
+    True,
+    False,
+    2.5,
+    ["a", "b", "c"],
+    ("x", 7),
+    {"epoch": 7, "txid": 41},
+    [],
+    b"",
+    "",
+]
+
+
+class TestRegistry:
+    def test_every_registered_kind_has_an_applier(self):
+        for op, kinds in ENV_OP_CORRUPTIONS.items():
+            for kind in kinds:
+                assert kind in CORRUPTIONS, f"{op} advertises unknown {kind}"
+
+    def test_only_read_path_ops_carry_corruptions(self):
+        # A write op has no return value to poison.
+        assert set(ENV_OP_CORRUPTIONS) == {
+            "disk_read", "disk_list", "sock_recv", "codec_decode",
+            "net_transfer",
+        }
+        assert set(ENV_OP_CORRUPTIONS) <= set(ENV_OPS)
+
+    def test_corruption_for_gates_on_op(self):
+        assert corruption_for("truncate_read", "disk_read") is truncate_read
+        # reorder_fields is not registered for disk_read.
+        assert corruption_for("reorder_fields", "disk_read") is None
+        # Write ops never resolve an applier.
+        assert corruption_for("truncate_read", "disk_write") is None
+        assert corruption_kinds_for_op("disk_write") == ()
+
+
+@pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+class TestApplierContract:
+    def test_deterministic_and_pure(self, kind):
+        applier = CORRUPTIONS[kind]
+        for value in SAMPLE_VALUES:
+            original = copy.deepcopy(value)
+            first = applier(value)
+            second = applier(copy.deepcopy(original))
+            assert first == second, f"{kind} is not deterministic on {value!r}"
+            assert value == original, f"{kind} mutated its input {original!r}"
+
+    def test_never_raises_on_opaque_value(self, kind):
+        class Opaque:
+            pass
+
+        opaque = Opaque()
+        assert CORRUPTIONS[kind](opaque) is opaque
+
+    def test_message_corrupted_payload_first(self, kind):
+        message = Message(src="a", dst="b", kind="relay_offset", payload=41)
+        corrupted = CORRUPTIONS[kind](message)
+        # The envelope stays routable; only the payload is touched.
+        assert corrupted.src == "a"
+        assert corrupted.dst == "b"
+        assert corrupted.kind == "relay_offset"
+        assert corrupted.payload == CORRUPTIONS[kind](41)
+
+
+class TestApplierShapes:
+    def test_truncate_read(self):
+        assert truncate_read(b"0123456789") == b"01234"
+        assert truncate_read("abcdef") == "abc"
+        assert truncate_read([1, 2, 3, 4]) == [1, 2]
+        assert truncate_read(100) == 50
+        assert truncate_read(("ab", 4)) == ("a", 2)
+        assert truncate_read({"k": 8}) == {"k": 4}
+        # bool is int's subclass but must pass through untruncated.
+        assert truncate_read(True) is True
+
+    def test_stale_payload(self):
+        assert stale_payload(41) == 0
+        assert stale_payload("fresh") == ""
+        assert stale_payload(b"fresh") == b""
+        assert stale_payload([1, 2]) == []
+        assert stale_payload(True) is False
+        assert stale_payload((7, "x")) == (0, "")
+
+    def test_reorder_fields(self):
+        assert reorder_fields([1, 2, 3]) == [3, 2, 1]
+        assert reorder_fields("abc") == "cba"
+        assert reorder_fields((1, 2)) == (2, 1)
+        assert reorder_fields(b"ab") == b"ba"
+        assert list(reorder_fields({"a": 1, "b": 2})) == ["b", "a"]
+
+    def test_bitflip_field(self):
+        assert bitflip_field(True) is False
+        assert bitflip_field(6) == 7
+        assert bitflip_field(7) == 6
+        assert bitflip_field(2.5) == -2.5
+        assert bitflip_field(b"\x00\x01") == b"\x80\x01"
+        assert bitflip_field("abc") == "Abc"
+        assert bitflip_field((6, "x")) == (7, "x")
+        assert bitflip_field([6, 9]) == [7, 9]
+        assert bitflip_field(b"") == b""
+        assert bitflip_field(()) == ()
+
+    def test_plausible_wrong_value(self):
+        assert plausible_wrong_value(64) == 65
+        assert plausible_wrong_value(1.5) == 2.5
+        assert plausible_wrong_value([1, 2, 3]) == [1, 2]
+        # bool must not become an arithmetic off-by-one.
+        assert plausible_wrong_value(True) is True

@@ -32,6 +32,22 @@ class TestSiteIdentity:
     def test_normalize_fallback_is_basename(self):
         assert normalize_path("/somewhere/else/mod.py") == "mod.py"
 
+    def test_normalize_does_not_anchor_at_a_repro_home_directory(self):
+        # A checkout under a user named "repro" must not be split at the
+        # home directory: "work" is not a top-level package entry.
+        path = "/home/repro/work/notes/mod.py"
+        assert normalize_path(path) == "mod.py"
+
+    def test_normalize_anchors_rightmost_package_segment(self):
+        # Only the /repro/ segment whose remainder starts with a real
+        # package entry anchors — not the user's home directory.
+        path = "/home/repro/venv/site-packages/repro/sim/env.py"
+        assert normalize_path(path) == "repro/sim/env.py"
+
+    def test_normalize_windows_separators(self):
+        path = r"C:\venv\Lib\site-packages\repro\systems\m\a.py"
+        assert normalize_path(path) == "repro/systems/m/a.py"
+
     def test_instance_and_candidate_strings(self):
         instance = FaultInstance("s", "IOException", 3)
         assert str(instance) == "s!IOException@3"

@@ -152,3 +152,68 @@ class TestAppendAndRead:
         line = path.read_text(encoding="utf-8").strip()
         keys = list(json.loads(line))
         assert keys == sorted(keys)
+
+
+class TestFaultSpecCompatibility:
+    """The fault-spec generalization must not disturb the ledger schema:
+    raise specs serialize as bare exception names (old-schema lines stay
+    readable unchanged) and corrupt specs ride inside coverage payloads
+    without a schema bump."""
+
+    def test_old_schema_line_reads_back_unchanged(self, tmp_path):
+        # A line written before the fault-spec generalization: same
+        # schema version, coverage triples with bare exception names.
+        old_line = {
+            "schema": 1,
+            "recorded_at": "2026-01-01T00:00:00+00:00",
+            "git_sha": "0ldsha",
+            "case_id": "f1",
+            "strategy": "anduril",
+            "seed": 0,
+            "jobs": 1,
+            "success": True,
+            "rounds": 3,
+            "seconds": 0.5,
+            "coverage": {"space_size": 10, "planned": 4},
+        }
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(
+            json.dumps(old_line, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        new_entry = ledger.make_entry(
+            case_id="f23",
+            strategy="anduril",
+            success=True,
+            rounds=2,
+            seconds=0.1,
+            sha="n3wsha",
+            coverage={"space_size": 12, "planned": 5},
+        )
+        ledger.append_entries([new_entry], path=str(path))
+        entries = ledger.read_entries(str(path))
+        assert entries == [old_line, new_entry]
+        assert ledger.entry_key(entries[0]) == ("0ldsha", "f1", "anduril", 0, 1)
+
+    def test_corrupt_spec_coverage_round_trips(self, tmp_path):
+        coverage = {
+            "space_size": 20,
+            "tried": [
+                ["repro/systems/minizk/a.py:7:serve:disk_read",
+                 "IOException", 1],
+                ["repro/systems/minizk/a.py:7:serve:disk_read",
+                 "corrupt:truncate_read", 1],
+            ],
+        }
+        entry = ledger.make_entry(
+            case_id="f25",
+            strategy="anduril",
+            success=True,
+            rounds=1,
+            seconds=0.1,
+            sha="abc",
+            coverage=coverage,
+        )
+        path = tmp_path / "ledger.jsonl"
+        ledger.append_entries([entry], path=str(path))
+        (read,) = ledger.read_entries(str(path))
+        assert read["coverage"] == coverage

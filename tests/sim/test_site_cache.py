@@ -1,0 +1,104 @@
+"""Tests for the interned-SiteRef cache in ``repro.sim.env``.
+
+The cache must be clearable (edited/regenerated workload modules) and
+keyed so that a plain module *reload* — fresh code objects, same
+file/line identity — keeps serving the same interned sites instead of
+leaking stale entries pinned to dead code objects.
+"""
+
+import importlib.util
+import sys
+import types
+
+from repro.injection.fir import FIR
+from repro.sim import env as env_module
+from repro.sim.env import Env, clear_site_cache
+
+MODULE_SOURCE = """
+def read_marker(env):
+    return env.disk_read("/marker")
+"""
+
+
+class FakeDisk:
+    def read(self, path):
+        return b"data"
+
+
+def make_env():
+    fir = FIR()
+    fir.bind(log_index_fn=lambda: 0, clock=lambda: 0.0)
+    cluster = types.SimpleNamespace(fir=fir, disk=FakeDisk())
+    return Env(cluster), fir
+
+
+def load_module(path, name="sitecache_probe"):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSiteCache:
+    def setup_method(self):
+        clear_site_cache()
+
+    def teardown_method(self):
+        clear_site_cache()
+
+    def test_repeated_calls_reuse_one_interned_site(self, tmp_path):
+        probe = tmp_path / "probe_a.py"
+        probe.write_text(MODULE_SOURCE, encoding="utf-8")
+        module = load_module(str(probe))
+        env, fir = make_env()
+        module.read_marker(env)
+        module.read_marker(env)
+        assert len(env_module._SITE_CACHE) == 1
+        (site,) = env_module._SITE_CACHE.values()
+        assert fir.occurrences_of(site.site_id) == 2
+
+    def test_cache_entry_survives_module_reload(self, tmp_path):
+        probe = tmp_path / "probe_b.py"
+        probe.write_text(MODULE_SOURCE, encoding="utf-8")
+        env, fir = make_env()
+        first = load_module(str(probe))
+        first.read_marker(env)
+        (site_before,) = env_module._SITE_CACHE.values()
+        # A reload produces fresh code objects for the same file/line.
+        second = load_module(str(probe))
+        assert second.read_marker.__code__ is not first.read_marker.__code__
+        second.read_marker(env)
+        assert len(env_module._SITE_CACHE) == 1
+        (site_after,) = env_module._SITE_CACHE.values()
+        assert site_after is site_before
+        # Occurrences accumulate on one identity, not two.
+        assert fir.occurrences_of(site_before.site_id) == 2
+
+    def test_clear_site_cache_empties_the_cache(self, tmp_path):
+        probe = tmp_path / "probe_c.py"
+        probe.write_text(MODULE_SOURCE, encoding="utf-8")
+        module = load_module(str(probe))
+        env, _ = make_env()
+        module.read_marker(env)
+        assert env_module._SITE_CACHE
+        clear_site_cache()
+        assert env_module._SITE_CACHE == {}
+        # The next call repopulates rather than failing.
+        module.read_marker(env)
+        assert len(env_module._SITE_CACHE) == 1
+
+    def test_cache_keys_do_not_pin_code_objects(self, tmp_path):
+        probe = tmp_path / "probe_d.py"
+        probe.write_text(MODULE_SOURCE, encoding="utf-8")
+        module = load_module(str(probe))
+        env, _ = make_env()
+        module.read_marker(env)
+        for key in env_module._SITE_CACHE:
+            filename, line, op = key
+            assert isinstance(filename, str)
+            assert isinstance(line, int)
+            assert op == "disk_read"
+
+
+def test_clear_site_cache_is_exported():
+    assert "clear_site_cache" in dir(sys.modules["repro.sim.env"])
