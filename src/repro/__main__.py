@@ -8,6 +8,11 @@ Commands:
 * ``replay <case_id> <script.json>`` — replay a saved reproduction script.
 * ``compare <case_id>|all`` — run every strategy on one case (Table-2
   row) or the whole dataset, fanned out over ``--jobs`` worker processes.
+* ``watch [EVENTS.jsonl]`` — render a campaign's live event stream
+  (``repro.obs.bus``): per-cell status and rounds, ground-truth rank
+  movement, cache/checkpoint/speculation rates, and an ETA from the run
+  ledger.  ``--follow`` tails a concurrently running campaign until its
+  ``campaign.done`` event; ``--format jsonl`` re-emits validated events.
 * ``inspect <case_id>`` — show the prepared search state (observables,
   causal graph, top candidates) without searching.
 * ``trace <case_id>`` — run the search with the ``repro.obs`` recorder
@@ -37,9 +42,12 @@ and both memoize deterministic runs through :mod:`repro.cache` unless
 ``--no-cache`` (``--cache-dir`` relocates the shared disk tier).  Round
 runs fork off a parked prefix snapshot (:mod:`repro.sim.checkpoint`)
 unless ``--no-checkpoint`` — outcome-invariant either way, and a no-op
-where ``os.fork`` is unavailable.  ``compare`` also takes a
-comma-separated case-id list and ``--summary-out PATH`` for the
-machine-readable campaign summary.
+where ``os.fork`` is unavailable.  Both stream live progress events to
+``benchmarks/out/events.jsonl`` for ``repro watch`` unless
+``--no-events`` (``--events-out`` relocates the stream); the bus is
+outcome-invariant — signatures are byte-identical with events on or
+off.  ``compare`` also takes a comma-separated case-id list and
+``--summary-out PATH`` for the machine-readable campaign summary.
 """
 
 from __future__ import annotations
@@ -64,6 +72,8 @@ from .core.pruning import DEFAULT_RADIUS
 from .core.report import ReproductionScript
 from .failures import all_cases, get_case
 from .obs import TraceRecorder, build_plan_provenance, ledger, write_report
+from .obs import bus as event_bus
+from .obs import watch as watch_view
 
 
 def _write_text(path: str, payload: str, what: str = "output") -> bool:
@@ -115,6 +125,44 @@ def _configure_cache(args) -> None:
         runcache.configure(enabled=False)
         os.environ["REPRO_CACHE"] = "0"
         os.environ.pop("REPRO_CACHE_DIR", None)
+
+
+def _configure_events(args):
+    """Install the live event bus per ``--events``/``--events-out``.
+
+    Returns the installed :class:`~repro.obs.bus.EventBus` (or ``None``
+    when events are off or the stream path is unwritable).  The choice
+    is exported through ``REPRO_EVENTS`` so campaign pool workers know
+    to capture-and-ship their events (see :mod:`repro.bench.parallel`).
+    The stream file is truncated per campaign so ``repro watch`` always
+    tails the run in progress.
+    """
+    if not getattr(args, "events", True):
+        os.environ["REPRO_EVENTS"] = "0"
+        return None
+    path = getattr(args, "events_out", None) or event_bus.DEFAULT_PATH
+    try:
+        sink = event_bus.JsonlSink(path, append=False)
+    except OSError as error:
+        print(
+            f"warning: cannot open event stream {path}: {error}",
+            file=sys.stderr,
+        )
+        os.environ["REPRO_EVENTS"] = "0"
+        return None
+    bus = event_bus.EventBus([sink])
+    event_bus.set_active_bus(bus)
+    os.environ["REPRO_EVENTS"] = "1"
+    print(f"[events -> {path}]", file=sys.stderr)
+    return bus
+
+
+def _teardown_events(bus) -> None:
+    """Uninstall and close the CLI's event bus (no-op when off)."""
+    if bus is not None:
+        event_bus.set_active_bus(None)
+        os.environ.pop("REPRO_EVENTS", None)
+        bus.close()
 
 
 def _print_cache_stats() -> None:
@@ -169,6 +217,14 @@ def _print_profile(recorder) -> None:
 
 def cmd_reproduce(args) -> int:
     _configure_cache(args)
+    bus = _configure_events(args)
+    try:
+        return _cmd_reproduce_body(args, bus)
+    finally:
+        _teardown_events(bus)
+
+
+def _cmd_reproduce_body(args, bus) -> int:
     case = get_case(args.case_id)
     _apply_fault_dims(args, [case])
     print(f"{case.issue}: {case.title}")
@@ -183,7 +239,33 @@ def cmd_reproduce(args) -> int:
         prune=args.prune,
         checkpoint=args.checkpoint,
     )
+    if bus is not None:
+        # A single reproduce is a one-cell campaign to the event stream,
+        # so the same watch view covers both commands.
+        bus.emit(
+            "campaign.start",
+            cases=[case.case_id],
+            strategies=["anduril"],
+            jobs=jobs,
+            cells=1,
+        )
+        bus.emit("case.start", case_id=case.case_id, strategy="anduril")
     result = explorer.explore()
+    if bus is not None:
+        bus.emit(
+            "case.done",
+            case_id=case.case_id,
+            strategy="anduril",
+            success=result.success,
+            rounds=result.rounds,
+            seconds=round(result.elapsed_seconds, 6),
+        )
+        bus.emit(
+            "campaign.done",
+            cells=1,
+            successes=int(result.success),
+            seconds=round(result.elapsed_seconds, 6),
+        )
     if recorder is not None:
         _print_profile(recorder)
     coverage = result.coverage.to_dict() if result.coverage else None
@@ -257,6 +339,17 @@ def _resolve_compare_cases(spec: str) -> list:
 
 def cmd_compare(args) -> int:
     _configure_cache(args)
+    bus = _configure_events(args)
+    try:
+        # The campaign engine (repro.bench.parallel.run_tasks) emits the
+        # campaign/case lifecycle events and forwards worker-captured
+        # round events through the active bus installed above.
+        return _cmd_compare_body(args)
+    finally:
+        _teardown_events(bus)
+
+
+def _cmd_compare_body(args) -> int:
     jobs = resolve_jobs(args.jobs)
     cases = _resolve_compare_cases(args.case_id)
     if not cases:
@@ -424,6 +517,68 @@ def cmd_explain(args) -> int:
                 f"({result.coverage.planned_fraction:.1%}) over "
                 f"{result.rounds} round(s)"
             )
+    return 0
+
+
+def _render_watch(state, history, is_tty: bool) -> None:
+    output = watch_view.render(state, history)
+    if is_tty:
+        # Clear and home between frames so the table redraws in place.
+        sys.stdout.write("\x1b[2J\x1b[H" + output + "\n")
+    else:
+        sys.stdout.write(output + "\n\n")
+    sys.stdout.flush()
+
+
+def cmd_watch(args) -> int:
+    path = args.path or event_bus.DEFAULT_PATH
+    if not args.follow and not os.path.exists(path):
+        print(f"error: no event stream at {path}", file=sys.stderr)
+        return 2
+    poll = max(min(args.interval, 0.2), 0.01)
+    if args.format == "jsonl":
+        invalid = 0
+        try:
+            for event in event_bus.tail_events(
+                path,
+                follow=args.follow,
+                poll_interval=poll,
+                timeout=args.timeout,
+            ):
+                if event_bus.validate_event(event):
+                    invalid += 1
+                    continue
+                print(json.dumps(event, sort_keys=True), flush=args.follow)
+        except BrokenPipeError:
+            # Downstream (head, a closed pager) stopped reading; that is
+            # a normal way to end a stream view, not an error.
+            sys.stderr.close()
+            return 0
+        if invalid:
+            print(
+                f"warning: skipped {invalid} schema-invalid event(s)",
+                file=sys.stderr,
+            )
+        return 0
+    state = watch_view.WatchState()
+    history = ledger.read_entries(getattr(args, "ledger", None))
+    if not args.follow:
+        for event in event_bus.read_events(path):
+            state.apply(event)
+        print(watch_view.render(state, history))
+        return 0
+    is_tty = sys.stdout.isatty()
+    last_render = 0.0
+    for event in event_bus.tail_events(
+        path, follow=True, poll_interval=poll, timeout=args.timeout
+    ):
+        state.apply(event)
+        now = time.monotonic()
+        if now - last_render >= args.interval:
+            last_render = now
+            _render_watch(state, history, is_tty)
+    # Final frame: the stream ended (campaign.done or timeout).
+    _render_watch(state, history, is_tty)
     return 0
 
 
@@ -628,6 +783,21 @@ def _add_checkpoint_options(subparser) -> None:
     )
 
 
+def _add_events_options(subparser) -> None:
+    subparser.add_argument(
+        "--events",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="stream live progress events to a JSONL file for "
+        "'repro watch' (default on; --no-events disables; "
+        "outcome-invariant either way)",
+    )
+    subparser.add_argument(
+        "--events-out",
+        help="event-stream path (default benchmarks/out/events.jsonl)",
+    )
+
+
 def _add_ledger_options(subparser) -> None:
     subparser.add_argument(
         "--no-ledger",
@@ -675,6 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_options(reproduce)
     _add_checkpoint_options(reproduce)
     _add_ledger_options(reproduce)
+    _add_events_options(reproduce)
 
     replay = commands.add_parser("replay", help="replay a reproduction script")
     replay.add_argument("case_id")
@@ -705,6 +876,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_options(compare)
     _add_checkpoint_options(compare)
     _add_ledger_options(compare)
+    _add_events_options(compare)
+
+    watch = commands.add_parser(
+        "watch", help="live view of a campaign's event stream"
+    )
+    watch.add_argument(
+        "path",
+        nargs="?",
+        help="events JSONL path (default benchmarks/out/events.jsonl)",
+    )
+    watch.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep tailing the stream until campaign.done arrives",
+    )
+    watch.add_argument(
+        "--format",
+        choices=("text", "jsonl"),
+        default="text",
+        help="text = rendered progress table (default); jsonl = re-emit "
+        "validated events",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="poll/redraw interval in seconds for --follow (default 0.5)",
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="stop following after this many seconds even without "
+        "campaign.done",
+    )
+    watch.add_argument(
+        "--ledger",
+        help="run-ledger path for the ETA estimate "
+        "(default benchmarks/out/ledger.jsonl)",
+    )
 
     trace = commands.add_parser(
         "trace", help="run the search with tracing and export the trace"
@@ -802,6 +1014,7 @@ def main(argv=None) -> int:
         "reproduce": cmd_reproduce,
         "replay": cmd_replay,
         "compare": cmd_compare,
+        "watch": cmd_watch,
         "trace": cmd_trace,
         "explain": cmd_explain,
         "report": cmd_report,

@@ -32,6 +32,8 @@ from ..injection.fir import InjectionPlan, TraceEvent, dedupe_instances
 from ..injection.sites import FaultInstance
 from ..logs.diff import LogComparator
 from ..logs.record import LogFile
+from ..obs import metrics
+from ..obs.bus import active_bus, heartbeat_stats
 from ..obs.coverage import (
     NULL_COVERAGE,
     CoverageSummary,
@@ -165,9 +167,13 @@ class StrategyRunner:
         max_seconds: Optional[float] = 60.0,
         track_coverage: bool = False,
         checkpoint: bool = False,
+        bus=None,
     ) -> None:
         self.max_rounds = max_rounds
         self.max_seconds = max_seconds
+        #: Live event bus; ``None`` means "the process-active bus".
+        self._bus = bus
+        self._last_heartbeat = 0.0
         #: Fault-space coverage accounting (off by default; the shared
         #: NULL_COVERAGE no-op tracker keeps the default path unchanged).
         self.track_coverage = track_coverage
@@ -224,11 +230,13 @@ class StrategyRunner:
                 coverage=coverage.summary(),
             )
 
+        bus = self._bus if self._bus is not None else active_bus()
         try:
             while rounds < self.max_rounds:
+                round_started = time.perf_counter()
                 if (
                     self.max_seconds is not None
-                    and time.perf_counter() - started > self.max_seconds
+                    and round_started - started > self.max_seconds
                 ):
                     return finish(False, None, "time budget exhausted")
                 window = [
@@ -240,9 +248,17 @@ class StrategyRunner:
                 if not window:
                     return finish(False, None, "fault space exhausted")
                 rounds += 1
+                if bus.enabled:
+                    bus.emit(
+                        "round.begin",
+                        case_id=case_id,
+                        strategy=strategy.name,
+                        round=rounds,
+                    )
                 # A strategy's window may offer the same (site, occurrence)
                 # under two exceptions; only the first is armable per run.
                 plan = InjectionPlan.of(dedupe_instances(window))
+                run_started = time.perf_counter()
                 result = cached_execute(
                     case.workload,
                     horizon=case.horizon,
@@ -250,6 +266,7 @@ class StrategyRunner:
                     plan=plan,
                     runner=runner,
                 )
+                feedback_started = time.perf_counter()
                 injected = result.injected_instance
                 satisfied = False
                 if injected is not None:
@@ -265,6 +282,49 @@ class StrategyRunner:
                     )
                 coverage.record_round(rounds, plan.instances, injected)
                 strategy.observe(result, injected, satisfied)
+                round_ended = time.perf_counter()
+                metrics.observe(
+                    "latency.run_seconds", feedback_started - run_started
+                )
+                metrics.observe(
+                    "latency.feedback_seconds", round_ended - feedback_started
+                )
+                metrics.observe(
+                    "latency.round_seconds", round_ended - round_started
+                )
+                if bus.enabled:
+                    if injected is not None:
+                        bus.emit(
+                            "plan.fired",
+                            case_id=case_id,
+                            strategy=strategy.name,
+                            round=rounds,
+                            site=injected.site_id,
+                            spec=injected.spec,
+                            occurrence=injected.occurrence,
+                            satisfied=satisfied,
+                        )
+                    bus.emit(
+                        "round.end",
+                        case_id=case_id,
+                        strategy=strategy.name,
+                        round=rounds,
+                        injected=str(injected) if injected is not None else None,
+                        satisfied=satisfied,
+                        rank=None,
+                        window_size=len(window),
+                    )
+                    now = time.monotonic()
+                    if now - self._last_heartbeat >= bus.heartbeat_interval:
+                        self._last_heartbeat = now
+                        bus.emit(
+                            "heartbeat",
+                            source="baseline",
+                            case_id=case_id,
+                            strategy=strategy.name,
+                            round=rounds,
+                            **heartbeat_stats(),
+                        )
                 if satisfied:
                     return finish(True, injected, "reproduced")
             return finish(False, None, "round budget exhausted")

@@ -48,6 +48,14 @@ class AndurilOutcome:
     #: Checkpoint/fork movement attributable to this cell (opens/forks/
     #: fallbacks/...); empty when checkpointing is off.
     checkpoint_stats: dict = dataclasses.field(default_factory=dict)
+    #: ``repro.obs.bus`` events captured in the worker process that ran
+    #: this cell (plain dicts), forwarded by the campaign parent to its
+    #: own sinks next to the counter-delta channel.  Empty when events
+    #: are off or the cell ran inline (inline cells stream live).
+    worker_events: list = dataclasses.field(default_factory=list)
+    #: ``repro.obs.metrics`` histogram movement attributable to this
+    #: cell (raw log-bucket form), merged like :attr:`worker_counters`.
+    worker_histograms: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -74,6 +82,10 @@ class StrategyOutcome:
     cache_stats: dict = dataclasses.field(default_factory=dict)
     #: See :attr:`AndurilOutcome.checkpoint_stats`.
     checkpoint_stats: dict = dataclasses.field(default_factory=dict)
+    #: See :attr:`AndurilOutcome.worker_events`.
+    worker_events: list = dataclasses.field(default_factory=list)
+    #: See :attr:`AndurilOutcome.worker_histograms`.
+    worker_histograms: dict = dataclasses.field(default_factory=dict)
 
     @property
     def cell(self) -> str:

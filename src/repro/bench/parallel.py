@@ -17,13 +17,44 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Optional, Sequence
 
 from ..core.speculate import default_jobs
 from ..obs import metrics as obs_metrics
+from ..obs.bus import (
+    EventBus,
+    MemorySink,
+    active_bus,
+    heartbeat_stats,
+    set_active_bus,
+)
 from .harness import AndurilOutcome, StrategyOutcome, run_anduril, run_baseline
+
+#: Environment relay for the events switch (mirrors ``REPRO_CACHE``):
+#: spawn-method campaign workers see no parent globals, so the CLI
+#: exports ``REPRO_EVENTS=1`` and workers capture-and-ship accordingly.
+EVENTS_ENV = "REPRO_EVENTS"
+
+#: True in campaign pool worker processes (set by the pool initializer).
+_IN_POOL_WORKER = False
+
+
+def _pool_worker_init() -> None:
+    """Mark this process as a campaign pool worker.
+
+    Fork-started workers inherit the parent's active bus — including an
+    open :class:`~repro.obs.bus.JsonlSink` handle whose writes would
+    interleave with the parent's.  Workers therefore never emit to
+    inherited sinks: the active bus is reset here, and
+    :func:`execute_task` installs a memory-capture bus per cell whose
+    events ship back on the pickled outcome.
+    """
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+    set_active_bus(None)
 
 #: ``repro.obs.metrics`` counter bumped once per campaign cell that had
 #: to be re-run inline because its worker failed (see :func:`run_tasks`).
@@ -91,13 +122,40 @@ def execute_task(task: CampaignTask):
     if dims:
         case.fault_dims = dims
     options = dict(task.options)
+    capture = None
+    if _IN_POOL_WORKER and os.environ.get(EVENTS_ENV) == "1":
+        capture = MemorySink()
+        set_active_bus(EventBus([capture]))
     before = obs_metrics.snapshot()
-    if task.strategy is None:
-        outcome = run_anduril(case, **options)
-    else:
-        outcome = run_baseline(task.strategy, case, **options)
+    before_hist = obs_metrics.histograms_raw()
+    try:
+        if task.strategy is None:
+            outcome = run_anduril(case, **options)
+        else:
+            outcome = run_baseline(task.strategy, case, **options)
+    finally:
+        if capture is not None:
+            set_active_bus(None)
     outcome.worker_counters = obs_metrics.delta_since(before)
+    outcome.worker_histograms = obs_metrics.histograms_delta(before_hist)
+    if capture is not None:
+        outcome.worker_events = capture.events
     return outcome
+
+
+def _task_strategy(task: CampaignTask) -> str:
+    return task.strategy if task.strategy is not None else "anduril"
+
+
+def _emit_case_done(bus, task: CampaignTask, outcome) -> None:
+    bus.emit(
+        "case.done",
+        case_id=task.case_id,
+        strategy=_task_strategy(task),
+        success=bool(getattr(outcome, "success", False)),
+        rounds=int(getattr(outcome, "rounds", 0)),
+        seconds=round(float(getattr(outcome, "seconds", 0.0)), 6),
+    )
 
 
 def run_tasks(
@@ -121,17 +179,54 @@ def run_tasks(
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
+    bus = active_bus()
+    campaign_started = time.perf_counter()
+    last_heartbeat = 0.0
+    if bus.enabled and tasks:
+        bus.emit(
+            "campaign.start",
+            cases=list(dict.fromkeys(task.case_id for task in tasks)),
+            strategies=list(
+                dict.fromkeys(_task_strategy(task) for task in tasks)
+            ),
+            jobs=jobs,
+            cells=len(tasks),
+        )
     if jobs <= 1 or len(tasks) <= 1:
-        results = [execute_task(task) for task in tasks]
+        results = []
+        for task in tasks:
+            if bus.enabled:
+                bus.emit(
+                    "case.start",
+                    case_id=task.case_id,
+                    strategy=_task_strategy(task),
+                )
+            outcome = execute_task(task)
+            results.append(outcome)
+            if bus.enabled:
+                _emit_case_done(bus, task, outcome)
     else:
         results = [None] * len(tasks)
         failed: list[int] = []
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks)),
+                initializer=_pool_worker_init,
+            ) as pool:
                 futures = {
                     pool.submit(execute_task, task): index
                     for index, task in enumerate(tasks)
                 }
+                if bus.enabled:
+                    # Submission is the pool-side "start" moment; workers
+                    # capture their round events and ship them on the
+                    # outcome, so case.start is emitted here.
+                    for task in tasks:
+                        bus.emit(
+                            "case.start",
+                            case_id=task.case_id,
+                            strategy=_task_strategy(task),
+                        )
                 pending = set(futures)
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -142,6 +237,19 @@ def run_tasks(
                             obs_metrics.merge(
                                 getattr(results[index], "worker_counters", {})
                             )
+                            obs_metrics.merge_histograms(
+                                getattr(
+                                    results[index], "worker_histograms", {}
+                                )
+                            )
+                            if bus.enabled:
+                                for event in getattr(
+                                    results[index], "worker_events", ()
+                                ):
+                                    bus.forward(event)
+                                _emit_case_done(
+                                    bus, tasks[index], results[index]
+                                )
                         except Exception as error:
                             failed.append(index)
                             warnings.warn(
@@ -150,6 +258,20 @@ def run_tasks(
                                 f"the cell inline",
                                 RuntimeWarning,
                                 stacklevel=2,
+                            )
+                    if bus.enabled:
+                        now = time.monotonic()
+                        if now - last_heartbeat >= bus.heartbeat_interval:
+                            last_heartbeat = now
+                            bus.emit(
+                                "heartbeat",
+                                source="campaign",
+                                workers={
+                                    "jobs": jobs,
+                                    "pending": len(pending),
+                                    "done": len(tasks) - len(pending),
+                                },
+                                **heartbeat_stats(),
                             )
         except OSError as error:
             # No subprocess support at all: fall back to a serial sweep.
@@ -165,6 +287,17 @@ def run_tasks(
             obs_metrics.increment(INLINE_FALLBACK_COUNTER, len(failed))
         for index in failed:
             results[index] = execute_task(tasks[index])
+            if bus.enabled:
+                _emit_case_done(bus, tasks[index], results[index])
+    if bus.enabled and tasks:
+        bus.emit(
+            "campaign.done",
+            cells=len(tasks),
+            successes=sum(
+                1 for outcome in results if getattr(outcome, "success", False)
+            ),
+            seconds=round(time.perf_counter() - campaign_started, 6),
+        )
     return results
 
 

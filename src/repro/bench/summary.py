@@ -124,6 +124,9 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
     coverage = coverage_section(ordered)
     if coverage:
         document["coverage"] = coverage
+    latency = latency_section()
+    if latency:
+        document["latency"] = latency
     return document
 
 
@@ -162,6 +165,15 @@ def checkpoint_section(counters: Optional[dict[str, float]] = None) -> dict:
         for key, value in sorted(counters.items())
         if key.startswith("sim.checkpoint.")
     }
+
+
+def latency_section() -> dict:
+    """Streaming latency quantiles (p50/p90/p99 of round/run/feedback
+    seconds) from the ``repro.obs.metrics`` histograms — this process
+    plus merged campaign workers.  Empty when nothing was observed;
+    wall-clock-dependent, so the equivalence checker strips it.
+    """
+    return obs_metrics.histograms_snapshot()
 
 
 def coverage_section(anduril_cases: Optional[dict[str, dict]] = None) -> dict:

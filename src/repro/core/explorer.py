@@ -34,7 +34,8 @@ from ..cache import cached_execute
 from ..cache.flowcache import cached_propagation_graph
 from ..injection.fir import InjectionPlan, dedupe_instances
 from ..injection.sites import FaultInstance
-from ..obs import NULL_RECORDER, WALL
+from ..obs import NULL_RECORDER, WALL, metrics
+from ..obs.bus import active_bus, heartbeat_stats
 from ..obs.coverage import (
     NULL_COVERAGE,
     CoverageSummary,
@@ -208,6 +209,7 @@ class Explorer:
         reach_bonus: float = 1.0,
         jobs: int = 1,
         recorder=None,
+        bus=None,
         track_coverage: bool = False,
         prune: str = "none",
         prune_radius: float = DEFAULT_RADIUS,
@@ -291,6 +293,14 @@ class Explorer:
         #: path records nothing, samples no clocks, and leaves the search
         #: byte-identical to an untraced one (see the equivalence tests).
         self._obs = recorder if recorder is not None else NULL_RECORDER
+        #: ``repro.obs.bus`` live event stream.  ``None`` (the default)
+        #: means "whatever bus is process-active", resolved per explore
+        #: so campaign workers that install a capture bus after the
+        #: Explorer is built still stream events.  The NULL_BUS path
+        #: emits nothing and leaves signatures byte-identical (see
+        #: tests/core/test_bus_equivalence.py).
+        self._bus = bus
+        self._last_heartbeat = 0.0
         #: Fault-space coverage accounting.  Off by default: the shared
         #: NULL_COVERAGE no-op tracker keeps the untracked path free of
         #: set bookkeeping (same pattern as NULL_RECORDER).
@@ -526,10 +536,18 @@ class Explorer:
         pool = prepared.pool
         observables = prepared.observables
         obs = self._obs
+        bus = self._bus if self._bus is not None else active_bus()
         records: list[RoundRecord] = []
         window_size = self.initial_window
 
         for round_number in range(1, self.max_rounds + 1):
+            if bus.enabled:
+                bus.emit(
+                    "round.begin",
+                    case_id=self.case_id,
+                    strategy="anduril",
+                    round=round_number,
+                )
             if (
                 self.max_seconds is not None
                 and time.perf_counter() - started > self.max_seconds
@@ -650,13 +668,20 @@ class Explorer:
                 window_size = self.initial_window
             else:
                 window_size = min(window_size * 2, max(pool.candidate_count, 1))
+            feedback_seconds = time.perf_counter() - feedback_started
+            metrics.observe("latency.run_seconds", workload_seconds)
+            metrics.observe("latency.feedback_seconds", feedback_seconds)
+            metrics.observe(
+                "latency.round_seconds",
+                feedback_started + feedback_seconds - init_started,
+            )
             if obs.enabled:
                 obs.add_span(
                     "round.feedback",
                     "explorer",
                     clock=WALL,
                     start=obs.rel(feedback_started),
-                    duration=time.perf_counter() - feedback_started,
+                    duration=feedback_seconds,
                     round=round_number,
                     injected=str(injected) if injected is not None else None,
                     satisfied=satisfied,
@@ -682,6 +707,48 @@ class Explorer:
                             observable=entry.chosen_observable,
                             satisfied=satisfied,
                         )
+            if bus.enabled:
+                if injected is not None:
+                    bus.emit(
+                        "plan.fired",
+                        case_id=self.case_id,
+                        strategy="anduril",
+                        round=round_number,
+                        site=injected.site_id,
+                        spec=injected.spec,
+                        occurrence=injected.occurrence,
+                        satisfied=satisfied,
+                    )
+                bus.emit(
+                    "round.end",
+                    case_id=self.case_id,
+                    strategy="anduril",
+                    round=round_number,
+                    injected=str(injected) if injected is not None else None,
+                    satisfied=satisfied,
+                    rank=rank,
+                    window_size=len(window),
+                )
+                now = time.monotonic()
+                if now - self._last_heartbeat >= bus.heartbeat_interval:
+                    self._last_heartbeat = now
+                    stats = heartbeat_stats()
+                    if engine is not None:
+                        stats["speculation"] = {
+                            "hits": engine.hits,
+                            "misses": engine.misses,
+                            "submitted": engine.submitted,
+                            "in_flight": engine.in_flight,
+                        }
+                        stats["workers"] = {"jobs": engine.jobs}
+                    bus.emit(
+                        "heartbeat",
+                        source="explorer",
+                        case_id=self.case_id,
+                        strategy="anduril",
+                        round=round_number,
+                        **stats,
+                    )
             self._coverage.record_round(round_number, plan.instances, injected)
 
             records.append(

@@ -18,12 +18,14 @@ hit-rate and worker-utilization metrics.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Optional
 
 from ..cache import active as active_cache
 from ..cache import cached_execute
 from ..injection.fir import InjectionPlan
+from ..obs.bus import active_bus
 from ..sim.cluster import RunResult, WorkloadFn, execute_workload
 
 
@@ -68,10 +70,14 @@ class SpeculativeExecutor:
         horizon: float,
         jobs: int,
         runner=None,
+        bus=None,
     ) -> None:
         self.workload = workload
         self.horizon = horizon
         self.jobs = max(int(jobs), 1)
+        #: Live event bus; ``None`` means "the process-active bus".
+        self._bus = bus
+        self._last_heartbeat = 0.0
         #: Inline executor for cache misses on the committed path.  The
         #: Explorer passes its checkpoint-pool runner here so committed
         #: runs fork off a parked prefix; workers always do full replays
@@ -186,6 +192,32 @@ class SpeculativeExecutor:
                 self._pending.pop(key).cancel()
         for seed, plan in predictions:
             self.prefetch(seed, plan)
+        self._maybe_heartbeat()
+
+    def _maybe_heartbeat(self) -> None:
+        """Throttled engine-health heartbeat (speculation + worker pool)."""
+        bus = self._bus if self._bus is not None else active_bus()
+        if not bus.enabled:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < bus.heartbeat_interval:
+            return
+        self._last_heartbeat = now
+        bus.emit(
+            "heartbeat",
+            source="speculate",
+            speculation={
+                "hits": self.hits,
+                "misses": self.misses,
+                "submitted": self.submitted,
+                "hit_rate": round(self.hit_rate, 4),
+                "in_flight": self.in_flight,
+            },
+            workers={
+                "jobs": self.jobs,
+                "pool_alive": self._pool is not None and not self._broken,
+            },
+        )
 
     # ------------------------------------------------------------- lifecycle
 

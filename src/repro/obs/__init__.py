@@ -6,6 +6,19 @@ the bench harness, so it must stay dependency-free within ``repro``
 """
 
 from . import ledger, metrics
+from .bus import (
+    NULL_BUS,
+    CallbackSink,
+    EventBus,
+    JsonlSink,
+    MemorySink,
+    NullBus,
+    active_bus,
+    read_events,
+    set_active_bus,
+    tail_events,
+    validate_event,
+)
 from .coverage import (
     NULL_COVERAGE,
     CoverageSummary,
@@ -33,11 +46,17 @@ from .trace import (
 )
 
 __all__ = [
+    "CallbackSink",
     "CoverageSummary",
     "CoverageTracker",
     "Event",
+    "EventBus",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_BUS",
     "NULL_COVERAGE",
     "NULL_RECORDER",
+    "NullBus",
     "NullCoverageTracker",
     "NullRecorder",
     "PlanProvenance",
@@ -48,11 +67,16 @@ __all__ = [
     "TraceRecorder",
     "VIRTUAL",
     "WALL",
+    "active_bus",
     "build_plan_provenance",
     "enumerate_fault_space",
     "ledger",
     "metrics",
     "occurrences_from_trace",
+    "read_events",
     "render_report",
+    "set_active_bus",
+    "tail_events",
+    "validate_event",
     "write_report",
 ]

@@ -141,8 +141,76 @@ def entry_key(entry: dict) -> tuple:
     )
 
 
-def append_entries(entries: Iterable[dict], path: Optional[str] = None) -> str:
-    """Append entries (one JSON line each), creating parent directories."""
+def compaction_key(entry: dict) -> tuple:
+    """The identity compaction retires duplicates within.
+
+    Deliberately *excludes* ``git_sha`` (unlike :func:`entry_key`): the
+    ledger grows one batch per commit under CI cache restores, so a
+    per-commit key would never retire anything.  Keeping the last N per
+    ``(case_id, strategy, seed, jobs)`` preserves a bounded trend window
+    across commits — exactly what the report sparklines and the
+    ``--history`` regression gate consume.
+    """
+    return (
+        entry.get("case_id", ""),
+        entry.get("strategy", ""),
+        entry.get("seed", 0),
+        entry.get("jobs", 1),
+    )
+
+
+def compact_entries(entries: list[dict], keep_last: int = 20) -> list[dict]:
+    """Keep the last ``keep_last`` entries per :func:`compaction_key`.
+
+    Order is preserved; the newest entries win (the ledger is
+    append-only, so later lines are newer).
+    """
+    keep_last = max(int(keep_last), 1)
+    seen: dict[tuple, int] = {}
+    kept_reversed: list[dict] = []
+    for entry in reversed(entries):
+        key = compaction_key(entry)
+        count = seen.get(key, 0)
+        if count < keep_last:
+            seen[key] = count + 1
+            kept_reversed.append(entry)
+    return kept_reversed[::-1]
+
+
+def rewrite_entries(entries: Iterable[dict], path: Optional[str] = None) -> str:
+    """Atomically replace the ledger's contents (compaction's writer).
+
+    Writes a sibling temp file and ``os.replace``\\ s it over the ledger,
+    so a concurrent tolerant reader sees either the old file or the new
+    one — never a torn half-rewrite.
+    """
+    if path is None:
+        path = default_path()
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        for entry in entries:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def append_entries(
+    entries: Iterable[dict],
+    path: Optional[str] = None,
+    max_entries: Optional[int] = None,
+) -> str:
+    """Append entries (one JSON line each), creating parent directories.
+
+    With ``max_entries``, the file is compacted in place after the
+    append whenever it holds more than that many readable entries:
+    first keep-last-N per :func:`compaction_key` (N shrinking until the
+    budget fits), then — if one entry per key still overflows — drop the
+    oldest lines.  This is the growth guard for ledgers that survive CI
+    cache restores forever.
+    """
     if path is None:
         path = default_path()
     directory = os.path.dirname(os.path.abspath(path))
@@ -151,6 +219,15 @@ def append_entries(entries: Iterable[dict], path: Optional[str] = None) -> str:
     with open(path, "a", encoding="utf-8") as handle:
         for entry in entries:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    if max_entries is not None and max_entries > 0:
+        existing = read_entries(path)
+        if len(existing) > max_entries:
+            keys = {compaction_key(entry) for entry in existing}
+            keep_last = max(max_entries // max(len(keys), 1), 1)
+            compacted = compact_entries(existing, keep_last=keep_last)
+            if len(compacted) > max_entries:
+                compacted = compacted[-max_entries:]
+            rewrite_entries(compacted, path=path)
     return path
 
 

@@ -1,4 +1,4 @@
-"""Process-wide operational counters.
+"""Process-wide operational counters and streaming histograms.
 
 A tiny metrics registry for infrastructure-level signals that do not
 belong to any single run's :class:`~repro.obs.trace.TraceRecorder` —
@@ -8,11 +8,31 @@ capture a per-task :func:`delta_since` snapshot that rides back on the
 pickled result, and the parent :func:`merge`\\ s it into its own registry
 — so campaign-level totals survive the process boundary.  Bumps are
 cheap enough to do unconditionally.
+
+Alongside the counters, :func:`observe` feeds streaming histograms of
+latency distributions (round latency, run latency, feedback seconds).
+They use fixed logarithmic buckets — ~15 % relative resolution, a few
+dozen buckets over the microsecond-to-hour range — so quantiles
+(:func:`histograms_snapshot`) are computed without retaining samples,
+and worker histograms merge exactly (bucket-wise addition) across the
+process boundary next to the counter deltas.
 """
 
 from __future__ import annotations
 
+import math
+
 _counters: dict[str, float] = {}
+
+#: Log-bucket base: consecutive bucket boundaries differ by ~15 %, which
+#: bounds quantile error to the same ratio — plenty for p50/p90/p99 of
+#: wall-clock latencies.
+_BUCKET_BASE = 1.15
+_LOG_BASE = math.log(_BUCKET_BASE)
+_MIN_VALUE = 1e-6
+
+#: name -> {"count": int, "sum": float, "buckets": {index: count}}
+_histograms: dict[str, dict] = {}
 
 
 def increment(name: str, delta: float = 1.0) -> float:
@@ -53,5 +73,124 @@ def merge(counters: dict[str, float]) -> None:
         _counters[name] = _counters.get(name, 0.0) + value
 
 
+def _bucket_index(value: float) -> int:
+    return int(math.floor(math.log(max(value, _MIN_VALUE)) / _LOG_BASE))
+
+
+def _bucket_upper(index: int) -> float:
+    """Upper boundary of bucket ``index`` — the quantile estimate."""
+    return _BUCKET_BASE ** (index + 1)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample into the streaming histogram ``name``."""
+    histogram = _histograms.get(name)
+    if histogram is None:
+        histogram = {"count": 0, "sum": 0.0, "buckets": {}}
+        _histograms[name] = histogram
+    index = _bucket_index(value)
+    histogram["count"] += 1
+    histogram["sum"] += value
+    histogram["buckets"][index] = histogram["buckets"].get(index, 0) + 1
+
+
+def _quantile(buckets: dict[int, int], count: int, q: float) -> float:
+    """Quantile estimate by cumulative walk over the log buckets."""
+    target = q * count
+    seen = 0
+    for index in sorted(buckets):
+        seen += buckets[index]
+        if seen >= target:
+            return _bucket_upper(index)
+    return _bucket_upper(max(buckets)) if buckets else 0.0
+
+
+def histograms_snapshot() -> dict[str, dict]:
+    """Quantile summaries of every histogram (for heartbeats/summaries).
+
+    Returns ``{name: {count, mean, p50, p90, p99}}`` with quantiles
+    rounded to the bucket resolution.
+    """
+    summary: dict[str, dict] = {}
+    for name, histogram in sorted(_histograms.items()):
+        count = histogram["count"]
+        if not count:
+            continue
+        buckets = histogram["buckets"]
+        summary[name] = {
+            "count": count,
+            "mean": round(histogram["sum"] / count, 6),
+            "p50": round(_quantile(buckets, count, 0.50), 6),
+            "p90": round(_quantile(buckets, count, 0.90), 6),
+            "p99": round(_quantile(buckets, count, 0.99), 6),
+        }
+    return summary
+
+
+def histograms_raw() -> dict[str, dict]:
+    """Raw bucket state, picklable/JSON-able — the worker-shipping form.
+
+    Bucket indices are stringified so the payload survives a JSON round
+    trip unchanged; :func:`merge_histograms` accepts either form.
+    """
+    return {
+        name: {
+            "count": histogram["count"],
+            "sum": histogram["sum"],
+            "buckets": {
+                str(index): count
+                for index, count in sorted(histogram["buckets"].items())
+            },
+        }
+        for name, histogram in sorted(_histograms.items())
+    }
+
+
+def histograms_delta(baseline: dict[str, dict]) -> dict[str, dict]:
+    """Histogram movement since a :func:`histograms_raw` snapshot.
+
+    The worker side of cross-process aggregation, mirroring
+    :func:`delta_since`: empty movements are omitted, and the result
+    feeds :func:`merge_histograms` in the parent.
+    """
+    delta: dict[str, dict] = {}
+    for name, raw in histograms_raw().items():
+        base = baseline.get(name, {})
+        base_buckets = base.get("buckets", {})
+        buckets = {
+            index: count - int(base_buckets.get(index, 0))
+            for index, count in raw["buckets"].items()
+            if count - int(base_buckets.get(index, 0))
+        }
+        if not buckets:
+            continue
+        delta[name] = {
+            "count": raw["count"] - int(base.get("count", 0)),
+            "sum": raw["sum"] - float(base.get("sum", 0.0)),
+            "buckets": buckets,
+        }
+    return delta
+
+
+def merge_histograms(histograms: dict[str, dict]) -> None:
+    """Fold another registry's :func:`histograms_raw` into this process.
+
+    Log buckets merge exactly: bucket-wise count addition loses nothing,
+    so campaign-level quantiles equal what one process would have seen.
+    """
+    for name, incoming in histograms.items():
+        histogram = _histograms.get(name)
+        if histogram is None:
+            histogram = {"count": 0, "sum": 0.0, "buckets": {}}
+            _histograms[name] = histogram
+        histogram["count"] += int(incoming.get("count", 0))
+        histogram["sum"] += float(incoming.get("sum", 0.0))
+        buckets = histogram["buckets"]
+        for index, count in incoming.get("buckets", {}).items():
+            index = int(index)
+            buckets[index] = buckets.get(index, 0) + int(count)
+
+
 def reset() -> None:
     _counters.clear()
+    _histograms.clear()

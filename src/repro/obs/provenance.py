@@ -33,12 +33,25 @@ import dataclasses
 import json
 from typing import Optional
 
+#: Canonical soft-fault spec prefix (``repro.injection.sites`` owns the
+#: format; duplicated literally here because ``repro.obs`` imports no
+#: sibling packages).
+_CORRUPT_PREFIX = "corrupt:"
+
+
+def _corrupt_kind(spec: str) -> Optional[str]:
+    """The corruption applier name of a ``corrupt:<kind>`` fault spec,
+    or ``None`` for a raise-dimension (exception) spec."""
+    if isinstance(spec, str) and spec.startswith(_CORRUPT_PREFIX):
+        return spec[len(_CORRUPT_PREFIX):]
+    return None
+
 
 @dataclasses.dataclass(frozen=True)
 class ProvenanceStep:
     """One link of a chain: a kind, the round it belongs to, details."""
 
-    kind: str                  # "evidence" | "adjust" | "rank" | "plan" | "inject"
+    kind: str   # "corruption" | "evidence" | "adjust" | "rank" | "plan" | "inject"
     round_number: Optional[int]
     detail: dict
 
@@ -79,7 +92,14 @@ class ProvenanceChain:
                 if step.round_number is not None
                 else "  [prepare]"
             )
-            if step.kind == "evidence":
+            if step.kind == "corruption":
+                lines.append(
+                    f"{prefix} corruption: soft fault — the "
+                    f"{step.detail['applier']!r} applier rewrites the env "
+                    f"call's return value; modeled by external-corruption "
+                    f"source node {step.detail['source_node']!r}"
+                )
+            elif step.kind == "evidence":
                 lines.append(
                     f"{prefix} evidence: observable {step.detail['observable']!r} "
                     f"appears only in the failure log (I_k starts at 0)"
@@ -109,11 +129,20 @@ class ProvenanceChain:
                     f" and injected ({verdict})"
                 )
             elif step.kind == "inject":
-                lines.append(
-                    f"{prefix} inject: FIR raised {self.exception} at virtual "
-                    f"t={step.detail['virtual_time']:g}s "
-                    f"(log index {step.detail['log_index']})"
-                )
+                applier = _corrupt_kind(self.exception)
+                if applier is not None:
+                    lines.append(
+                        f"{prefix} inject: FIR corrupted the return value "
+                        f"via the {applier!r} applier at virtual "
+                        f"t={step.detail['virtual_time']:g}s "
+                        f"(log index {step.detail['log_index']})"
+                    )
+                else:
+                    lines.append(
+                        f"{prefix} inject: FIR raised {self.exception} at "
+                        f"virtual t={step.detail['virtual_time']:g}s "
+                        f"(log index {step.detail['log_index']})"
+                    )
             else:  # pragma: no cover - future kinds render generically
                 lines.append(f"{prefix} {step.kind}: {step.detail}")
         return "\n".join(lines)
@@ -186,6 +215,24 @@ def build_plan_provenance(recorder, result) -> PlanProvenance:
     for instance in instances:
         steps: list[ProvenanceStep] = []
         observables: list[str] = []
+
+        # Soft faults lead with their corruption identity: the applier
+        # that rewrites the env call's return value, and the external-
+        # corruption source node that models it in the causal graph.
+        applier = _corrupt_kind(instance.exception)
+        if applier is not None:
+            steps.append(
+                ProvenanceStep(
+                    kind="corruption",
+                    round_number=None,
+                    detail={
+                        "applier": applier,
+                        "source_node": (
+                            f"extval:{instance.site_id}:{instance.exception}"
+                        ),
+                    },
+                )
+            )
 
         # Rank movement: every round whose recorded window slice offered
         # this instance, with its priority and chosen observable k*.

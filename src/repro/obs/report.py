@@ -260,6 +260,66 @@ def _render_summary(summary: Optional[dict]) -> str:
     return out
 
 
+def _stats_table(stats: dict) -> str:
+    """One counters dict as a small two-column table (rates as %)."""
+    rows = []
+    for name, value in sorted(stats.items()):
+        if isinstance(value, float) and name.endswith("_rate"):
+            rendered = f"{value * 100:.1f}%"
+        elif isinstance(value, float):
+            rendered = f"{value:g}"
+        else:
+            rendered = str(value)
+        rows.append(
+            f'<tr><td class="name">{html.escape(str(name))}</td>'
+            f"<td>{html.escape(rendered)}</td></tr>"
+        )
+    return f'<table><tbody>{"".join(rows)}</tbody></table>'
+
+
+def _render_runner_stats(summary: Optional[dict]) -> str:
+    """Cache, checkpoint-pool, and latency sections of the summary.
+
+    These sections only exist when the corresponding runner knob was on
+    (see ``repro.bench.summary``), so each block renders conditionally.
+    """
+    summary = summary or {}
+    blocks: list[str] = []
+    cache = summary.get("cache")
+    if isinstance(cache, dict) and cache:
+        blocks.append("<h3>Run cache</h3>" + _stats_table(cache))
+    checkpoint = summary.get("checkpoint")
+    if isinstance(checkpoint, dict) and checkpoint:
+        blocks.append("<h3>Checkpoint pool</h3>" + _stats_table(checkpoint))
+    latency = summary.get("latency")
+    if isinstance(latency, dict) and latency:
+        rows = []
+        for name, quantiles in sorted(latency.items()):
+            if not isinstance(quantiles, dict):
+                continue
+            rows.append(
+                f'<tr><td class="name">{html.escape(str(name))}</td>'
+                f"<td>{quantiles.get('count', 0)}</td>"
+                + "".join(
+                    f"<td>{float(quantiles.get(q, 0.0)):.4f}</td>"
+                    for q in ("mean", "p50", "p90", "p99")
+                )
+                + "</tr>"
+            )
+        blocks.append(
+            "<h3>Latency histograms</h3>"
+            '<table><thead><tr><th class="name">metric</th><th>count</th>'
+            "<th>mean</th><th>p50</th><th>p90</th><th>p99</th></tr></thead>"
+            f'<tbody>{"".join(rows)}</tbody></table>'
+        )
+    if not blocks:
+        return _empty(
+            "no cache/checkpoint/latency sections in bench_summary.json — "
+            "produced by campaigns run with those runner knobs on."
+        )
+    return "".join(blocks)
+
+
 def _render_coverage(
     summary: Optional[dict], systems: dict[str, str]
 ) -> str:
@@ -407,6 +467,7 @@ def render_report(inputs: ReportInputs) -> str:
             "Fault-space coverage",
             _render_coverage(inputs.summary, inputs.systems),
         ),
+        _section("Runner stats", _render_runner_stats(inputs.summary)),
         _section("Run ledger trends", _render_ledger(inputs.ledger_entries)),
         _section(
             "Rank trajectories (Figure 6)",

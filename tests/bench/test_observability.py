@@ -166,3 +166,28 @@ class TestSummaryCoverageSection:
         assert '"rounds": [[1, 2], [3, 4]]' in text
         # Float arrays keep the indented layout.
         assert '"floats": [0.5, 1.5]' not in text
+
+
+class TestLatencySection:
+    """The streaming histograms surface as ``latency`` in the summary."""
+
+    def test_section_absent_without_observations(self):
+        obs_metrics.reset()
+        try:
+            assert bench_summary.latency_section() == {}
+            assert "latency" not in bench_summary.summarize()
+        finally:
+            obs_metrics.reset()
+
+    def test_section_carries_quantiles_after_a_run(self):
+        obs_metrics.reset()
+        try:
+            run_anduril(get_case("f1"), max_rounds=120)
+            section = bench_summary.latency_section()
+            assert "latency.round_seconds" in section
+            quantiles = section["latency.round_seconds"]
+            assert quantiles["count"] >= 1
+            assert quantiles["p50"] <= quantiles["p99"]
+            assert bench_summary.summarize()["latency"] == section
+        finally:
+            obs_metrics.reset()

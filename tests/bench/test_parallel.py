@@ -201,3 +201,57 @@ class TestBenchSummary:
             assert list(document["cases"]) == ["f1", "f2", "f10"]
         finally:
             summary.clear()
+
+
+class TestEventForwarding:
+    """Campaign workers capture bus events and ship them to the parent's
+    sinks; the campaign stream is complete regardless of jobs."""
+
+    CASES = [get_case(cid) for cid in ("f1", "f3")]
+
+    def _run_with_bus(self, jobs, monkeypatch):
+        from repro.obs.bus import EventBus, MemorySink, set_active_bus
+
+        monkeypatch.setenv(parallel.EVENTS_ENV, "1")
+        capture = MemorySink()
+        set_active_bus(EventBus([capture], heartbeat_interval=0.0))
+        try:
+            outcomes = run_anduril_many(self.CASES, jobs=jobs, max_rounds=50)
+        finally:
+            set_active_bus(None)
+        return outcomes, capture.events
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_stream_is_complete_serial_and_parallel(self, jobs, monkeypatch):
+        outcomes, events = self._run_with_bus(jobs, monkeypatch)
+        types = [e["type"] for e in events]
+        assert types[0] == "campaign.start"
+        assert types[-1] == "campaign.done"
+        assert types.count("case.start") == len(self.CASES)
+        assert types.count("case.done") == len(self.CASES)
+        # Worker-side round events made it back to the parent's sink.
+        round_cases = {
+            e["case_id"] for e in events if e["type"] == "round.end"
+        }
+        assert round_cases == {"f1", "f3"}
+        assert campaign_signature(outcomes) == [
+            ("f1", True, 1), ("f3", True, 1),
+        ]
+
+    def test_bus_off_leaves_outcomes_identical(self, monkeypatch):
+        plain = run_anduril_many(self.CASES, jobs=2, max_rounds=50)
+        with_bus, events = self._run_with_bus(2, monkeypatch)
+        assert events
+        assert [o.deterministic_cell for o in with_bus] == [
+            o.deterministic_cell for o in plain
+        ]
+
+    def test_worker_histograms_merge_into_parent(self, monkeypatch):
+        obs_metrics.reset()
+        try:
+            self._run_with_bus(2, monkeypatch)
+            snap = obs_metrics.histograms_snapshot()
+            assert "latency.round_seconds" in snap
+            assert snap["latency.round_seconds"]["count"] >= 2
+        finally:
+            obs_metrics.reset()

@@ -1,0 +1,84 @@
+"""The event bus is purely observational: ``explore()`` with a bus
+attached must produce the same search as ``explore()`` without one.
+
+The bus emits round lifecycle events and heartbeats, but it never feeds
+back into the pool, the plans, or the simulator — turning it on (or
+leaving the default :data:`NULL_BUS`) leaves
+``ExplorationResult.signature()`` byte-identical, serial and parallel
+alike.  This is the tentpole invariant the CI ``event-stream`` job
+re-checks end to end over full campaign summaries."""
+
+import pytest
+
+from repro.failures import get_case
+from repro.obs.bus import EventBus, MemorySink, set_active_bus
+
+CASE_IDS = ["f1", "f17", "f20"]
+
+
+@pytest.fixture(autouse=True)
+def reset_active_bus():
+    yield
+    set_active_bus(None)
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_explore_with_bus_matches_busless(case_id):
+    case = get_case(case_id)
+    plain = case.explorer(max_rounds=120).explore()
+    capture = MemorySink()
+    bus = EventBus([capture], heartbeat_interval=0.0)
+    busy = case.explorer(max_rounds=120, bus=bus).explore()
+    assert busy.signature() == plain.signature()
+    assert busy.success == plain.success
+    assert busy.rounds == plain.rounds
+    assert busy.rank_trajectory == plain.rank_trajectory
+    assert busy.script == plain.script
+    assert busy.injected == plain.injected
+    # And it actually streamed: one begin/end pair per round.
+    begins = [e for e in capture.events if e["type"] == "round.begin"]
+    ends = [e for e in capture.events if e["type"] == "round.end"]
+    assert len(begins) == busy.rounds
+    assert len(ends) == busy.rounds
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_explore_jobs4_with_bus_matches_busless(case_id):
+    case = get_case(case_id)
+    plain = case.explorer(max_rounds=120).explore(jobs=4)
+    bus = EventBus([MemorySink()], heartbeat_interval=0.0)
+    busy = case.explorer(max_rounds=120, bus=bus).explore(jobs=4)
+    assert busy.signature() == plain.signature()
+    assert busy.rank_trajectory == plain.rank_trajectory
+    assert busy.script == plain.script
+
+
+def test_active_bus_is_as_invisible_as_an_explicit_one():
+    case = get_case("f17")
+    plain = case.explorer(max_rounds=120).explore()
+    capture = MemorySink()
+    set_active_bus(EventBus([capture], heartbeat_interval=0.0))
+    try:
+        busy = case.explorer(max_rounds=120).explore()
+    finally:
+        set_active_bus(None)
+    assert busy.signature() == plain.signature()
+    assert any(e["type"] == "round.end" for e in capture.events)
+
+
+def test_round_end_events_carry_the_rank_trajectory():
+    case = get_case("f17")
+    capture = MemorySink()
+    bus = EventBus([capture], heartbeat_interval=0.0)
+    result = case.explorer(max_rounds=120, bus=bus).explore()
+    assert result.success
+    ends = [e for e in capture.events if e["type"] == "round.end"]
+    trajectory = [
+        (e["round"], e["rank"]) for e in ends if e["rank"] is not None
+    ]
+    assert trajectory == result.rank_trajectory
+    # The reproducing round reports its fired plan.
+    fired = [e for e in capture.events if e["type"] == "plan.fired"]
+    assert fired and fired[-1]["satisfied"] is True
+    assert fired[-1]["site"] == result.injected.site_id
+    assert fired[-1]["spec"] == result.injected.spec

@@ -1,0 +1,91 @@
+"""Tests for tools/compact_ledger.py — the ledger growth trimmer.
+
+Runs the tool as a subprocess (exactly how CI invokes it) against
+synthetic ledgers, checking both exit codes: 0 (compacted or nothing to
+do), 2 (usage/IO error)."""
+
+import os
+import subprocess
+import sys
+
+from repro.obs import ledger
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+TOOL = os.path.join(REPO_ROOT, "tools", "compact_ledger.py")
+
+
+def make_ledger(path, shas=("a", "b", "c"), cases=("f1", "f2")):
+    entries = [
+        ledger.make_entry(
+            case_id=case_id,
+            strategy="anduril",
+            success=True,
+            rounds=2,
+            seconds=0.5,
+            sha=sha,
+        )
+        for sha in shas
+        for case_id in cases
+    ]
+    ledger.append_entries(entries, path=str(path))
+    return str(path)
+
+
+def run_tool(*argv):
+    process = subprocess.run(
+        [sys.executable, TOOL, *argv],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    return process.returncode, process.stdout, process.stderr
+
+
+def test_compacts_to_keep_last(tmp_path):
+    path = make_ledger(tmp_path / "ledger.jsonl")
+    code, out, _ = run_tool(path, "--keep-last", "1")
+    assert code == 0
+    assert "kept 2 of 6" in out
+    entries = ledger.read_entries(path)
+    assert len(entries) == 2
+    assert all(e["git_sha"] == "c" for e in entries)
+
+
+def test_dry_run_reports_without_rewriting(tmp_path):
+    path = make_ledger(tmp_path / "ledger.jsonl")
+    code, out, _ = run_tool(path, "--keep-last", "1", "--dry-run")
+    assert code == 0
+    assert "would keep" in out
+    assert len(ledger.read_entries(path)) == 6
+
+
+def test_max_entries_caps_the_total(tmp_path):
+    path = make_ledger(tmp_path / "ledger.jsonl")
+    code, out, _ = run_tool(path, "--keep-last", "3", "--max-entries", "3")
+    assert code == 0
+    entries = ledger.read_entries(path)
+    assert len(entries) == 3
+    # The newest lines survive the cap.
+    assert entries[-1]["git_sha"] == "c"
+
+
+def test_nothing_to_do_leaves_file_alone(tmp_path):
+    path = make_ledger(tmp_path / "ledger.jsonl", shas=("a",))
+    before = open(path, encoding="utf-8").read()
+    code, out, _ = run_tool(path, "--keep-last", "5")
+    assert code == 0
+    assert "dropped 0" in out
+    assert open(path, encoding="utf-8").read() == before
+
+
+def test_missing_file_is_a_usage_error(tmp_path):
+    code, _, err = run_tool(str(tmp_path / "absent.jsonl"))
+    assert code == 2
+    assert "no ledger" in err
+
+
+def test_bad_keep_last_is_a_usage_error(tmp_path):
+    path = make_ledger(tmp_path / "ledger.jsonl")
+    code, _, err = run_tool(path, "--keep-last", "0")
+    assert code == 2
+    assert "--keep-last" in err

@@ -1,0 +1,161 @@
+"""Follow-mode tailing against a live writer (satellite of the bus).
+
+A real writer process appends to the stream — flushing deliberately torn
+partial lines along the way — while this process tails it with
+``tail_events(follow=True)``.  The reader must yield every event exactly
+once, in order, never a torn one, and terminate cleanly when
+``campaign.done`` arrives."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs.bus import tail_events
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+#: Writer script run as a subprocess: appends ROUNDS round.end events
+#: (each split into two flushed partial writes, so the reader always has
+#: torn lines to cope with), then campaign.done.
+_WRITER = """
+import json, sys, time
+
+path, rounds = sys.argv[1], int(sys.argv[2])
+handle = open(path, "a", encoding="utf-8")
+
+def emit(event):
+    line = json.dumps(event, sort_keys=True) + "\\n"
+    # Deliberately torn write: flush half a line, dawdle, finish it.
+    half = len(line) // 2
+    handle.write(line[:half])
+    handle.flush()
+    time.sleep(0.01)
+    handle.write(line[half:])
+    handle.flush()
+
+emit({"schema": 1, "t": 1.0, "type": "campaign.start",
+      "cases": ["f1"], "strategies": ["anduril"], "jobs": 1, "cells": 1})
+emit({"schema": 1, "t": 1.1, "type": "case.start",
+      "case_id": "f1", "strategy": "anduril"})
+for n in range(1, rounds + 1):
+    emit({"schema": 1, "t": 1.1 + n, "type": "round.end",
+          "case_id": "f1", "strategy": "anduril", "round": n,
+          "injected": None, "satisfied": False, "rank": n,
+          "window_size": 4})
+emit({"schema": 1, "t": 9.0, "type": "case.done", "case_id": "f1",
+      "strategy": "anduril", "success": True, "rounds": rounds,
+      "seconds": 0.5})
+emit({"schema": 1, "t": 9.1, "type": "campaign.done",
+      "cells": 1, "successes": 1, "seconds": 0.6})
+handle.close()
+"""
+
+ROUNDS = 25
+
+
+def _spawn_writer(path, rounds=ROUNDS, delay=0.0):
+    script = _WRITER
+    if delay:
+        script = f"import time; time.sleep({delay})\n" + script
+    return subprocess.Popen(
+        [sys.executable, "-c", script, str(path), str(rounds)],
+        cwd=REPO_ROOT,
+    )
+
+
+def test_follow_tail_sees_every_event_untorn_and_stops_on_done(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text("", encoding="utf-8")
+    writer = _spawn_writer(path)
+    try:
+        events = list(
+            tail_events(str(path), follow=True, poll_interval=0.02,
+                        timeout=30.0)
+        )
+    finally:
+        writer.wait(timeout=30)
+    assert writer.returncode == 0
+    # Exactly one of each lifecycle event, every round, in order.
+    types = [e["type"] for e in events]
+    assert types[0] == "campaign.start"
+    assert types[-1] == "campaign.done"
+    assert types.count("case.start") == 1
+    assert types.count("case.done") == 1
+    rounds = [e["round"] for e in events if e["type"] == "round.end"]
+    assert rounds == list(range(1, ROUNDS + 1))
+    assert len(events) == ROUNDS + 4
+
+
+def test_follow_waits_for_a_file_that_does_not_exist_yet(tmp_path):
+    path = tmp_path / "late.jsonl"
+    writer = _spawn_writer(path, rounds=3, delay=0.2)
+    try:
+        events = list(
+            tail_events(str(path), follow=True, poll_interval=0.02,
+                        timeout=30.0)
+        )
+    finally:
+        writer.wait(timeout=30)
+    assert [e["type"] for e in events][-1] == "campaign.done"
+    assert len(events) == 3 + 4
+
+
+def test_follow_times_out_on_a_stalled_writer(tmp_path):
+    path = tmp_path / "stalled.jsonl"
+    path.write_text(
+        json.dumps({"schema": 1, "t": 1.0, "type": "case.start",
+                    "case_id": "f1", "strategy": "anduril"}) + "\n",
+        encoding="utf-8",
+    )
+    started = time.monotonic()
+    events = list(
+        tail_events(str(path), follow=True, poll_interval=0.02, timeout=0.3)
+    )
+    assert len(events) == 1
+    assert time.monotonic() - started < 5.0
+
+
+def test_non_follow_stops_at_eof_and_ignores_trailing_partial(tmp_path):
+    path = tmp_path / "partial.jsonl"
+    whole = json.dumps({"schema": 1, "t": 1.0, "type": "heartbeat",
+                        "source": "x"})
+    path.write_text(whole + "\n" + whole[: len(whole) // 2],
+                    encoding="utf-8")
+    events = list(tail_events(str(path), follow=False))
+    assert len(events) == 1
+
+
+def test_watch_jsonl_follow_subprocess_renders_live_stream(tmp_path):
+    """End to end: ``repro watch --follow --format jsonl`` re-emits a
+    concurrently written stream and exits on campaign.done."""
+    path = tmp_path / "events.jsonl"
+    path.write_text("", encoding="utf-8")
+    writer = _spawn_writer(path, rounds=5)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    try:
+        watch = subprocess.run(
+            [sys.executable, "-m", "repro", "watch", str(path),
+             "--follow", "--format", "jsonl", "--timeout", "30"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+    finally:
+        writer.wait(timeout=30)
+    assert watch.returncode == 0, watch.stderr
+    lines = [json.loads(line) for line in watch.stdout.splitlines() if line]
+    assert [e["type"] for e in lines][-1] == "campaign.done"
+    assert len(lines) == 5 + 4
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(pytest.main([__file__, "-q"]))

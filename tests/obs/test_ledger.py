@@ -217,3 +217,75 @@ class TestFaultSpecCompatibility:
         ledger.append_entries([entry], path=str(path))
         (read,) = ledger.read_entries(str(path))
         assert read["coverage"] == coverage
+
+
+class TestCompaction:
+    """Keep-last-N compaction and the append-time growth guard."""
+
+    @staticmethod
+    def _entry(case_id, sha, strategy="anduril", seed=0, jobs=1):
+        return ledger.make_entry(
+            case_id=case_id,
+            strategy=strategy,
+            success=True,
+            rounds=3,
+            seconds=1.0,
+            seed=seed,
+            jobs=jobs,
+            sha=sha,
+        )
+
+    def test_compaction_key_ignores_git_sha(self):
+        a = self._entry("f1", "aaa")
+        b = self._entry("f1", "bbb")
+        assert ledger.compaction_key(a) == ledger.compaction_key(b)
+        assert ledger.entry_key(a) != ledger.entry_key(b)
+
+    def test_compact_keeps_last_n_per_key_in_order(self):
+        entries = [
+            self._entry("f1", sha) for sha in ("a", "b", "c", "d")
+        ] + [self._entry("f2", "a")]
+        compacted = ledger.compact_entries(entries, keep_last=2)
+        shas = [
+            e["git_sha"] for e in compacted if e["case_id"] == "f1"
+        ]
+        assert shas == ["c", "d"]  # newest win, order preserved
+        assert sum(1 for e in compacted if e["case_id"] == "f2") == 1
+
+    def test_distinct_seed_jobs_are_separate_keys(self):
+        entries = [
+            self._entry("f1", "a", seed=0),
+            self._entry("f1", "a", seed=1),
+            self._entry("f1", "a", jobs=4),
+        ]
+        assert len(ledger.compact_entries(entries, keep_last=1)) == 3
+
+    def test_rewrite_is_atomic_and_leaves_no_temp(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger.append_entries([self._entry("f1", "a")], path=path)
+        ledger.rewrite_entries([self._entry("f2", "b")], path=path)
+        (entry,) = ledger.read_entries(path)
+        assert entry["case_id"] == "f2"
+        assert not (tmp_path / "ledger.jsonl.tmp").exists()
+
+    def test_append_guard_compacts_past_max_entries(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        for sha in ("a", "b", "c"):
+            ledger.append_entries(
+                [self._entry("f1", sha), self._entry("f2", sha)],
+                path=path,
+            )
+        ledger.append_entries(
+            [self._entry("f3", "d")], path=path, max_entries=4
+        )
+        entries = ledger.read_entries(path)
+        assert len(entries) <= 4
+        # The newest batch always survives.
+        assert any(e["case_id"] == "f3" for e in entries)
+
+    def test_append_guard_inactive_below_cap(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger.append_entries(
+            [self._entry("f1", "a")], path=path, max_entries=100
+        )
+        assert len(ledger.read_entries(path)) == 1

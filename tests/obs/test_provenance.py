@@ -195,3 +195,75 @@ class TestEndToEnd:
         assert plan.round_number == result.rounds
         text = provenance.to_text()
         assert main_chain.instance_id in text
+
+
+class TestCorruptSpecRendering:
+    """Soft-fault (``corrupt:<kind>``) specs render as corruption, not as
+    a raised exception (satellite of the event-bus PR)."""
+
+    @staticmethod
+    def _corrupt_search():
+        recorder, _ = _recorded_search()
+        result = Result(
+            success=True,
+            injected=Instance("s1", "corrupt:bitflip_field", 2),
+            script=Script(case_id="fC"),
+        )
+        recorder.event(
+            "explorer.plan",
+            "explorer",
+            round=2,
+            site="s1",
+            exception="corrupt:bitflip_field",
+            occurrence=2,
+            window_position=1,
+            window_size=4,
+            priority=1.5,
+            observable="error lost quorum",
+            satisfied=True,
+        )
+        recorder.event(
+            "fir.inject",
+            "fir",
+            clock=VIRTUAL,
+            ts=8.0,
+            site="s1",
+            occurrence=2,
+            exception="corrupt:bitflip_field",
+            base_fault=False,
+            log_index=50,
+        )
+        return recorder, result
+
+    def test_chain_leads_with_a_corruption_step(self):
+        recorder, result = self._corrupt_search()
+        provenance = build_plan_provenance(recorder, result)
+        (chain,) = provenance.chains
+        first = chain.steps[0]
+        assert first.kind == "corruption"
+        assert first.detail["applier"] == "bitflip_field"
+        assert first.detail["source_node"] == (
+            "extval:s1:corrupt:bitflip_field"
+        )
+
+    def test_text_renders_applier_not_exception(self):
+        recorder, result = self._corrupt_search()
+        text = build_plan_provenance(recorder, result).to_text()
+        assert "'bitflip_field' applier rewrites" in text
+        assert "external-corruption source node" in text
+        assert "corrupted the return value via the 'bitflip_field'" in text
+        assert "raised corrupt:bitflip_field" not in text
+
+    def test_raise_specs_keep_the_original_rendering(self):
+        recorder, result = _recorded_search()
+        text = build_plan_provenance(recorder, result).to_text()
+        assert "FIR raised IOError" in text
+        assert "corruption" not in text
+
+    def test_json_shape_carries_the_corruption_step(self):
+        recorder, result = self._corrupt_search()
+        document = json.loads(
+            build_plan_provenance(recorder, result).to_json()
+        )
+        kinds = [s["kind"] for s in document["chains"][0]["steps"]]
+        assert kinds[0] == "corruption"

@@ -195,3 +195,40 @@ class TestWriteReport:
         )
         assert written == str(target)
         assert target.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+
+class TestRunnerStats:
+    """Cache, checkpoint-pool, and latency sections in the report."""
+
+    def _inputs(self, summary):
+        return report_mod.ReportInputs(
+            out_dir="/nowhere",
+            summary=summary,
+            ledger_entries=[],
+            tables=[],
+            trajectories={},
+            systems={},
+        )
+
+    def test_sections_render_as_tables(self):
+        summary = {
+            "cache": {"hits": 10, "misses": 5, "hit_rate": 0.666667},
+            "checkpoint": {"forks": 12, "pool_hits": 9},
+            "latency": {
+                "latency.round_seconds": {
+                    "count": 40, "mean": 0.012,
+                    "p50": 0.01, "p90": 0.02, "p99": 0.03,
+                },
+            },
+        }
+        html_text = render_report(self._inputs(summary))
+        assert "Runner stats" in html_text
+        assert "Run cache" in html_text and "66.7%" in html_text
+        assert "Checkpoint pool" in html_text and "pool_hits" in html_text
+        assert "Latency histograms" in html_text
+        assert "latency.round_seconds" in html_text
+
+    def test_absent_sections_render_an_empty_note(self):
+        html_text = render_report(self._inputs({"case_count": 1}))
+        assert "no cache/checkpoint/latency sections" in html_text
+        assert "Checkpoint pool" not in html_text

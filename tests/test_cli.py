@@ -6,6 +6,7 @@ import pytest
 
 from repro.__main__ import main
 from repro.failures import all_cases
+from repro.obs import bus as event_bus
 from repro.obs import ledger
 
 
@@ -16,6 +17,17 @@ def isolated_ledger(tmp_path, monkeypatch):
     path = tmp_path / "ledger.jsonl"
     monkeypatch.setattr(ledger, "DEFAULT_PATH", str(path))
     return path
+
+
+@pytest.fixture(autouse=True)
+def isolated_events(tmp_path, monkeypatch):
+    """Point the default event stream at a temp file so CLI tests never
+    write the repository's benchmarks/out/events.jsonl."""
+    path = tmp_path / "events.jsonl"
+    monkeypatch.setattr(event_bus, "DEFAULT_PATH", str(path))
+    monkeypatch.delenv("REPRO_EVENTS", raising=False)
+    yield path
+    event_bus.set_active_bus(None)
 
 
 def run_cli(capsys, *argv):
@@ -424,3 +436,89 @@ class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestEvents:
+    """The ``--events`` default-on stream and the ``watch`` command."""
+
+    def test_reproduce_streams_events_by_default(
+        self, capsys, isolated_events
+    ):
+        code, _ = run_cli(capsys, "reproduce", "f4")
+        assert code == 0
+        events = event_bus.read_events(str(isolated_events))
+        types = [e["type"] for e in events]
+        assert types[0] == "campaign.start"
+        assert types[-1] == "campaign.done"
+        assert "round.end" in types and "case.done" in types
+        assert all(event_bus.validate_event(e) == [] for e in events)
+
+    def test_no_events_flag_writes_nothing(self, capsys, isolated_events):
+        code, _ = run_cli(capsys, "reproduce", "f4", "--no-events")
+        assert code == 0
+        assert not isolated_events.exists()
+
+    def test_events_out_overrides_the_path(self, capsys, tmp_path):
+        custom = tmp_path / "custom" / "stream.jsonl"
+        code, _ = run_cli(
+            capsys, "reproduce", "f4", "--events-out", str(custom)
+        )
+        assert code == 0
+        assert event_bus.read_events(str(custom))
+
+    def test_each_campaign_truncates_the_stream(
+        self, capsys, isolated_events
+    ):
+        run_cli(capsys, "reproduce", "f4")
+        first = len(event_bus.read_events(str(isolated_events)))
+        run_cli(capsys, "reproduce", "f4")
+        # Same campaign again: same length, not doubled.
+        assert len(event_bus.read_events(str(isolated_events))) == first
+
+    def test_compare_streams_cell_lifecycle(self, capsys, isolated_events):
+        code, _ = run_cli(capsys, "compare", "f1", "--jobs", "1")
+        assert code == 0
+        events = event_bus.read_events(str(isolated_events))
+        starts = [e for e in events if e["type"] == "case.start"]
+        dones = [e for e in events if e["type"] == "case.done"]
+        assert len(starts) == len(dones) >= 3
+        assert {e["strategy"] for e in dones} >= {"anduril", "random"}
+
+
+class TestWatch:
+    def test_watch_renders_a_finished_stream(
+        self, capsys, isolated_events
+    ):
+        run_cli(capsys, "reproduce", "f4")
+        code, out = run_cli(capsys, "watch", str(isolated_events))
+        assert code == 0
+        assert "campaign" in out
+        assert "f4/anduril" in out
+        assert "done (1/1 reproduced)" in out
+
+    def test_watch_defaults_to_the_default_stream(
+        self, capsys, isolated_events
+    ):
+        run_cli(capsys, "reproduce", "f4")
+        code, out = run_cli(capsys, "watch")
+        assert code == 0
+        assert "f4/anduril" in out
+
+    def test_watch_jsonl_re_emits_valid_events(
+        self, capsys, isolated_events
+    ):
+        run_cli(capsys, "reproduce", "f4")
+        code, out = run_cli(
+            capsys, "watch", str(isolated_events), "--format", "jsonl"
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert lines and all(
+            event_bus.validate_event(e) == [] for e in lines
+        )
+
+    def test_watch_missing_file_exits_two(self, capsys, tmp_path):
+        code = main(["watch", str(tmp_path / "absent.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no event stream" in captured.err

@@ -27,7 +27,8 @@ import sys
 #: sections exist only when those runner knobs are on (and fork counts
 #: move with scheduling); ``counters``/``metrics`` hold operational
 #: telemetry (speculation hit rates, fallback counts) that varies with
-#: scheduling.  Everything else must match exactly.
+#: scheduling; ``latency`` holds wall-clock histogram quantiles.
+#: Everything else must match exactly.
 VOLATILE_KEYS = frozenset(
     {
         "seconds",
@@ -38,6 +39,7 @@ VOLATILE_KEYS = frozenset(
         "checkpoint",
         "counters",
         "metrics",
+        "latency",
     }
 )
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compact the append-only run ledger in place.
+
+The ledger (``benchmarks/out/ledger.jsonl``) grows one batch of entries
+per campaign and survives CI cache restores forever, so it needs an
+occasional trim.  This tool keeps the newest ``--keep-last`` entries per
+``(case_id, strategy, seed, jobs)`` — deliberately ignoring ``git_sha``
+so growth stays bounded *across* commits — and optionally caps the total
+with ``--max-entries``:
+
+    python tools/compact_ledger.py [LEDGER.jsonl] --keep-last 20
+    python tools/compact_ledger.py --max-entries 500 --dry-run
+
+The rewrite is atomic (temp file + ``os.replace``), so a concurrent
+tolerant reader sees either the old file or the new one.  Exit codes:
+0 compacted (or nothing to do), 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.obs import ledger  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compact the append-only run ledger in place."
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="ledger file (default: benchmarks/out/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--keep-last",
+        type=int,
+        default=20,
+        metavar="N",
+        help="entries kept per (case_id, strategy, seed, jobs) key "
+        "(default: 20)",
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="M",
+        help="hard cap on total entries after per-key compaction "
+        "(oldest dropped first)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be kept without rewriting",
+    )
+    args = parser.parse_args(argv)
+    if args.keep_last < 1:
+        print("error: --keep-last must be >= 1", file=sys.stderr)
+        return 2
+
+    path = args.path or ledger.default_path()
+    if not os.path.exists(path):
+        print(f"error: no ledger at {path}", file=sys.stderr)
+        return 2
+
+    entries = ledger.read_entries(path)
+    compacted = ledger.compact_entries(entries, keep_last=args.keep_last)
+    if args.max_entries is not None and args.max_entries > 0:
+        if len(compacted) > args.max_entries:
+            compacted = compacted[-args.max_entries:]
+
+    dropped = len(entries) - len(compacted)
+    keys = {ledger.compaction_key(entry) for entry in compacted}
+    verb = "would keep" if args.dry_run else "kept"
+    print(
+        f"{path}: {verb} {len(compacted)} of {len(entries)} entr(ies) "
+        f"across {len(keys)} key(s), dropped {dropped}"
+    )
+    if not args.dry_run and dropped > 0:
+        ledger.rewrite_entries(compacted, path=path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
