@@ -1,0 +1,197 @@
+"""Early-verdict cutoff: end-to-end cost of deciding runs at the horizon.
+
+One measurement lands in ``benchmarks/out/BENCH_verdict.json``: a cold-
+cache reproduction workflow (search + confirmation replays; see
+``verdict_sweep.py``) per case with the cutoff off, then on, each leg in
+a fresh interpreter.  Outcomes must be identical — the monitor may only
+move wall clock, never what a search finds or what a replay proves —
+and the artifact records per-case and median speedups.  CI gates the
+confirmation-replay median via ``check_bench_regression.py
+--verdict-*``: a drop below 1.3x fails the build.
+
+The case pool is the late-failing ``bench_cases.py`` variants plus the
+soft-fault registry cases f23–f27.  Both populations matter: the scaled
+variants fail deep (minutes of post-symptom tail at real-system scale),
+while f23–f27 carry the audited monotone state predicates the compiler
+must trust.  Two of the pool (f16-xl's stuck-task oracle, f18-xl's
+non-monotone predicate) can never legally cut off — they stay in the
+artifact as the zero-overhead control group but are excluded from the
+speedup medians, which would otherwise measure the compiler's refusals
+rather than the cutoff.
+
+Wall-clock assertions are deliberately loose (a loaded CI host must not
+flake the suite); the JSON artifact is the measurement of record.
+"""
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+from bench_cases import bench_cases
+from conftest import emit
+
+from repro.bench import format_table
+from repro.bench.tables import OUT_DIR
+from repro.core.verdict import compile_cutoff
+from repro.failures import get_case
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(os.path.dirname(BENCH_DIR), "src")
+
+SOFT_FAULT_CASES = ("f23", "f24", "f25", "f26", "f27")
+
+
+def _case_pool():
+    pool = {case.case_id: case for case in bench_cases()}
+    for case_id in SOFT_FAULT_CASES:
+        pool[case_id] = get_case(case_id)
+    return pool
+
+
+def _run_leg(case_id: str, early_verdict: bool) -> dict:
+    """One sweep leg (``verdict_sweep.py``) in a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR, BENCH_DIR, env.get("PYTHONPATH", "")]
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(BENCH_DIR, "verdict_sweep.py"),
+            case_id,
+            "on" if early_verdict else "off",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=1800,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_verdict_cutoff():
+    pool = _case_pool()
+
+    cases: dict[str, dict] = {}
+    replay_speedups, search_speedups = [], []
+    for case_id, case in pool.items():
+        compiles = compile_cutoff(case.oracle) is not None
+        off = _run_leg(case_id, early_verdict=False)
+        on = _run_leg(case_id, early_verdict=True)
+        # The invariance contract: the cutoff may only move wall clock —
+        # search outcomes and what the replays prove must be identical.
+        outcome_equal = (
+            on["cells"] == off["cells"]
+            and on["replay_digest"] == off["replay_digest"]
+        )
+        assert outcome_equal, (case_id, off["cells"], on["cells"])
+        assert on["compiles"] == compiles, case_id
+        if compiles:
+            # Every ground-truth replay latches the verdict mid-run.
+            assert on["cutoffs"] > 0, case_id
+        else:
+            # Ineligible oracles must pay nothing: no monitor, no cutoff.
+            assert on["cutoffs"] == 0, case_id
+        replay_speedup = (
+            off["replay_seconds"] / on["replay_seconds"]
+            if on["replay_seconds"]
+            else 0.0
+        )
+        search_speedup = (
+            off["search_seconds"] / on["search_seconds"]
+            if on["search_seconds"]
+            else 0.0
+        )
+        if compiles:
+            replay_speedups.append(replay_speedup)
+            search_speedups.append(search_speedup)
+        cases[case_id] = {
+            "system": case.system,
+            "compiles": compiles,
+            "outcome_equal": outcome_equal,
+            "off_seconds": off["seconds"],
+            "on_seconds": on["seconds"],
+            "search_off_seconds": off["search_seconds"],
+            "search_on_seconds": on["search_seconds"],
+            "replay_off_seconds": off["replay_seconds"],
+            "replay_on_seconds": on["replay_seconds"],
+            "replay_speedup": round(replay_speedup, 3),
+            "search_speedup": round(search_speedup, 3),
+            "cutoffs": on["cutoffs"],
+            "virtual_seconds_saved": on["virtual_seconds_saved"],
+        }
+
+    replay_median = statistics.median(replay_speedups)
+    search_median = statistics.median(search_speedups)
+    # Acceptance: the cutoff pays for itself where it is legal.  The bar
+    # (1.3x median on confirmation replays) sits well under the
+    # typically observed margin so CI load cannot flake it.
+    assert replay_median >= 1.3, {
+        cid: c["replay_speedup"] for cid, c in cases.items()
+    }
+
+    rows = [
+        (
+            case_id,
+            entry["system"],
+            "yes" if entry["compiles"] else "no",
+            f"{entry['replay_off_seconds']:.2f}",
+            f"{entry['replay_on_seconds']:.2f}",
+            f"{entry['replay_speedup']:.2f}x",
+            f"{entry['search_speedup']:.2f}x",
+        )
+        for case_id, entry in cases.items()
+    ]
+    rows.append(
+        (
+            "median*",
+            "-",
+            "-",
+            "-",
+            "-",
+            f"{replay_median:.2f}x",
+            f"{search_median:.2f}x",
+        )
+    )
+    emit(
+        "bench_verdict",
+        format_table(
+            [
+                "case",
+                "system",
+                "cuts",
+                "replay off s",
+                "replay on s",
+                "replay",
+                "search",
+            ],
+            rows,
+            title=(
+                "early-verdict cutoff speedup (cold cache; "
+                "* median over cutoff-eligible cases)"
+            ),
+            align="lllrrrr",
+        ),
+    )
+
+    artifact = {
+        "schema": 1,
+        "config": {
+            "search_rounds": 40,
+            "confirm_replays": 120,
+            "eligible_cases": len(replay_speedups),
+        },
+        "cases": cases,
+        "search": {"median_speedup": round(search_median, 3)},
+        "replay": {"median_speedup": round(replay_median, 3)},
+        "deterministic_outcomes": True,
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, "BENCH_verdict.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"[saved to {path}]")

@@ -1,0 +1,141 @@
+"""One compare-sweep leg for the early-verdict benchmark, as a script.
+
+``test_verdict_cutoff.py`` measures the end-to-end cutoff speedup by
+running each (case, early-verdict on/off) leg in a *fresh interpreter*,
+for the same reason ``ckpt_sweep.py`` does: allocator and GC aging
+inflate whichever leg runs second inside one process by enough to
+drown the effect.  Output is one JSON object on the last stdout line.
+
+A leg is the reproduction workflow the cutoff targets, twice over:
+
+1. **Search** — the two feedback searches (anduril, multiply-feedback)
+   over a cold cache.  Unsatisfied rounds never truncate by design (the
+   log-diff feedback needs the full log), so this phase mostly checks
+   that monitoring never *hurts* a broad search; only each search's
+   final satisfied round can cut.
+2. **Confirmation replays** — the ground-truth plan is replayed
+   :data:`CONFIRM_REPLAYS` times with the run cache bypassed, the way a
+   developer iterates on a reproduced failure.  Every replay satisfies
+   the oracle, so with the cutoff on every replay stops the moment the
+   verdict latches — this is the leg the ``--verdict-min-speedup`` CI
+   gate measures.
+
+Both legs run the identical composition; the only difference is the
+``early_verdict`` knob.  The leg emits a digest of one replay result
+over *truncation-invariant* fields (oracle verdict, fired injection) so
+the harness can assert the cutoff changed nothing that matters, plus
+the raw outcome cells for cross-leg equality.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+#: Round budget for each search strategy.  max_seconds stays effectively
+#: unbounded so wall clock can never cut the two legs at different
+#: rounds, which would break outcome equality between them.
+SEARCH_ROUNDS = 40
+#: Cache-bypassed replays of the ground-truth plan per leg.
+CONFIRM_REPLAYS = 120
+
+
+def _resolve_case(case_id: str):
+    from bench_cases import bench_cases
+
+    from repro.failures import get_case
+
+    scaled = {c.case_id: c for c in bench_cases()}
+    if case_id in scaled:
+        return scaled[case_id]
+    return get_case(case_id)
+
+
+def run_leg(case_id: str, early_verdict: bool) -> dict:
+    from repro import cache as runcache
+    from repro.bench import run_anduril, run_baseline
+    from repro.core.verdict import compile_cutoff
+    from repro.injection.fir import InjectionPlan
+    from repro.sim.cluster import execute_workload
+
+    case = _resolve_case(case_id)
+    case.failure_log()  # generated once per process; keep it out of the timing
+    compiled = compile_cutoff(case.oracle) if early_verdict else None
+    cache_dir = tempfile.mkdtemp(prefix="verdict-sweep-")
+    try:
+        runcache.reset()
+        runcache.configure(enabled=True, disk_dir=cache_dir)
+        cells = []
+        started = time.perf_counter()
+        outcome = run_anduril(
+            case,
+            max_rounds=SEARCH_ROUNDS,
+            max_seconds=3600.0,
+            checkpoint=False,
+            early_verdict=early_verdict,
+        )
+        cells.append(["anduril", outcome.success, outcome.rounds])
+        strategy_outcome = run_baseline(
+            "multiply-feedback",
+            case,
+            max_rounds=SEARCH_ROUNDS,
+            max_seconds=3600.0,
+            checkpoint=False,
+            early_verdict=early_verdict,
+        )
+        cells.append(
+            ["multiply-feedback", strategy_outcome.success, strategy_outcome.rounds]
+        )
+        search_seconds = time.perf_counter() - started
+
+        # Confirmation replays: re-execute the ground-truth plan with the
+        # cache bypassed (a cache hit would measure nothing).  The plan
+        # is identical in both legs by design, independent of what the
+        # search phase happened to find.
+        plan = InjectionPlan.single(case.ground_truth_instance())
+        cutoffs = 0
+        virtual_saved = 0.0
+        result = None
+        replay_started = time.perf_counter()
+        for _ in range(CONFIRM_REPLAYS):
+            result = execute_workload(
+                case.workload,
+                horizon=case.horizon,
+                seed=case.seed,
+                plan=plan,
+                monitor=None if compiled is None else compiled.factory(),
+            )
+            if result.truncated_at is not None:
+                cutoffs += 1
+                virtual_saved += case.horizon - result.truncated_at
+        replay_seconds = time.perf_counter() - replay_started
+        # The cutoff may shorten the run but never change what it
+        # proves: every replay of the ground truth must satisfy the
+        # oracle with the injection fired, truncated or not.
+        assert case.oracle.satisfied(result), case_id
+        assert result.injected, case_id
+        digest_fields = {
+            "oracle_satisfied": True,
+            "injected": result.injected,
+            "instance": str(result.injected_instance),
+        }
+    finally:
+        runcache.reset()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "cells": cells,
+        "compiles": compile_cutoff(case.oracle) is not None,
+        "search_seconds": round(search_seconds, 3),
+        "replay_seconds": round(replay_seconds, 3),
+        "seconds": round(search_seconds + replay_seconds, 3),
+        "replay_digest": digest_fields,
+        "cutoffs": cutoffs,
+        "virtual_seconds_saved": round(virtual_saved, 3),
+    }
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_leg(sys.argv[1], sys.argv[2] == "on")))

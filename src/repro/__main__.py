@@ -42,7 +42,11 @@ and both memoize deterministic runs through :mod:`repro.cache` unless
 ``--no-cache`` (``--cache-dir`` relocates the shared disk tier).  Round
 runs fork off a parked prefix snapshot (:mod:`repro.sim.checkpoint`)
 unless ``--no-checkpoint`` — outcome-invariant either way, and a no-op
-where ``os.fork`` is unavailable.  Both stream live progress events to
+where ``os.fork`` is unavailable.  Round runs stop the moment the
+oracle's verdict is decided (:mod:`repro.core.verdict`) unless
+``--no-early-verdict`` — also outcome-invariant: only satisfied runs can
+truncate, so feedback always sees full logs and exploration signatures
+are byte-identical either way.  Both stream live progress events to
 ``benchmarks/out/events.jsonl`` for ``repro watch`` unless
 ``--no-events`` (``--events-out`` relocates the stream); the bus is
 outcome-invariant — signatures are byte-identical with events on or
@@ -127,6 +131,18 @@ def _configure_cache(args) -> None:
         os.environ.pop("REPRO_CACHE_DIR", None)
 
 
+def _configure_early_verdict(args) -> None:
+    """Export ``--early-verdict`` through ``REPRO_EARLY_VERDICT``.
+
+    Campaign pool workers and spawn-method speculative workers see no
+    parent globals, so the switch travels the same way as
+    ``REPRO_CACHE``/``REPRO_FAULT_DIMS``.
+    """
+    os.environ["REPRO_EARLY_VERDICT"] = (
+        "1" if getattr(args, "early_verdict", False) else "0"
+    )
+
+
 def _configure_events(args):
     """Install the live event bus per ``--events``/``--events-out``.
 
@@ -193,6 +209,19 @@ def _print_checkpoint_stats() -> None:
     )
 
 
+def _print_verdict_stats() -> None:
+    """One stderr line of early-verdict movement (silent when off/idle)."""
+    stats = bench_summary.verdict_section()
+    if not stats:
+        return
+    print(
+        f"[early-verdict: {stats.get('cutoffs', 0)} cutoff(s), "
+        f"{stats.get('virtual_seconds_saved', 0)} virtual second(s) and "
+        f"{stats.get('events_saved', 0)} event(s) saved]",
+        file=sys.stderr,
+    )
+
+
 def cmd_list(_args) -> int:
     rows = [
         (case.case_id, case.issue, case.system, case.title)
@@ -217,6 +246,7 @@ def _print_profile(recorder) -> None:
 
 def cmd_reproduce(args) -> int:
     _configure_cache(args)
+    _configure_early_verdict(args)
     bus = _configure_events(args)
     try:
         return _cmd_reproduce_body(args, bus)
@@ -238,6 +268,7 @@ def _cmd_reproduce_body(args, bus) -> int:
         track_coverage=True,
         prune=args.prune,
         checkpoint=args.checkpoint,
+        early_verdict=args.early_verdict,
     )
     if bus is not None:
         # A single reproduce is a one-cell campaign to the event stream,
@@ -304,6 +335,7 @@ def _cmd_reproduce_body(args, bus) -> int:
     )
     _print_cache_stats()
     _print_checkpoint_stats()
+    _print_verdict_stats()
     if not result.success:
         print(f"NOT reproduced: {result.message} ({result.rounds} rounds)")
         return 1
@@ -324,7 +356,17 @@ def cmd_replay(args) -> int:
     case = get_case(args.case_id)
     with open(args.script, encoding="utf-8") as handle:
         script = ReproductionScript.from_json(handle.read())
-    result = script.replay(case.workload)
+    monitor = None
+    if args.early_verdict:
+        from .core.verdict import compile_cutoff
+
+        verdict = compile_cutoff(case.oracle)
+        if verdict is not None:
+            monitor = verdict.factory()
+    result = script.replay(case.workload, monitor=monitor)
+    # A truncated replay is oracle-equivalent to the full run: cutoff
+    # fires only once the verdict is decided TRUE independent of the
+    # remainder, so the post-hoc check below reads the same either way.
     satisfied = case.oracle.satisfied(result)
     print(f"injected: {result.injected}  oracle satisfied: {satisfied}")
     return 0 if satisfied else 1
@@ -339,6 +381,7 @@ def _resolve_compare_cases(spec: str) -> list:
 
 def cmd_compare(args) -> int:
     _configure_cache(args)
+    _configure_early_verdict(args)
     bus = _configure_events(args)
     try:
         # The campaign engine (repro.bench.parallel.run_tasks) emits the
@@ -366,11 +409,13 @@ def _cmd_compare_body(args) -> int:
             max_rounds=args.max_rounds,
             profile=args.profile,
             checkpoint=args.checkpoint,
+            early_verdict=args.early_verdict,
         ),
         strategy_options=dict(
             max_rounds=args.max_rounds,
             max_seconds=60.0,
             checkpoint=args.checkpoint,
+            early_verdict=args.early_verdict,
         ),
     )
     elapsed = time.perf_counter() - started
@@ -435,6 +480,7 @@ def _cmd_compare_body(args) -> int:
     _append_ledger(entries, args)
     _print_cache_stats()
     _print_checkpoint_stats()
+    _print_verdict_stats()
     if args.summary_out:
         bench_summary.clear()
         for case in cases:
@@ -783,6 +829,17 @@ def _add_checkpoint_options(subparser) -> None:
     )
 
 
+def _add_early_verdict_options(subparser) -> None:
+    subparser.add_argument(
+        "--early-verdict",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="stop round runs the moment the oracle's verdict is decided "
+        "(default on; --no-early-verdict runs every round to the horizon; "
+        "outcome-invariant)",
+    )
+
+
 def _add_events_options(subparser) -> None:
     subparser.add_argument(
         "--events",
@@ -844,12 +901,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_dims_option(reproduce)
     _add_cache_options(reproduce)
     _add_checkpoint_options(reproduce)
+    _add_early_verdict_options(reproduce)
     _add_ledger_options(reproduce)
     _add_events_options(reproduce)
 
     replay = commands.add_parser("replay", help="replay a reproduction script")
     replay.add_argument("case_id")
     replay.add_argument("script")
+    _add_early_verdict_options(replay)
 
     compare = commands.add_parser("compare", help="compare all strategies")
     compare.add_argument(
@@ -875,6 +934,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_dims_option(compare)
     _add_cache_options(compare)
     _add_checkpoint_options(compare)
+    _add_early_verdict_options(compare)
     _add_ledger_options(compare)
     _add_events_options(compare)
 

@@ -28,6 +28,7 @@ from ..analysis.system_model import SystemModel
 from ..core.alignment import TimelineMap
 from ..core.observables import ObservableSet
 from ..core.oracle import Oracle
+from ..core.verdict import compile_cutoff
 from ..injection.fir import InjectionPlan, TraceEvent, dedupe_instances
 from ..injection.sites import FaultInstance
 from ..logs.diff import LogComparator
@@ -167,6 +168,7 @@ class StrategyRunner:
         max_seconds: Optional[float] = 60.0,
         track_coverage: bool = False,
         checkpoint: bool = False,
+        early_verdict: bool = False,
         bus=None,
     ) -> None:
         self.max_rounds = max_rounds
@@ -181,6 +183,11 @@ class StrategyRunner:
         #: instead of replaying from t=0.  Outcome-invariant, opt-in, and
         #: a no-op where ``os.fork`` is unavailable.
         self.checkpoint = bool(checkpoint)
+        #: Early-verdict cutoff: round runs are verdict-monitored and
+        #: stop once the oracle's outcome is decided.  Only satisfied
+        #: runs can truncate, and a satisfied round ends the search, so
+        #: strategies' feedback hooks always see full-run results.
+        self.early_verdict = bool(early_verdict)
 
     def run(
         self,
@@ -195,6 +202,7 @@ class StrategyRunner:
         started = time.perf_counter()
         context = build_context(case)
         strategy.prepare(context)
+        verdict = compile_cutoff(case.oracle) if self.early_verdict else None
         pool = None
         runner = execute_workload
         if self.checkpoint:
@@ -206,6 +214,7 @@ class StrategyRunner:
                     case.horizon,
                     case.seed,
                     context.normal_run.trace,
+                    monitor_factory=None if verdict is None else verdict.factory,
                 )
                 runner = pool.runner
         coverage = NULL_COVERAGE
@@ -265,6 +274,8 @@ class StrategyRunner:
                     seed=case.seed,
                     plan=plan,
                     runner=runner,
+                    monitor_factory=None if verdict is None else verdict.factory,
+                    monitor_key=None if verdict is None else verdict.key,
                 )
                 feedback_started = time.perf_counter()
                 injected = result.injected_instance

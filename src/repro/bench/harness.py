@@ -48,6 +48,10 @@ class AndurilOutcome:
     #: Checkpoint/fork movement attributable to this cell (opens/forks/
     #: fallbacks/...); empty when checkpointing is off.
     checkpoint_stats: dict = dataclasses.field(default_factory=dict)
+    #: Early-verdict cutoff movement attributable to this cell (cutoffs/
+    #: virtual_seconds_saved/events_saved); empty when cutoff is off or
+    #: never fired.
+    verdict_stats: dict = dataclasses.field(default_factory=dict)
     #: ``repro.obs.bus`` events captured in the worker process that ran
     #: this cell (plain dicts), forwarded by the campaign parent to its
     #: own sinks next to the counter-delta channel.  Empty when events
@@ -82,6 +86,8 @@ class StrategyOutcome:
     cache_stats: dict = dataclasses.field(default_factory=dict)
     #: See :attr:`AndurilOutcome.checkpoint_stats`.
     checkpoint_stats: dict = dataclasses.field(default_factory=dict)
+    #: See :attr:`AndurilOutcome.verdict_stats`.
+    verdict_stats: dict = dataclasses.field(default_factory=dict)
     #: See :attr:`AndurilOutcome.worker_events`.
     worker_events: list = dataclasses.field(default_factory=list)
     #: See :attr:`AndurilOutcome.worker_histograms`.
@@ -124,6 +130,23 @@ def _checkpoint_delta(before: dict[str, float]) -> dict:
         for name, value in obs_metrics.delta_since(before).items()
         if name.startswith("sim.checkpoint.")
     }
+
+
+def _verdict_delta(before: dict[str, float]) -> dict:
+    """Early-verdict counter movement since ``before`` (empty when off).
+
+    ``virtual_seconds_saved`` is a float (virtual time); the cutoff and
+    event counters stay integers.
+    """
+    stats: dict = {}
+    for name, value in obs_metrics.delta_since(before).items():
+        if not name.startswith("verdict."):
+            continue
+        rounded = round(float(value), 6)
+        stats[name.split(".", 1)[1]] = (
+            int(rounded) if rounded.is_integer() else rounded
+        )
+    return stats
 
 
 def run_anduril(
@@ -192,6 +215,7 @@ def run_anduril(
         coverage=result.coverage.to_dict() if result.coverage else None,
         cache_stats=_cache_delta(counters_before),
         checkpoint_stats=_checkpoint_delta(counters_before),
+        verdict_stats=_verdict_delta(counters_before),
     )
 
 
@@ -202,13 +226,15 @@ def run_baseline(
     max_seconds: Optional[float] = 8.0,
     coverage: bool = True,
     checkpoint: bool = False,
+    early_verdict: bool = False,
     **strategy_kwargs,
 ) -> StrategyOutcome:
     """Run one baseline strategy on one case under the table budgets.
 
-    ``checkpoint`` is a runner knob (prefix-fork execution, outcome-
-    invariant), not a strategy knob, so it is a named parameter here;
-    everything in ``strategy_kwargs`` goes to the strategy constructor.
+    ``checkpoint`` and ``early_verdict`` are runner knobs (prefix-fork
+    execution and oracle-decided cutoff, both outcome-invariant), not
+    strategy knobs, so they are named parameters here; everything in
+    ``strategy_kwargs`` goes to the strategy constructor.
     """
     counters_before = obs_metrics.snapshot()
     strategy = ALL_STRATEGIES[name](**strategy_kwargs)
@@ -217,6 +243,7 @@ def run_baseline(
         max_seconds=max_seconds,
         track_coverage=coverage,
         checkpoint=checkpoint,
+        early_verdict=early_verdict,
     )
     result = runner.run(strategy, case, case_id=case.case_id)
     obs_metrics.increment("campaign.baseline_runs")
@@ -230,4 +257,5 @@ def run_baseline(
         coverage=result.coverage.to_dict() if result.coverage else None,
         cache_stats=_cache_delta(counters_before),
         checkpoint_stats=_checkpoint_delta(counters_before),
+        verdict_stats=_verdict_delta(counters_before),
     )

@@ -122,6 +122,13 @@ def execute_task(task: CampaignTask):
     if dims:
         case.fault_dims = dims
     options = dict(task.options)
+    # The CLI's --early-verdict switch travels the same way: the option is
+    # honored when the campaign spelled it out per cell, with the
+    # environment as the spawn-worker fallback.
+    if "early_verdict" not in options:
+        verdict_env = os.environ.get("REPRO_EARLY_VERDICT")
+        if verdict_env is not None:
+            options["early_verdict"] = verdict_env == "1"
     capture = None
     if _IN_POOL_WORKER and os.environ.get(EVENTS_ENV) == "1":
         capture = MemorySink()

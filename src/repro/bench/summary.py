@@ -53,6 +53,11 @@ def record_outcome(outcome) -> None:
         # Same contract as "cache": accounting only, stripped by the
         # equivalence checker so checkpoint on/off summaries compare.
         entry["checkpoint"] = case_checkpoint
+    case_verdict = getattr(outcome, "verdict_stats", None)
+    if case_verdict:
+        # Early-verdict cutoff accounting; stripped by the equivalence
+        # checker so cutoff on/off summaries compare.
+        entry["verdict"] = case_verdict
     _OUTCOMES[outcome.case_id] = entry
 
 
@@ -72,6 +77,9 @@ def record_strategy_outcome(outcome) -> None:
     case_checkpoint = getattr(outcome, "checkpoint_stats", None)
     if case_checkpoint:
         entry["checkpoint"] = case_checkpoint
+    case_verdict = getattr(outcome, "verdict_stats", None)
+    if case_verdict:
+        entry["verdict"] = case_verdict
     _STRATEGY_OUTCOMES[(outcome.strategy, outcome.case_id)] = entry
 
 
@@ -111,7 +119,7 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
         plain = {
             key: counters[key]
             for key in sorted(counters)
-            if not key.startswith(("cache.", "sim.checkpoint."))
+            if not key.startswith(("cache.", "sim.checkpoint.", "verdict."))
         }
         if plain:
             document["counters"] = plain
@@ -121,6 +129,9 @@ def summarize(outcomes: Optional[dict[str, dict]] = None) -> dict:
     checkpoint = checkpoint_section(counters)
     if checkpoint:
         document["checkpoint"] = checkpoint
+    verdict = verdict_section(counters)
+    if verdict:
+        document["verdict"] = verdict
     coverage = coverage_section(ordered)
     if coverage:
         document["coverage"] = coverage
@@ -165,6 +176,27 @@ def checkpoint_section(counters: Optional[dict[str, float]] = None) -> dict:
         for key, value in sorted(counters.items())
         if key.startswith("sim.checkpoint.")
     }
+
+
+def verdict_section(counters: Optional[dict[str, float]] = None) -> dict:
+    """Aggregate early-verdict cutoff counters (``verdict.*``).
+
+    Empty when the cutoff never fired — an inactive (or never-deciding)
+    monitor must leave the summary without the section at all so that
+    cutoff on/off summaries stay byte-identical outside of it.
+    ``virtual_seconds_saved`` is a float; the rest are integers.
+    """
+    if counters is None:
+        counters = obs_metrics.snapshot()
+    stats: dict = {}
+    for key, value in sorted(counters.items()):
+        if not key.startswith("verdict."):
+            continue
+        rounded = round(float(value), 6)
+        stats[key.split(".", 1)[1]] = (
+            int(rounded) if rounded.is_integer() else rounded
+        )
+    return stats
 
 
 def latency_section() -> dict:

@@ -73,7 +73,9 @@ from ..obs.ledger import git_sha
 # ``FaultInstance.exception`` became ``FaultInstance.spec``, changing the
 # pickled ``__dict__`` shape of every plan-bearing entry; version-3
 # entries would deserialize with the spec under the old attribute name.
-PAYLOAD_VERSION = 4
+# Version 5: the result codec grew ``truncated_at`` (early-verdict
+# cutoff); version-4 entries would decode without the field.
+PAYLOAD_VERSION = 5
 
 #: Lookup/served outcomes reported by :meth:`RunCache.execute`.
 HIT = "hit"
@@ -207,6 +209,18 @@ class RunCache:
         return (fingerprint, seed, horizon, ((), always))
 
     @staticmethod
+    def _verdict_key(key: tuple, monitor_key: str) -> tuple:
+        """The truncation-aware extension of a plain key.
+
+        Truncated results are oracle-equivalent to the full run but carry
+        a shorter log, so they live only under this extended key: a
+        plain-key (full-run) consumer can never be served one, while
+        monitored consumers probe the plain key *first* — a full result
+        is valid for everyone.
+        """
+        return key + (("verdict", monitor_key),)
+
+    @staticmethod
     def _entry_name(key: tuple) -> str:
         material = json.dumps(key, separators=(",", ":"))
         return hashlib.sha256(material.encode()).hexdigest()[:40] + ".pkl"
@@ -301,7 +315,7 @@ class RunCache:
         noop_result, _ = self._lookup(noop_key)
         return noop_result
 
-    def peek(self, workload, horizon, seed, plan):
+    def peek(self, workload, horizon, seed, plan, monitor_key=None):
         """A cached (or alias-predictable) result, without stats movement.
 
         Used by the speculative executor to avoid burning worker slots
@@ -311,6 +325,8 @@ class RunCache:
         if key is None:
             return None
         result, _ = self._lookup(key)
+        if result is None and monitor_key:
+            result, _ = self._lookup(self._verdict_key(key, monitor_key))
         if result is not None:
             return result
         return self._alias_lookup(key, plan)
@@ -361,10 +377,21 @@ class RunCache:
             self.stats.disk_errors += 1
             obs_metrics.increment("cache.disk_errors")
 
-    def put(self, workload, horizon, seed, plan, result) -> None:
-        """Store a completed run (plus its noop alias when applicable)."""
+    def put(self, workload, horizon, seed, plan, result, monitor_key=None) -> None:
+        """Store a completed run (plus its noop alias when applicable).
+
+        Truncated results require ``monitor_key`` and are stored only
+        under the extended key; without one they are dropped rather than
+        poisoning the plain entry.
+        """
         key = self._key(workload, horizon, seed, plan)
         if key is None:
+            return
+        if getattr(result, "truncated_at", None) is not None:
+            if monitor_key:
+                self._store_truncated(
+                    self._verdict_key(key, monitor_key), result
+                )
             return
         self._store(key, plan, result)
 
@@ -385,10 +412,27 @@ class RunCache:
                 self._memory_store(noop_key, result)
                 self._disk_store(noop_key, result)
 
+    def _store_truncated(self, ext_key: tuple, result) -> None:
+        """Store a truncated result under its extended key only — never
+        the plain key, never the noop alias (truncated runs always have
+        a fired injection, but their log/counters are monitor-specific).
+        """
+        self.stats.stores += 1
+        obs_metrics.increment("cache.stores")
+        self._memory_store(ext_key, result)
+        self._disk_store(ext_key, result)
+
     # --------------------------------------------------------------- execute
 
     def execute(
-        self, workload, horizon, seed=0, plan=None, runner=None
+        self,
+        workload,
+        horizon,
+        seed=0,
+        plan=None,
+        runner=None,
+        monitor_factory=None,
+        monitor_key=None,
     ):
         """The run for ``(workload, horizon, seed, plan)``.
 
@@ -397,16 +441,37 @@ class RunCache:
         workload).  ``runner`` is the executor used on a miss; passing
         the caller's own ``execute_workload`` reference keeps
         monkeypatched test doubles in charge of actual execution.
+
+        ``monitor_factory``/``monitor_key`` enable early-verdict cutoff:
+        a miss runs under a fresh monitor (passed via ``monitor=`` only
+        then, so unmonitored runners keep their plain signature), and a
+        truncated result is stored under — and may later be served from —
+        the monitor-extended key.  The plain key is always probed first.
         """
         key = self._key(workload, horizon, seed, plan)
         if runner is None:
             from ..sim.cluster import execute_workload as runner
         if key is None:
+            if monitor_factory is not None:
+                return (
+                    runner(
+                        workload,
+                        horizon=horizon,
+                        seed=seed,
+                        plan=plan,
+                        monitor=monitor_factory(),
+                    ),
+                    UNCACHED,
+                )
             return (
                 runner(workload, horizon=horizon, seed=seed, plan=plan),
                 UNCACHED,
             )
         result, from_disk = self._lookup(key)
+        if result is None and monitor_factory is not None and monitor_key:
+            result, from_disk = self._lookup(
+                self._verdict_key(key, monitor_key)
+            )
         if result is not None:
             self.stats.hits += 1
             obs_metrics.increment("cache.hits")
@@ -424,8 +489,23 @@ class RunCache:
             return result, ALIAS
         self.stats.misses += 1
         obs_metrics.increment("cache.misses")
-        result = runner(workload, horizon=horizon, seed=seed, plan=plan)
-        self._store(key, plan, result)
+        if monitor_factory is not None:
+            result = runner(
+                workload,
+                horizon=horizon,
+                seed=seed,
+                plan=plan,
+                monitor=monitor_factory(),
+            )
+        else:
+            result = runner(workload, horizon=horizon, seed=seed, plan=plan)
+        if getattr(result, "truncated_at", None) is not None:
+            if monitor_key:
+                self._store_truncated(
+                    self._verdict_key(key, monitor_key), result
+                )
+        else:
+            self._store(key, plan, result)
         return result, MISS
 
 
@@ -477,14 +557,37 @@ def reset() -> None:
     _configured = False
 
 
-def cached_execute(workload, *, horizon, seed=0, plan=None, runner=None):
+def cached_execute(
+    workload,
+    *,
+    horizon,
+    seed=0,
+    plan=None,
+    runner=None,
+    monitor_factory=None,
+    monitor_key=None,
+):
     """Run through the active cache, or directly when no cache is active."""
     cache = active()
     if runner is None:
         from ..sim.cluster import execute_workload as runner
     if cache is None:
+        if monitor_factory is not None:
+            return runner(
+                workload,
+                horizon=horizon,
+                seed=seed,
+                plan=plan,
+                monitor=monitor_factory(),
+            )
         return runner(workload, horizon=horizon, seed=seed, plan=plan)
     result, _outcome = cache.execute(
-        workload, horizon=horizon, seed=seed, plan=plan, runner=runner
+        workload,
+        horizon=horizon,
+        seed=seed,
+        plan=plan,
+        runner=runner,
+        monitor_factory=monitor_factory,
+        monitor_key=monitor_key,
     )
     return result

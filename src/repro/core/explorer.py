@@ -53,6 +53,7 @@ from .priority import FaultPriorityPool, WindowEntry
 from .pruning import DEFAULT_RADIUS, StaticPruner
 from .report import ReproductionScript
 from .speculate import SpeculativeExecutor, default_jobs, run_key
+from .verdict import compile_cutoff
 
 
 @dataclasses.dataclass
@@ -117,6 +118,13 @@ class ExplorationResult:
 
         ``explore`` with ``jobs=1`` and ``jobs=N`` must produce equal
         signatures — the determinism invariant of the parallel engine.
+        The same holds for early-verdict cutoff on/off: a satisfied
+        round's run may be truncated, shrinking its ``injection_requests``
+        count, so that one field is masked on satisfied rounds
+        (unconditionally, keeping both configurations byte-identical).
+        Every other round field is cutoff-invariant: feedback — and so
+        ``present_observables`` — only runs on unsatisfied rounds, which
+        never truncate.
         """
         return (
             self.success,
@@ -131,7 +139,7 @@ class ExplorationResult:
                     record.injected,
                     record.satisfied,
                     record.root_site_rank,
-                    record.injection_requests,
+                    -1 if record.satisfied else record.injection_requests,
                     record.present_observables,
                 )
                 for record in self.round_records
@@ -214,6 +222,7 @@ class Explorer:
         prune: str = "none",
         prune_radius: float = DEFAULT_RADIUS,
         checkpoint: bool = False,
+        early_verdict: bool = False,
         fault_dims: str = "exceptions",
     ) -> None:
         if runs_per_round < 1:
@@ -278,6 +287,17 @@ class Explorer:
         #: ``os.fork`` and on traced (recorder-attached) searches.
         self.checkpoint = bool(checkpoint)
         self._checkpoint_pool = None
+        #: Early-verdict cutoff (``repro.core.verdict``): round runs are
+        #: verdict-monitored and stop the moment the oracle's outcome is
+        #: decided.  Library-level opt-in (CLI default on); only
+        #: *satisfied* runs can truncate, so the log-diff feedback loop
+        #: always sees full logs and ``signature()`` is invariant (the
+        #: masked ``injection_requests`` field above is the sole
+        #: truncation-visible round field).  ``compile_cutoff`` returns
+        #: ``None`` for oracles that can never decide early, in which
+        #: case runs are not monitored at all.
+        self.early_verdict = bool(early_verdict)
+        self._verdict = compile_cutoff(oracle) if self.early_verdict else None
         #: Fault dimensions the search enumerates candidates over:
         #: ``exceptions`` (legacy raise specs only — the default, which
         #: keeps pre-existing campaigns byte-identical), ``soft`` (value
@@ -311,12 +331,19 @@ class Explorer:
 
     # ----------------------------------------------------------------- prepare
 
-    def _run_inline(self, seed: int, plan: Optional[InjectionPlan]) -> RunResult:
+    def _run_inline(
+        self,
+        seed: int,
+        plan: Optional[InjectionPlan],
+        monitored: bool = False,
+    ) -> RunResult:
         """One inline workload run; recorder attached only when tracing.
 
         The ``recorder`` kwarg is passed only on the traced path so test
         doubles of ``execute_workload`` (and the untraced hot path) keep
-        their historical signature.
+        their historical signature.  ``monitored`` opts a round run into
+        early-verdict cutoff; the probe run never is — observables and
+        fork points need the full fault-free log and trace.
         """
         if self._obs.enabled:
             # Traced runs bypass the run cache: the recorder must observe
@@ -328,12 +355,15 @@ class Explorer:
                 plan=plan,
                 recorder=self._obs,
             )
+        verdict = self._verdict if monitored else None
         return cached_execute(
             self.workload,
             horizon=self.horizon,
             seed=seed,
             plan=plan,
             runner=self._runner(),
+            monitor_factory=None if verdict is None else verdict.factory,
+            monitor_key=None if verdict is None else verdict.key,
         )
 
     def _runner(self):
@@ -368,6 +398,9 @@ class Explorer:
             self.seed,
             self._prepared.normal_run.trace,
             base_faults=self.base_faults,
+            monitor_factory=None
+            if self._verdict is None
+            else self._verdict.factory,
         )
 
     def _close_checkpoint_pool(self) -> None:
@@ -520,8 +553,15 @@ class Explorer:
         self._open_checkpoint_pool()
         engine: Optional[SpeculativeExecutor] = None
         if jobs > 1:
+            verdict = self._verdict
             engine = SpeculativeExecutor(
-                self.workload, self.horizon, jobs, runner=self._runner()
+                self.workload,
+                self.horizon,
+                jobs,
+                runner=self._runner(),
+                monitor_factory=None if verdict is None else verdict.factory,
+                monitor_key=None if verdict is None else verdict.key,
+                verdict_spec=None if verdict is None else verdict.spec,
             )
         try:
             return self._explore(engine)
@@ -626,9 +666,12 @@ class Explorer:
                 )
                 result, spec_hit = engine.run(run_seed, plan)
             else:
-                result = self._run_inline(run_seed, plan)
+                result = self._run_inline(run_seed, plan, monitored=True)
             # §6: retry the round under perturbed seeds when nothing in the
             # window occurred (only useful in nondeterministic setups).
+            # Truncated runs always carry a fired instance (the monitor
+            # waits for the injection when the window is armed), so the
+            # retry condition reads the same under cutoff.
             sub_run = 0
             while (
                 result.injected_instance is None
@@ -639,7 +682,7 @@ class Explorer:
                 if engine is not None:
                     result, _ = engine.run(run_seed, plan)
                 else:
-                    result = self._run_inline(run_seed, plan)
+                    result = self._run_inline(run_seed, plan, monitored=True)
             workload_seconds = time.perf_counter() - workload_started
             if obs.enabled:
                 obs.add_span(

@@ -46,7 +46,11 @@ def run_key(seed: int, plan: Optional[InjectionPlan]) -> tuple:
 
 
 def _worker_run(
-    workload: WorkloadFn, horizon: float, seed: int, payload: Optional[dict]
+    workload: WorkloadFn,
+    horizon: float,
+    seed: int,
+    payload: Optional[dict],
+    verdict_spec: Optional[tuple] = None,
 ) -> RunResult:
     """Process-pool entry point: rebuild the plan and execute the run.
 
@@ -54,10 +58,26 @@ def _worker_run(
     reconstruct the parent's cache config from ``REPRO_CACHE`` /
     ``REPRO_CACHE_DIR``, so speculative runs both consult and feed the
     shared on-disk tier (a no-op when the cache is off).
+
+    ``verdict_spec`` is the parent's picklable oracle spec (oracles
+    themselves close over predicates and cannot cross the spawn
+    boundary); the rebuilt monitor is conservatively weaker — state
+    leaves never latch — so a worker may miss a cutoff, never invent one.
     """
     plan = InjectionPlan.from_payload(payload) if payload is not None else None
+    monitor_factory = monitor_key = None
+    if verdict_spec is not None:
+        from .verdict import runtime_from_spec
+
+        monitor_factory, monitor_key = runtime_from_spec(verdict_spec)
     return cached_execute(
-        workload, horizon=horizon, seed=seed, plan=plan, runner=execute_workload
+        workload,
+        horizon=horizon,
+        seed=seed,
+        plan=plan,
+        runner=execute_workload,
+        monitor_factory=monitor_factory,
+        monitor_key=monitor_key,
     )
 
 
@@ -71,10 +91,19 @@ class SpeculativeExecutor:
         jobs: int,
         runner=None,
         bus=None,
+        monitor_factory=None,
+        monitor_key=None,
+        verdict_spec=None,
     ) -> None:
         self.workload = workload
         self.horizon = horizon
         self.jobs = max(int(jobs), 1)
+        #: Early-verdict plumbing: the factory/key ride the committed
+        #: (inline) path through the cache; the picklable spec ships to
+        #: spawn workers, which rebuild their own (weaker) monitors.
+        self._monitor_factory = monitor_factory
+        self._monitor_key = monitor_key
+        self._verdict_spec = verdict_spec
         #: Live event bus; ``None`` means "the process-active bus".
         self._bus = bus
         self._last_heartbeat = 0.0
@@ -116,7 +145,8 @@ class SpeculativeExecutor:
             return key in self._pending
         cache = active_cache()
         if cache is not None and cache.peek(
-            self.workload, self.horizon, seed, plan
+            self.workload, self.horizon, seed, plan,
+            monitor_key=self._monitor_key,
         ) is not None:
             # The committed path will be served from the run cache anyway;
             # don't burn a worker slot re-executing it.
@@ -127,7 +157,8 @@ class SpeculativeExecutor:
         payload = plan.to_payload() if plan is not None else None
         try:
             future = pool.submit(
-                _worker_run, self.workload, self.horizon, seed, payload
+                _worker_run, self.workload, self.horizon, seed, payload,
+                self._verdict_spec,
             )
         except Exception:
             # Unpicklable workload or a broken pool: stop speculating.
@@ -160,7 +191,10 @@ class SpeculativeExecutor:
                     # The worker's own cache tier lives in its process;
                     # store the shipped result here too so later rounds
                     # (and the disk tier) see it without re-executing.
-                    cache.put(self.workload, self.horizon, seed, plan, result)
+                    cache.put(
+                        self.workload, self.horizon, seed, plan, result,
+                        monitor_key=self._monitor_key,
+                    )
                 return result, True
         self.misses += 1
         result = cached_execute(
@@ -169,6 +203,8 @@ class SpeculativeExecutor:
             seed=seed,
             plan=plan,
             runner=self._runner,
+            monitor_factory=self._monitor_factory,
+            monitor_key=self._monitor_key,
         )
         return result, False
 

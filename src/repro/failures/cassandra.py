@@ -147,6 +147,8 @@ register(
             & StatePredicateOracle(
                 lambda state: state.get("hint_short_delivery", 0) > 0,
                 "short hint delivery acknowledged",
+                # Audited: only ever assigned a positive shortfall.
+                monotone=True,
             )
         ),
         ground_truth=GroundTruth(

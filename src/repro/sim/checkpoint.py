@@ -64,6 +64,17 @@ __all__ = [
     "snapshot_fingerprint",
 ]
 
+#: Early-verdict counters a grandchild accumulates in its own process
+#: (``Cluster.run`` increments them at the cutoff).  The grandchild dies
+#: with its metrics, so the ok frame carries the deltas and the parent
+#: replays them — otherwise a checkpointed search would report zero
+#: cutoffs while truncating runs all along.
+_VERDICT_METRICS = (
+    "verdict.cutoffs",
+    "verdict.virtual_seconds_saved",
+    "verdict.events_saved",
+)
+
 #: Opening a rung shallower than this saves too little to pay the fork
 #: plumbing for; such plans run inline.
 MIN_PREFIX_REQUESTS = 8
@@ -212,6 +223,7 @@ def _encode_result(result: RunResult) -> tuple:
         result.injection_requests,
         result.decision_seconds,
         result.base_faults_fired,
+        result.truncated_at,
     )
 
 
@@ -230,6 +242,7 @@ def _decode_result(payload: tuple) -> RunResult:
         injection_requests,
         decision_seconds,
         base_faults_fired,
+        truncated_at,
     ) = payload
     return RunResult(
         log=LogFile(
@@ -253,6 +266,7 @@ def _decode_result(payload: tuple) -> RunResult:
         injection_requests=injection_requests,
         decision_seconds=decision_seconds,
         base_faults_fired=base_faults_fired,
+        truncated_at=truncated_at,
     )
 
 
@@ -279,13 +293,34 @@ def _run_with_trigger(
     plan: Optional[InjectionPlan],
     at_request: int,
     trigger,
+    monitor_factory=None,
 ) -> RunResult:
-    """``execute_workload`` with a FIR trigger armed before the run."""
+    """``execute_workload`` with a FIR trigger armed before the run.
+
+    With ``monitor_factory``, the run is verdict-monitored — but cutoff
+    stays *disabled* until the trigger has returned.  The holder runs
+    under the base-only plan, whose empty window would let a
+    prefix-latching oracle stop the run before it ever reaches the park
+    point; watchpoints keep latching through the prefix, and only the
+    grandchild (post plan-swap, where injection accounting gates cutoff)
+    may actually stop early.
+    """
     cluster = Cluster(seed=seed)
     cluster.fir.set_plan(plan)
+    monitor = None
+    if monitor_factory is not None:
+        monitor = monitor_factory()
+        monitor.disable_cutoff()
+        monitor.attach(cluster)
+        inner_trigger = trigger
+
+        def trigger(fir: FIR) -> None:
+            inner_trigger(fir)
+            monitor.enable_cutoff()
+
     cluster.fir.set_trigger(at_request, trigger)
     workload(cluster)
-    return cluster.run(horizon)
+    return cluster.run(horizon, monitor=monitor)
 
 
 def _holder_main(
@@ -296,6 +331,7 @@ def _holder_main(
     seed: int,
     base_plan: Optional[InjectionPlan],
     at_request: int,
+    monitor_factory=None,
 ) -> None:
     """Body of the holder process; every path ends in ``os._exit``.
 
@@ -335,16 +371,23 @@ def _holder_main(
                     resp_w, ("err", f"fork child exited with status {status}")
                 )
 
+    verdict_base = {name: obs_metrics.get(name) for name in _VERDICT_METRICS}
     try:
         result = _run_with_trigger(
-            workload, horizon, seed, base_plan, at_request, trigger
+            workload, horizon, seed, base_plan, at_request, trigger,
+            monitor_factory=monitor_factory,
         )
     except BaseException:
         os._exit(3 if role["fork"] else 4)
     if role["fork"]:
+        verdict_deltas = {
+            name: obs_metrics.get(name) - verdict_base[name]
+            for name in _VERDICT_METRICS
+            if obs_metrics.get(name) != verdict_base[name]
+        }
         try:
             blob = pickle.dumps(
-                ("ok", _encode_result(result)),
+                ("ok", _encode_result(result), verdict_deltas),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         except Exception:
@@ -379,6 +422,7 @@ class Checkpoint:
         seed: int,
         base_plan: Optional[InjectionPlan],
         at_request: int,
+        monitor_factory=None,
     ) -> None:
         self.at_request = at_request
         self.closed = False
@@ -391,7 +435,7 @@ class Checkpoint:
             try:
                 _holder_main(
                     req_r, resp_w, workload, horizon, seed, base_plan,
-                    at_request,
+                    at_request, monitor_factory=monitor_factory,
                 )
             finally:  # pragma: no cover - _holder_main always exits
                 os._exit(4)
@@ -425,10 +469,18 @@ class Checkpoint:
             self.close()
             return None
         try:
-            return _decode_result(response[1])
+            result = _decode_result(response[1])
         except (TypeError, ValueError):
             self.close()
             return None
+        # Replay the grandchild's early-verdict counters here: they were
+        # incremented in a process that has already exited.
+        if len(response) > 2:
+            for name in _VERDICT_METRICS:
+                delta = response[2].get(name, 0.0)
+                if delta:
+                    obs_metrics.increment(name, delta)
+        return result
 
     def close(self) -> None:
         """Tear the holder down without waiting for it to finish."""
@@ -478,10 +530,16 @@ class CheckpointPool:
         seed: int,
         probe_trace: list[TraceEvent],
         base_faults=(),
+        monitor_factory=None,
     ) -> None:
         self.workload = workload
         self.horizon = horizon
         self.seed = seed
+        #: Early-verdict monitor factory inherited by every holder (and
+        #: so, via fork, by every grandchild).  When set, fork-served
+        #: runs may come back truncated — callers opt in by constructing
+        #: the pool with the same factory they pass to the cache.
+        self._monitor_factory = monitor_factory
         self._base_faults = list(base_faults)
         self._base_key = tuple(
             (inst.site_id, inst.exception, inst.occurrence)
@@ -536,8 +594,16 @@ class CheckpointPool:
         plan: Optional[InjectionPlan] = None,
         tracing: bool = True,
         recorder=None,
+        monitor=None,
     ) -> RunResult:
-        """Drop-in for ``execute_workload``; forks when safe, else inline."""
+        """Drop-in for ``execute_workload``; forks when safe, else inline.
+
+        A grandchild carries the *pool's* monitor (inherited through the
+        holder fork with its prefix latches intact), so a caller-supplied
+        ``monitor`` is only used on the inline path.  A monitored pool
+        never serves an unmonitored call from a fork: the grandchild
+        could truncate, and this caller expects a full run.
+        """
         if (
             not self.broken
             and recorder is None
@@ -547,6 +613,7 @@ class CheckpointPool:
             and seed == self.seed
             and plan is not None
             and plan.instances
+            and (self._monitor_factory is None or monitor is not None)
         ):
             result = self._run_forked(plan)
             if result is not None:
@@ -559,6 +626,7 @@ class CheckpointPool:
             plan=plan,
             tracing=tracing,
             recorder=recorder,
+            monitor=monitor,
         )
 
     def _run_forked(self, plan: InjectionPlan) -> Optional[RunResult]:
@@ -609,8 +677,17 @@ class CheckpointPool:
         if fork_point < self._total_requests * CALIBRATION_MIN_FRACTION:
             return
         started = time.perf_counter()
+        # Arm the same monitoring the fork path enjoys, so the timing
+        # comparison is like against like (a monitored fork that cut the
+        # tail must not be judged against an unmonitored full replay).
         execute_workload(
-            self.workload, horizon=self.horizon, seed=self.seed, plan=plan
+            self.workload,
+            horizon=self.horizon,
+            seed=self.seed,
+            plan=plan,
+            monitor=None
+            if self._monitor_factory is None
+            else self._monitor_factory(),
         )
         inline_seconds = time.perf_counter() - started
         obs_metrics.increment(
@@ -650,7 +727,8 @@ class CheckpointPool:
         obs_metrics.increment("sim.checkpoint.opens")
         started = time.perf_counter()
         rung = Checkpoint(
-            self.workload, self.horizon, self.seed, self._base_plan, target
+            self.workload, self.horizon, self.seed, self._base_plan, target,
+            monitor_factory=self._monitor_factory,
         )
         obs_metrics.increment(
             "sim.checkpoint.open_seconds", time.perf_counter() - started

@@ -250,10 +250,39 @@ class Simulator:
 
     # -------------------------------------------------------------------- run
 
-    def run(self, until: float) -> None:
-        """Run events until the queue drains or virtual ``until`` is reached."""
+    def run(self, until: float, monitor=None) -> bool:
+        """Run events until the queue drains or virtual ``until`` is reached.
+
+        ``monitor`` (a :class:`repro.core.verdict.VerdictMonitor`) is
+        polled after each dispatched event; when it reports the verdict
+        decided, the loop exits *without* advancing ``now`` to ``until``
+        and returns ``True``.  The unmonitored path is a separate loop so
+        the common case pays nothing for the hook.
+        """
         heap = self._heap
         pop = heapq.heappop
+        if monitor is None:
+            while heap:
+                when = heap[0][0]
+                if when > until:
+                    break
+                entry = pop(heap)
+                if when > self.now:
+                    self.now = when
+                # Cancelled entries still count: the pre-rewrite loop executed
+                # them as guarded no-ops, and ``events_executed`` feeds the
+                # deterministic run signature.
+                self.events_executed += 1
+                fn = entry[2]
+                if fn is None:
+                    continue
+                if fn is _RESUME:
+                    self._resume(entry[3], value=entry[4], exc=entry[5])
+                else:
+                    fn()
+            self.now = max(self.now, until)
+            return False
+        should_stop = monitor.should_stop
         while heap:
             when = heap[0][0]
             if when > until:
@@ -261,9 +290,6 @@ class Simulator:
             entry = pop(heap)
             if when > self.now:
                 self.now = when
-            # Cancelled entries still count: the pre-rewrite loop executed
-            # them as guarded no-ops, and ``events_executed`` feeds the
-            # deterministic run signature.
             self.events_executed += 1
             fn = entry[2]
             if fn is None:
@@ -272,7 +298,10 @@ class Simulator:
                 self._resume(entry[3], value=entry[4], exc=entry[5])
             else:
                 fn()
+            if should_stop():
+                return True
         self.now = max(self.now, until)
+        return False
 
     # ------------------------------------------------------------- checkpoint
 
@@ -376,11 +405,6 @@ class Simulator:
         watchers, task._watchers = task._watchers, []
         for watcher in watchers:
             watcher(task)
-
-
-def run_all(sim: Simulator, horizon: float) -> None:
-    """Convenience: run the simulator to its horizon."""
-    sim.run(until=horizon)
 
 
 def stuck_report(tasks: Iterable[Task]) -> str:

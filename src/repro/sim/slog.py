@@ -26,12 +26,22 @@ class LogCollector:
 
     def __init__(self) -> None:
         self.log = LogFile()
+        #: Emission watchpoints (e.g. the early-verdict monitor's log
+        #: leaves); empty on the common path so ``append`` stays cheap.
+        self._listeners: list = []
 
     def __len__(self) -> int:
         return len(self.log)
 
+    def add_listener(self, listener) -> None:
+        """Call ``listener(record)`` on every appended record."""
+        self._listeners.append(listener)
+
     def append(self, record: LogRecord) -> None:
         self.log.append(record)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(record)
 
     # ------------------------------------------------------------- checkpoint
 

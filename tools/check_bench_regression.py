@@ -19,6 +19,13 @@ compares the simulator-kernel micro-benchmark artifact
 the baseline throughput sits below ``--simkernel-min-events`` so tiny
 or throttled runners don't flap the gate.
 
+With ``--verdict-baseline``/``--verdict-current``, the gate also
+compares the early-verdict cutoff benchmark artifact
+(``benchmarks/out/BENCH_verdict.json``): the confirmation-replay
+median speedup of cutoff-on over cutoff-off must stay at or above
+``--verdict-min-speedup`` (default 1.3x), and any case whose cutoff-on
+outcome diverged from cutoff-off fails the build outright.
+
 With ``--history LEDGER``, the baseline is derived from the run ledger
 (``benchmarks/out/ledger.jsonl``) instead: the last ``--history-window``
 ANDURIL entries per case (majority success, median rounds/seconds) form
@@ -227,6 +234,50 @@ def compare_simkernel(
     return problems
 
 
+def load_verdict(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if "replay" not in document:
+        raise ValueError(
+            f"{path}: not a verdict-cutoff benchmark (missing 'replay')"
+        )
+    return document
+
+
+def compare_verdict(
+    baseline: dict,
+    current: dict,
+    min_speedup: float,
+) -> list[str]:
+    """Regressions in the early-verdict cutoff benchmark.
+
+    Two checks gate: the confirmation-replay median speedup (cutoff-on
+    over cutoff-off, simulated work is identical so the ratio is stable)
+    must stay at or above ``min_speedup``, and every case must report
+    ``outcome_equal`` — a cutoff that changes *what* is reproduced is a
+    correctness bug, not a perf regression.  Search-leg speedups are
+    informational (searches spend most rounds on unsatisfied runs,
+    which never truncate by design).
+    """
+    problems: list[str] = []
+    cur_speedup = float(current.get("replay", {}).get("median_speedup", 0.0))
+    if cur_speedup < min_speedup:
+        base_speedup = float(
+            baseline.get("replay", {}).get("median_speedup", 0.0)
+        )
+        problems.append(
+            f"verdict-cutoff replay speedup below floor: {cur_speedup:.2f}x "
+            f"< {min_speedup:.2f}x (baseline {base_speedup:.2f}x)"
+        )
+    for case_id, entry in sorted(current.get("cases", {}).items()):
+        if not entry.get("outcome_equal", True):
+            problems.append(
+                f"verdict-cutoff outcome divergence in case {case_id}: "
+                "cutoff-on result differs from cutoff-off"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline summary JSON")
@@ -286,11 +337,36 @@ def main(argv=None) -> int:
         help="skip the kernel check below this baseline events/sec "
         "(noise floor for tiny or throttled runners)",
     )
+    parser.add_argument(
+        "--verdict-baseline",
+        metavar="JSON",
+        help="committed early-verdict cutoff benchmark artifact "
+        "(BENCH_verdict.json); requires --verdict-current",
+    )
+    parser.add_argument(
+        "--verdict-current",
+        metavar="JSON",
+        help="freshly generated early-verdict cutoff benchmark artifact",
+    )
+    parser.add_argument(
+        "--verdict-min-speedup",
+        type=float,
+        default=1.3,
+        help="confirmation-replay median speedup floor for the cutoff "
+        "(ratio, default 1.3)",
+    )
     args = parser.parse_args(argv)
 
     if bool(args.simkernel_baseline) != bool(args.simkernel_current):
         print(
             "error: --simkernel-baseline and --simkernel-current must be "
+            "given together",
+            file=sys.stderr,
+        )
+        return 2
+    if bool(args.verdict_baseline) != bool(args.verdict_current):
+        print(
+            "error: --verdict-baseline and --verdict-current must be "
             "given together",
             file=sys.stderr,
         )
@@ -345,6 +421,24 @@ def main(argv=None) -> int:
             "events/s, current "
             f"{float(sk_current['kernel'].get('events_per_sec', 0.0)):,.0f} "
             "events/s"
+        )
+    if args.verdict_baseline:
+        try:
+            vd_baseline = load_verdict(args.verdict_baseline)
+            vd_current = load_verdict(args.verdict_current)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        problems.extend(
+            compare_verdict(
+                vd_baseline, vd_current, args.verdict_min_speedup
+            )
+        )
+        print(
+            "verdict-cutoff: baseline replay speedup "
+            f"{float(vd_baseline['replay'].get('median_speedup', 0.0)):.2f}x"
+            ", current "
+            f"{float(vd_current['replay'].get('median_speedup', 0.0)):.2f}x"
         )
     print(
         f"{baseline_label}: "

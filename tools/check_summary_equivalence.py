@@ -27,7 +27,10 @@ import sys
 #: sections exist only when those runner knobs are on (and fork counts
 #: move with scheduling); ``counters``/``metrics`` hold operational
 #: telemetry (speculation hit rates, fallback counts) that varies with
-#: scheduling; ``latency`` holds wall-clock histogram quantiles.
+#: scheduling; ``latency`` holds wall-clock histogram quantiles;
+#: ``verdict`` sections exist only when early-verdict cutoff is on (and
+#: record how much simulated time the cutoff saved, which is exactly
+#: what may differ between cutoff-on and cutoff-off campaigns).
 #: Everything else must match exactly.
 VOLATILE_KEYS = frozenset(
     {
@@ -40,6 +43,7 @@ VOLATILE_KEYS = frozenset(
         "counters",
         "metrics",
         "latency",
+        "verdict",
     }
 )
 
